@@ -1,0 +1,111 @@
+package pacer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Aggregator collects race reports from many detector instances — the
+// fleet side of the distributed-debugging deployment the paper envisions
+// (Section 1): each deployed instance samples at a low rate, and the
+// aggregator deduplicates their reports into a triage list. Reports are
+// keyed by the unordered site pair, the paper's notion of a distinct race.
+//
+// An Aggregator is safe for concurrent use by many instances.
+type Aggregator struct {
+	mu    sync.Mutex
+	races map[aggKey]*AggregatedRace
+}
+
+type aggKey struct {
+	v    VarID
+	a, b SiteID
+}
+
+// AggregatedRace is one distinct race with fleet-wide statistics.
+type AggregatedRace struct {
+	// Example is a representative report.
+	Example Race
+	// Count is the number of reports across all instances.
+	Count int
+	// Instances is the number of distinct instances that reported it.
+	Instances int
+	// FirstInstance identifies the instance that reported it first.
+	FirstInstance string
+
+	seen map[string]bool
+}
+
+func keyOf(r Race) aggKey {
+	a, b := r.FirstSite, r.SecondSite
+	if a > b {
+		a, b = b, a
+	}
+	return aggKey{v: r.Var, a: a, b: b}
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{races: make(map[aggKey]*AggregatedRace)}
+}
+
+// Reporter returns an OnRace callback for one deployed instance. Wire it
+// into that instance's Options:
+//
+//	agg := pacer.NewAggregator()
+//	d := pacer.New(pacer.Options{SamplingRate: 0.01, OnRace: agg.Reporter("host-17")})
+func (a *Aggregator) Reporter(instance string) func(Race) {
+	return func(r Race) {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		k := keyOf(r)
+		ar, ok := a.races[k]
+		if !ok {
+			ar = &AggregatedRace{Example: r, FirstInstance: instance, seen: make(map[string]bool)}
+			a.races[k] = ar
+		}
+		ar.Count++
+		if !ar.seen[instance] {
+			ar.seen[instance] = true
+			ar.Instances++
+		}
+	}
+}
+
+// Distinct returns the number of distinct races reported so far.
+func (a *Aggregator) Distinct() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.races)
+}
+
+// Races returns the aggregated races, most-reported first (ties broken by
+// site pair for determinism).
+func (a *Aggregator) Races() []AggregatedRace {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]AggregatedRace, 0, len(a.races))
+	for _, ar := range a.races {
+		cp := *ar
+		cp.seen = nil
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		ki, kj := keyOf(out[i].Example), keyOf(out[j].Example)
+		if ki.a != kj.a {
+			return ki.a < kj.a
+		}
+		return ki.b < kj.b
+	})
+	return out
+}
+
+// String summarizes an aggregated race.
+func (r AggregatedRace) String() string {
+	return fmt.Sprintf("%v — %d report(s) from %d instance(s), first seen on %s",
+		r.Example, r.Count, r.Instances, r.FirstInstance)
+}

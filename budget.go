@@ -1,0 +1,102 @@
+package pacer
+
+import "time"
+
+// BudgetOptions enable adaptive sampling in the spirit of QVM (Arnold,
+// Vechev, and Yahav), which the paper cites as the kindred "stay within a
+// user-specified overhead budget" approach (Section 6.3): instead of a
+// fixed sampling rate, the detector measures the fraction of wall-clock
+// time spent inside the analysis and steers the rate so the overhead
+// tracks the budget. PACER's proportionality makes this well-defined — the
+// achieved detection probability is simply whatever rate the controller
+// settles on, which Detector.CurrentRate reports.
+type BudgetOptions struct {
+	// TargetOverhead is the desired analysis overhead: seconds spent
+	// inside the analysis per second of application wall-clock time
+	// (0.05 = 5%). For a single-threaded application this is the classic
+	// slowdown fraction; when many goroutines feed one detector their
+	// analysis time is summed, so the budget then bounds total analysis
+	// CPU per wall second. Zero disables adaptation.
+	TargetOverhead float64
+	// MaxRate caps the sampling rate the controller may choose (defaults
+	// to 1.0). Options.SamplingRate is the starting rate.
+	MaxRate float64
+	// MinRate floors the rate so detection never stops entirely (defaults
+	// to TargetOverhead/100).
+	MinRate float64
+}
+
+// budgetState tracks the controller's measurements. All fields are guarded
+// by the Detector's mutex.
+type budgetState struct {
+	opts      BudgetOptions
+	rate      float64
+	started   time.Time
+	inside    time.Duration
+	lastTotal time.Duration // total elapsed at the last adjustment
+	lastIn    time.Duration
+}
+
+func newBudgetState(o BudgetOptions, start float64) *budgetState {
+	if o.MaxRate <= 0 || o.MaxRate > 1 {
+		o.MaxRate = 1
+	}
+	if o.MinRate <= 0 {
+		o.MinRate = o.TargetOverhead / 100
+	}
+	rate := start
+	if rate <= 0 || rate > o.MaxRate {
+		rate = o.MaxRate
+	}
+	return &budgetState{opts: o, rate: rate, started: time.Now()}
+}
+
+// adjust recomputes the rate from the overhead observed since the last
+// period boundary: a simple multiplicative-increase/decrease controller
+// that halves aggressively when over budget and recovers gently.
+func (b *budgetState) adjust() {
+	total := time.Since(b.started)
+	dTotal := total - b.lastTotal
+	dIn := b.inside - b.lastIn
+	b.lastTotal, b.lastIn = total, b.inside
+	app := dTotal - dIn
+	if app <= 0 || dTotal <= 0 {
+		return
+	}
+	overhead := float64(dIn) / float64(app)
+	switch {
+	case overhead > b.opts.TargetOverhead*1.2:
+		b.rate *= 0.5
+	case overhead < b.opts.TargetOverhead*0.8:
+		b.rate *= 1.3
+	}
+	b.rate = min(max(b.rate, b.opts.MinRate), b.opts.MaxRate)
+}
+
+// CurrentRate returns the sampling rate currently in effect — the
+// configured rate, or the budget controller's choice when a budget is set.
+// Under a budget this is also the current per-race detection probability.
+func (p *Detector) CurrentRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.budget != nil {
+		return p.budget.rate
+	}
+	return p.opts.SamplingRate
+}
+
+// ObservedOverhead returns the cumulative fraction of wall-clock time the
+// detector has spent inside the analysis, when a budget is configured.
+func (p *Detector) ObservedOverhead() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.budget == nil {
+		return 0
+	}
+	total := time.Since(p.budget.started)
+	app := total - p.budget.inside
+	if app <= 0 {
+		return 0
+	}
+	return float64(p.budget.inside) / float64(app)
+}

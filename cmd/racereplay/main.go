@@ -1,0 +1,196 @@
+// Command racereplay records a benchmark execution as a trace file and
+// replays traces under any of the repository's race detectors. Recording
+// once and replaying under several detectors or sampling rates gives an
+// apples-to-apples comparison on an identical interleaving.
+//
+// Usage:
+//
+//	racereplay record -bench eclipse -seed 3 -o eclipse.trace
+//	racereplay replay -detector pacer -rate 0.03 eclipse.trace
+//	racereplay stat eclipse.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pacer/internal/core"
+	"pacer/internal/detector"
+	"pacer/internal/event"
+	"pacer/internal/fasttrack"
+	"pacer/internal/generic"
+	"pacer/internal/literace"
+	"pacer/internal/sim"
+	"pacer/internal/vclock"
+	"pacer/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "stat":
+		stat(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  racereplay record -bench <name> [-seed N] -o <file>
+  racereplay replay -detector <pacer|fasttrack|generic|literace> [-rate R] [-seed N] <file>
+  racereplay stat <file>`)
+	os.Exit(2)
+}
+
+// recorder adapts the detector interface to capture the event stream the
+// simulator produces.
+type recorder struct {
+	tr event.Trace
+}
+
+func (r *recorder) add(e event.Event) { r.tr = append(r.tr, e) }
+
+func (r *recorder) Read(t vclock.Thread, x event.Var, s event.Site, m uint32) {
+	r.add(event.Event{Kind: event.Read, Thread: t, Target: uint32(x), Site: s, Method: m})
+}
+func (r *recorder) Write(t vclock.Thread, x event.Var, s event.Site, m uint32) {
+	r.add(event.Event{Kind: event.Write, Thread: t, Target: uint32(x), Site: s, Method: m})
+}
+func (r *recorder) Acquire(t vclock.Thread, m event.Lock) {
+	r.add(event.Event{Kind: event.Acquire, Thread: t, Target: uint32(m)})
+}
+func (r *recorder) Release(t vclock.Thread, m event.Lock) {
+	r.add(event.Event{Kind: event.Release, Thread: t, Target: uint32(m)})
+}
+func (r *recorder) Fork(t, u vclock.Thread) {
+	r.add(event.Event{Kind: event.Fork, Thread: t, Target: uint32(u)})
+}
+func (r *recorder) Join(t, u vclock.Thread) {
+	r.add(event.Event{Kind: event.Join, Thread: t, Target: uint32(u)})
+}
+func (r *recorder) VolRead(t vclock.Thread, v event.Volatile) {
+	r.add(event.Event{Kind: event.VolRead, Thread: t, Target: uint32(v)})
+}
+func (r *recorder) VolWrite(t vclock.Thread, v event.Volatile) {
+	r.add(event.Event{Kind: event.VolWrite, Thread: t, Target: uint32(v)})
+}
+func (r *recorder) Name() string { return "recorder" }
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "eclipse", "benchmark to record")
+	seed := fs.Int64("seed", 1, "trial seed")
+	out := fs.String("o", "", "output trace file")
+	fs.Parse(args)
+	if *out == "" {
+		fatal("record: -o is required")
+	}
+	b := workload.ByName(*bench)
+	if b == nil {
+		fatal(fmt.Sprintf("record: unknown benchmark %q", *bench))
+	}
+	rec := &recorder{}
+	if _, err := sim.Run(b.Program(*seed), sim.Config{
+		Seed: *seed, Detector: rec, InstrumentAccesses: true,
+	}); err != nil {
+		fatal(err.Error())
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer f.Close()
+	if err := event.WriteTrace(f, rec.tr); err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("recorded %d events from %s (seed %d) to %s\n", len(rec.tr), *bench, *seed, *out)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	det := fs.String("detector", "pacer", "detector: pacer, fasttrack, generic, literace")
+	rate := fs.Float64("rate", 0.03, "PACER sampling rate")
+	seed := fs.Int64("seed", 1, "sampling/period seed")
+	period := fs.Int("period", 4096, "events per sampling period decision")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr := readTrace(fs.Arg(0))
+
+	col := detector.NewCollector()
+	var d detector.Detector
+	switch *det {
+	case "pacer":
+		d = core.New(col.Report)
+	case "fasttrack":
+		d = fasttrack.New(col.Report)
+	case "generic":
+		d = generic.New(col.Report)
+	case "literace":
+		d = literace.New(col.Report, literace.DefaultOptions())
+	default:
+		fatal(fmt.Sprintf("replay: unknown detector %q", *det))
+	}
+
+	// Drive PACER's sampling periods over the replayed trace.
+	sampler, _ := d.(detector.Sampler)
+	rng := rand.New(rand.NewSource(*seed))
+	for i, e := range tr {
+		if sampler != nil && i%*period == 0 {
+			if rng.Float64() < *rate {
+				sampler.SampleBegin()
+			} else {
+				sampler.SampleEnd()
+			}
+		}
+		detector.Apply(d, e)
+	}
+
+	fmt.Printf("%s over %d events: %d dynamic races, %d distinct\n",
+		d.Name(), len(tr), col.DynamicCount(), col.DistinctCount())
+	for _, k := range col.DistinctKeys() {
+		fmt.Printf("  sites (%d, %d): %d dynamic occurrence(s)\n", k.SiteA, k.SiteB, col.PerDistinct[k])
+	}
+}
+
+func stat(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	tr := readTrace(args[0])
+	counts := tr.Counts()
+	fmt.Printf("%d events, %d threads\n", len(tr), tr.Threads())
+	for k := event.Read; k <= event.SampleEnd; k++ {
+		if counts[k] > 0 {
+			fmt.Printf("  %-8s %d\n", k, counts[k])
+		}
+	}
+}
+
+func readTrace(path string) event.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer f.Close()
+	tr, err := event.ReadTrace(f)
+	if err != nil {
+		fatal(err.Error())
+	}
+	return tr
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "racereplay:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// kvstore: a sharded, concurrent in-memory key-value store instrumented
+// with the PACER detector, run by real goroutines.
+//
+// The store guards each shard's map with an instrumented mutex, but its
+// Size method was "optimized" to read the per-shard counters without
+// locking — a classic real-world race (a stale size is usually harmless,
+// until someone uses it to resize or flush). Full tracking pinpoints the
+// two sites; a production-style 2% sampling rate finds the same race on a
+// small fraction of runs at a small fraction of the cost, which is the
+// trade PACER is designed to make.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"pacer"
+)
+
+const shards = 4
+
+// Store is a sharded map instrumented for race detection. Each logical
+// shard has a lock identifier, and each shard's entry count is a shared
+// cell the detector tracks.
+type Store struct {
+	d     *pacer.Detector
+	locks [shards]*pacer.Mutex
+	size  [shards]*pacer.Shared[int]
+	data  [shards]map[string]string
+	mu    [shards]sync.Mutex // the real mutexes guarding data
+}
+
+// NewStore builds an instrumented store.
+func NewStore(d *pacer.Detector) *Store {
+	s := &Store{d: d}
+	for i := 0; i < shards; i++ {
+		s.locks[i] = d.NewMutex()
+		s.size[i] = pacer.NewShared(d, 0)
+		s.data[i] = make(map[string]string)
+	}
+	return s
+}
+
+func shardOf(key string) int {
+	h := 0
+	for _, c := range key {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % shards
+}
+
+// Put stores key=value (correctly locked).
+func (s *Store) Put(t pacer.ThreadID, key, value string) {
+	i := shardOf(key)
+	s.mu[i].Lock()
+	s.locks[i].Lock(t)
+	_, existed := s.data[i][key]
+	s.data[i][key] = value
+	if !existed {
+		s.size[i].Update(t, pacer.SiteID(1000+i), func(n int) int { return n + 1 })
+	}
+	s.locks[i].Unlock(t)
+	s.mu[i].Unlock()
+}
+
+// Get fetches key (correctly locked).
+func (s *Store) Get(t pacer.ThreadID, key string) (string, bool) {
+	i := shardOf(key)
+	s.mu[i].Lock()
+	s.locks[i].Lock(t)
+	v, ok := s.data[i][key]
+	s.locks[i].Unlock(t)
+	s.mu[i].Unlock()
+	return v, ok
+}
+
+// Size sums the shard counters WITHOUT locks — the planted bug.
+func (s *Store) Size(t pacer.ThreadID) int {
+	total := 0
+	for i := 0; i < shards; i++ {
+		total += s.size[i].Load(t, pacer.SiteID(2000+i)) // RACY read
+	}
+	return total
+}
+
+func runSession(rate float64, seed int64) []pacer.Race {
+	var mu sync.Mutex
+	var races []pacer.Race
+	d := pacer.New(pacer.Options{
+		SamplingRate: rate,
+		PeriodOps:    256,
+		Seed:         seed,
+		OnRace: func(r pacer.Race) {
+			mu.Lock()
+			races = append(races, r)
+			mu.Unlock()
+		},
+	})
+	store := NewStore(d)
+	main := d.NewThread()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		tid := d.Fork(main)
+		wg.Add(1)
+		go func(w int, tid pacer.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("user:%d:%d", w, i%40)
+				store.Put(tid, key, "v")
+				if i%3 == 0 {
+					store.Get(tid, key)
+				}
+			}
+		}(w, tid)
+	}
+	// A monitoring goroutine polls Size concurrently — triggering the race.
+	mon := d.Fork(main)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = store.Size(mon)
+		}
+	}()
+	wg.Wait()
+	return races
+}
+
+func main() {
+	fmt.Println("== kvstore under full tracking (r = 100%) ==")
+	races := runSession(1.0, 1)
+	distinct := map[[2]pacer.SiteID]int{}
+	for _, r := range races {
+		a, b := r.FirstSite, r.SecondSite
+		if a > b {
+			a, b = b, a
+		}
+		distinct[[2]pacer.SiteID{a, b}]++
+	}
+	fmt.Printf("%d dynamic reports, %d distinct site pairs:\n", len(races), len(distinct))
+	for k, n := range distinct {
+		fmt.Printf("  sites (%d, %d): %d report(s)  — shard-size update vs unlocked Size()\n", k[0], k[1], n)
+	}
+
+	fmt.Println("\n== kvstore at r = 2% over 100 runs ==")
+	found := 0
+	for seed := int64(1); seed <= 100; seed++ {
+		if len(runSession(0.02, seed)) > 0 {
+			found++
+		}
+	}
+	fmt.Printf("race family reported in %d/100 sampled runs\n", found)
+	fmt.Println("(The Size/Update race occurs many times per run, so the distinct-")
+	fmt.Println("race detection rate exceeds 2% — the paper's Figure 4 effect.)")
+}

@@ -1,0 +1,3 @@
+module pacer
+
+go 1.22

@@ -1,0 +1,116 @@
+package pacer
+
+import "sync"
+
+// Mutex is a sync.Mutex that reports its acquire and release operations to
+// the detector, so the happens-before edges it induces are tracked without
+// manual instrumentation. The zero value is not usable; create one with
+// Detector.NewMutex.
+type Mutex struct {
+	d  *Detector
+	id LockID
+	mu sync.Mutex
+}
+
+// NewMutex returns an instrumented mutex.
+func (p *Detector) NewMutex() *Mutex {
+	return &Mutex{d: p, id: p.NewLockID()}
+}
+
+// Lock acquires the mutex on behalf of thread t.
+func (m *Mutex) Lock(t ThreadID) {
+	m.mu.Lock()
+	m.d.Acquire(t, m.id)
+}
+
+// Unlock releases the mutex on behalf of thread t.
+func (m *Mutex) Unlock(t ThreadID) {
+	m.d.Release(t, m.id)
+	m.mu.Unlock()
+}
+
+// ID returns the mutex's lock identifier.
+func (m *Mutex) ID() LockID { return m.id }
+
+// Shared is a shared cell of type T whose loads and stores are reported to
+// the detector. The cell's value itself is kept internally consistent (so
+// an instrumented program cannot corrupt its own memory), but the
+// *logical* accesses are checked for races exactly as if the program read
+// and wrote an unprotected variable — which is the point: PACER finds the
+// missing synchronization without the crash.
+type Shared[T any] struct {
+	d  *Detector
+	id VarID
+	mu sync.Mutex
+	v  T
+}
+
+// NewShared returns an instrumented shared cell holding initial.
+func NewShared[T any](p *Detector, initial T) *Shared[T] {
+	s := &Shared[T]{d: p, id: p.NewVarID()}
+	s.v = initial
+	return s
+}
+
+// Load reads the cell on behalf of thread t at site.
+func (s *Shared[T]) Load(t ThreadID, site SiteID) T {
+	s.d.Read(t, s.id, site)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v
+}
+
+// Store writes the cell on behalf of thread t at site.
+func (s *Shared[T]) Store(t ThreadID, site SiteID, v T) {
+	s.d.Write(t, s.id, site)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v = v
+}
+
+// Update applies f to the cell's value on behalf of thread t, reporting a
+// read followed by a write.
+func (s *Shared[T]) Update(t ThreadID, site SiteID, f func(T) T) {
+	s.d.Read(t, s.id, site)
+	s.d.Write(t, s.id, site)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v = f(s.v)
+}
+
+// ID returns the cell's variable identifier.
+func (s *Shared[T]) ID() VarID { return s.id }
+
+// Atomic is a shared cell with volatile (synchronizing) semantics: loads
+// and stores are reported as volatile accesses, which create
+// happens-before edges rather than race candidates, like a Java volatile
+// or a Go atomic used for synchronization.
+type Atomic[T any] struct {
+	d  *Detector
+	id VolatileID
+	mu sync.Mutex
+	v  T
+}
+
+// NewAtomic returns an instrumented volatile cell holding initial.
+func NewAtomic[T any](p *Detector, initial T) *Atomic[T] {
+	a := &Atomic[T]{d: p, id: p.NewVolatileID()}
+	a.v = initial
+	return a
+}
+
+// Load reads the volatile on behalf of thread t.
+func (a *Atomic[T]) Load(t ThreadID) T {
+	a.d.VolRead(t, a.id)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+// Store writes the volatile on behalf of thread t.
+func (a *Atomic[T]) Store(t ThreadID, v T) {
+	a.d.VolWrite(t, a.id)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.v = v
+}

@@ -1,0 +1,179 @@
+package core_test
+
+import (
+	"testing"
+
+	"pacer/internal/core"
+	"pacer/internal/detector"
+	"pacer/internal/dtest"
+	"pacer/internal/event"
+	"pacer/internal/fasttrack"
+	"pacer/internal/vclock"
+)
+
+// The exhaustive model checker enumerates every well-formed trace over a
+// small alphabet — two threads, one data variable, one lock, one volatile,
+// plus sampling toggles — up to a bounded length, and checks the paper's
+// soundness properties on each one. Unlike the randomized tests, this
+// covers every interleaving of the bounded space, including the adversarial
+// corner cases around period boundaries that random generation rarely hits.
+
+// mcSymbol is one action of the model-checking alphabet.
+type mcSymbol struct {
+	kind   event.Kind
+	thread vclock.Thread
+}
+
+var mcAlphabet = func() []mcSymbol {
+	var out []mcSymbol
+	for _, t := range []vclock.Thread{0, 1} {
+		for _, k := range []event.Kind{
+			event.Read, event.Write, event.Acquire, event.Release,
+			event.VolRead, event.VolWrite,
+		} {
+			out = append(out, mcSymbol{kind: k, thread: t})
+		}
+	}
+	out = append(out, mcSymbol{kind: event.SampleBegin}, mcSymbol{kind: event.SampleEnd})
+	return out
+}()
+
+// mcState tracks well-formedness during enumeration.
+type mcState struct {
+	lockOwner vclock.Thread // NoThread when free
+	sampling  bool
+}
+
+func (s mcState) apply(sym mcSymbol) (mcState, bool) {
+	switch sym.kind {
+	case event.Acquire:
+		if s.lockOwner != vclock.NoThread {
+			return s, false
+		}
+		s.lockOwner = sym.thread
+	case event.Release:
+		if s.lockOwner != sym.thread {
+			return s, false
+		}
+		s.lockOwner = vclock.NoThread
+	case event.SampleBegin:
+		if s.sampling {
+			return s, false
+		}
+		s.sampling = true
+	case event.SampleEnd:
+		if !s.sampling {
+			return s, false
+		}
+		s.sampling = false
+	}
+	return s, true
+}
+
+func (s mcSymbol) toEvent() event.Event {
+	e := event.Event{Kind: s.kind, Thread: s.thread}
+	switch s.kind {
+	case event.Read, event.Write:
+		e.Target = 0
+	case event.Acquire, event.Release:
+		e.Target = 0
+	case event.VolRead, event.VolWrite:
+		e.Target = 0
+	}
+	return e
+}
+
+// TestExhaustiveSoundnessSmallTraces enumerates all well-formed traces up
+// to length 6 (hundreds of thousands of interleavings) and verifies the
+// guarantee + precision properties on each.
+func TestExhaustiveSoundnessSmallTraces(t *testing.T) {
+	maxLen := 6
+	if testing.Short() {
+		maxLen = 5
+	}
+	mkP := func(r detector.Reporter) detector.Detector { return core.New(r) }
+	mkFT := func(r detector.Reporter) detector.Detector { return fasttrack.New(r) }
+
+	trace := make(event.Trace, 0, maxLen)
+	checked := 0
+	var rec func(st mcState)
+	rec = func(st mcState) {
+		if len(trace) > 0 {
+			// Check every prefix that ends in a data access (others add
+			// nothing new over their own prefix).
+			if trace[len(trace)-1].Kind.IsAccess() {
+				tr := dtest.UniqueSites(trace)
+				if issue := dtest.SoundnessIssue(tr, mkP, mkFT); issue != "" {
+					t.Fatalf("trace %v: %s", tr, issue)
+				}
+				checked++
+			}
+		}
+		if len(trace) == maxLen {
+			return
+		}
+		for _, sym := range mcAlphabet {
+			next, ok := st.apply(sym)
+			if !ok {
+				continue
+			}
+			trace = append(trace, sym.toEvent())
+			rec(next)
+			trace = trace[:len(trace)-1]
+		}
+	}
+	rec(mcState{lockOwner: vclock.NoThread})
+	if checked < 10_000 {
+		t.Fatalf("only %d traces checked; enumeration broken?", checked)
+	}
+	t.Logf("checked %d traces exhaustively (maxLen %d)", checked, maxLen)
+}
+
+// TestExhaustiveFullySampledEquivalence enumerates well-formed traces that
+// are entirely inside one sampling period and verifies PACER ≡ FASTTRACK
+// report-for-report (Theorem 1), exactly.
+func TestExhaustiveFullySampledEquivalence(t *testing.T) {
+	const maxLen = 5
+	mkP := func(r detector.Reporter) detector.Detector { return core.New(r) }
+	mkFT := func(r detector.Reporter) detector.Detector { return fasttrack.New(r) }
+	alphabet := mcAlphabet[:len(mcAlphabet)-2] // no sampling toggles
+
+	trace := event.Trace{{Kind: event.SampleBegin}}
+	checked := 0
+	var rec func(st mcState)
+	rec = func(st mcState) {
+		if trace[len(trace)-1].Kind.IsAccess() {
+			tr := dtest.UniqueSites(trace)
+			p := dtest.Run(tr, mkP)
+			f := dtest.Run(tr, mkFT)
+			kp, kf := dtest.KeySet(p.Dynamic), dtest.KeySet(f.Dynamic)
+			if len(kp) != len(kf) {
+				t.Fatalf("trace %v: pacer %d reports, fasttrack %d", tr, len(kp), len(kf))
+			}
+			for k, n := range kf {
+				if kp[k] != n {
+					t.Fatalf("trace %v: report %v: pacer %d, fasttrack %d", tr, k, kp[k], n)
+				}
+			}
+			checked++
+		}
+		if len(trace) == maxLen+1 {
+			return
+		}
+		for _, sym := range alphabet {
+			next, ok := st.apply(sym)
+			if !ok {
+				continue
+			}
+			trace = append(trace, sym.toEvent())
+			rec(next)
+			trace = trace[:len(trace)-1]
+		}
+	}
+	st, _ := mcState{lockOwner: vclock.NoThread}.apply(mcSymbol{kind: event.SampleBegin})
+	rec(st)
+	if checked < 5_000 {
+		t.Fatalf("only %d traces checked", checked)
+	}
+	t.Logf("checked %d fully sampled traces exhaustively", checked)
+}

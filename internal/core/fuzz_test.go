@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"testing"
+
+	"pacer/internal/core"
+	"pacer/internal/detector"
+	"pacer/internal/dtest"
+	"pacer/internal/event"
+	"pacer/internal/fasttrack"
+)
+
+// FuzzSoundness drives the soundness differential from fuzzer-chosen
+// generator parameters: any (seed, knobs) combination must satisfy the
+// guarantee and precision properties.
+func FuzzSoundness(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(8), uint16(800))
+	f.Add(int64(99), uint8(2), uint8(1), uint16(300))
+	f.Fuzz(func(t *testing.T, seed int64, threads, vars uint8, steps uint16) {
+		tr := dtest.UniqueSites(event.Generate(event.GenConfig{
+			Threads: int(threads%8) + 2, Vars: int(vars%12) + 1,
+			Locks: 3, Volatiles: 2,
+			Steps: int(steps % 1500), PGuarded: 0.4, PWrite: 0.4,
+			PSample: 0.05, Seed: seed,
+		}))
+		mkP := func(r detector.Reporter) detector.Detector { return core.New(r) }
+		mkFT := func(r detector.Reporter) detector.Detector { return fasttrack.New(r) }
+		if issue := dtest.SoundnessIssue(tr, mkP, mkFT); issue != "" {
+			t.Fatalf("seed=%d threads=%d vars=%d steps=%d: %s", seed, threads, vars, steps, issue)
+		}
+	})
+}

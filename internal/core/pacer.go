@@ -1,0 +1,519 @@
+// Package core implements PACER, the paper's primary contribution: a
+// sampling race detector built on FASTTRACK that guarantees a detection
+// rate for every race equal to the global sampling rate, with time and
+// space overheads proportional to that rate (Section 3).
+//
+// During sampling periods PACER performs exactly the FASTTRACK analysis.
+// During non-sampling periods it:
+//
+//   - stops incrementing thread clocks ("timeless" periods, Section 3.2),
+//   - detects redundant synchronization via vector-clock versions and
+//     version epochs, turning almost all O(n) joins into O(1) fast joins
+//     (Algorithm 11) and all O(n) copies into O(1) shallow copies with
+//     copy-on-write sharing (Algorithms 9-10),
+//   - records no read/write metadata and discards metadata that can no
+//     longer be the first access of a sampled shortest race (Algorithms
+//     12-13), so variables touched only outside sampling periods cost
+//     nothing.
+//
+// The state-transition rules follow the formal semantics of Appendix A
+// (Tables 4-7), which take precedence over the prose algorithms where the
+// two differ.
+package core
+
+import (
+	"pacer/internal/detector"
+	"pacer/internal/event"
+	"pacer/internal/vclock"
+)
+
+// Options tune PACER, mainly for the ablation benchmarks; the zero value is
+// the full algorithm as published.
+type Options struct {
+	// DisableVersions turns off the version-epoch fast join (Algorithm 11),
+	// forcing an O(n) comparison or join at every synchronization
+	// communication. Race reports are unaffected (Lemma 7 guarantees the
+	// fast join skips only no-op joins).
+	DisableVersions bool
+	// DisableSharing turns off copy-on-write vector clock sharing,
+	// forcing deep copies at every release (Algorithm 9).
+	DisableSharing bool
+	// DisableDiscard keeps variable metadata alive in non-sampling periods
+	// instead of discarding it. Reports remain true races, but the
+	// detector loses its space proportionality and may report additional
+	// non-shortest races.
+	DisableDiscard bool
+}
+
+// threadMeta is the per-thread analysis state: the thread's vector clock
+// (possibly shared with synchronization objects after a shallow copy) and
+// its version vector (Appendix A.2).
+type threadMeta struct {
+	clock *vclock.VC
+	ver   *vclock.VC
+}
+
+// syncMeta is the metadata for a lock or volatile: its clock (possibly
+// shared with a thread) and its version epoch.
+type syncMeta struct {
+	clock  *vclock.VC
+	vepoch vclock.VersionEpoch
+}
+
+// varMeta is the read/write metadata for one data variable. An entry
+// exists in the variable table only while it carries information: the
+// table-miss is the implementation's "o.metadata == null" fast path
+// (Section 4).
+type varMeta struct {
+	w     vclock.Epoch
+	wSite event.Site
+	r     vclock.ReadMap
+}
+
+// Detector is the PACER analysis. It is not safe for concurrent use; wrap
+// it (as the public pacer package does) to serialize events.
+type Detector struct {
+	sampling bool
+	threads  []*threadMeta
+	dead     map[vclock.Thread]bool
+	joined   map[vclock.Thread]bool
+	locks    map[event.Lock]*syncMeta
+	vols     map[event.Volatile]*syncMeta
+	vars     map[event.Var]*varMeta
+	report   detector.Reporter
+	stats    detector.Counters
+	opts     Options
+}
+
+var (
+	_ detector.Detector        = (*Detector)(nil)
+	_ detector.Sampler         = (*Detector)(nil)
+	_ detector.Counted         = (*Detector)(nil)
+	_ detector.MemoryAccounted = (*Detector)(nil)
+)
+
+// New returns a PACER detector with default options, initially in a
+// non-sampling period.
+func New(report detector.Reporter) *Detector {
+	return NewWithOptions(report, Options{})
+}
+
+// NewWithOptions returns a PACER detector with explicit options.
+func NewWithOptions(report detector.Reporter, opts Options) *Detector {
+	return &Detector{
+		dead:   make(map[vclock.Thread]bool),
+		locks:  make(map[event.Lock]*syncMeta),
+		vols:   make(map[event.Volatile]*syncMeta),
+		vars:   make(map[event.Var]*varMeta),
+		report: report,
+		opts:   opts,
+	}
+}
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "pacer" }
+
+// Stats returns the detector's operation counters.
+func (d *Detector) Stats() *detector.Counters { return &d.stats }
+
+// Sampling reports whether the detector is inside a sampling period.
+func (d *Detector) Sampling() bool { return d.sampling }
+
+func (d *Detector) period() detector.Period { return detector.PeriodOf(d.sampling) }
+
+// SampleBegin enters a sampling period (Table 5 Rule 1): every thread's
+// vector clock and version advance, so that accesses in this period are
+// distinguishable from the frozen non-sampling past.
+func (d *Detector) SampleBegin() {
+	if d.sampling {
+		return
+	}
+	d.sampling = true
+	for t, tm := range d.threads {
+		if tm == nil || d.dead[vclock.Thread(t)] {
+			// A terminated thread performs no further accesses, so its
+			// clock need not advance (a real VM has no thread to touch).
+			continue
+		}
+		d.ownThreadClock(tm)
+		tm.clock.Inc(vclock.Thread(t))
+		tm.ver.Inc(vclock.Thread(t))
+		d.stats.Increments[detector.Sampling]++
+	}
+}
+
+// ThreadExit marks thread t terminated (detector.ThreadLifecycle).
+func (d *Detector) ThreadExit(t vclock.Thread) { d.dead[t] = true }
+
+// SampleEnd leaves the sampling period (Table 5 Rule 2). Logical time
+// freezes until the next SampleBegin.
+func (d *Detector) SampleEnd() { d.sampling = false }
+
+// thread returns thread t's metadata, creating it in the initial state of
+// Equation 7 (clock and version both incremented once) on first use.
+func (d *Detector) thread(t vclock.Thread) *threadMeta {
+	for int(t) >= len(d.threads) {
+		d.threads = append(d.threads, nil)
+	}
+	if d.threads[t] == nil {
+		clock := vclock.New(int(t) + 1)
+		clock.Set(t, 1)
+		ver := vclock.New(int(t) + 1)
+		ver.Set(t, 1)
+		d.threads[t] = &threadMeta{clock: clock, ver: ver}
+	}
+	return d.threads[t]
+}
+
+func (d *Detector) lock(m event.Lock) *syncMeta {
+	s, ok := d.locks[m]
+	if !ok {
+		s = &syncMeta{clock: vclock.New(0), vepoch: vclock.VEBottom}
+		d.locks[m] = s
+	}
+	return s
+}
+
+func (d *Detector) vol(vx event.Volatile) *syncMeta {
+	s, ok := d.vols[vx]
+	if !ok {
+		s = &syncMeta{clock: vclock.New(0), vepoch: vclock.VEBottom}
+		d.vols[vx] = s
+	}
+	return s
+}
+
+// vepochOf returns Ver(t) = ver_t(t)@t, thread t's current version epoch.
+func (d *Detector) vepochOf(t vclock.Thread, tm *threadMeta) vclock.VersionEpoch {
+	return vclock.MakeVersionEpoch(t, tm.ver.Get(t))
+}
+
+// ownThreadClock clones tm's clock if it is shared, so it can be mutated
+// (the copy-on-write step of Algorithms 10 and 11).
+func (d *Detector) ownThreadClock(tm *threadMeta) {
+	if tm.clock.Shared() {
+		tm.clock = tm.clock.Clone()
+		d.stats.Clones[d.period()]++
+	}
+}
+
+// inc is PACER's redefined vector clock increment (Algorithm 10): a no-op
+// outside sampling periods; inside them it advances both the clock and the
+// thread's version.
+func (d *Detector) inc(t vclock.Thread) {
+	if !d.sampling {
+		return
+	}
+	tm := d.thread(t)
+	d.ownThreadClock(tm)
+	tm.clock.Inc(t)
+	tm.ver.Inc(t)
+	d.stats.Increments[detector.Sampling]++
+}
+
+// copyToSync is PACER's redefined vector clock copy C_o ← C_t (Algorithm
+// 9): a shallow, shared copy outside sampling periods and a deep copy
+// inside them. Either way o's version epoch becomes vepoch(t).
+func (d *Detector) copyToSync(s *syncMeta, t vclock.Thread) {
+	tm := d.thread(t)
+	p := d.period()
+	if !d.sampling && !d.opts.DisableSharing {
+		tm.clock.SetShared()
+		s.clock = tm.clock
+		d.stats.ShallowCopies[p]++
+	} else {
+		if s.clock.Shared() {
+			s.clock = vclock.New(0)
+		}
+		s.clock.CopyFrom(tm.clock)
+		d.stats.DeepCopies[p]++
+		d.stats.CopyWork += uint64(tm.clock.Len())
+	}
+	s.vepoch = d.vepochOf(t, tm)
+}
+
+// joinIntoThread is PACER's redefined join C_t ← C_t ⊔ C_o (Algorithm 11;
+// Table 7 Rules 4-6), where o is a lock, volatile, or another thread,
+// identified by its clock and current version epoch.
+func (d *Detector) joinIntoThread(t vclock.Thread, srcClock *vclock.VC, srcVE vclock.VersionEpoch) {
+	tm := d.thread(t)
+	p := d.period()
+	// Rule 4 (same version epoch): Ver(o) ≼ ver_t means t has already
+	// received this snapshot; by Lemma 7 the join would be a no-op.
+	if !d.opts.DisableVersions && srcVE.Leq(tm.ver) {
+		d.stats.FastJoins[p]++
+		return
+	}
+	d.stats.SlowJoins[p]++
+	d.stats.JoinWork += uint64(srcClock.Len())
+	if srcClock.Leq(tm.clock) {
+		// Rule 5 (happens-before): the clock is unchanged; record the
+		// received version so future joins from this snapshot are fast.
+		d.recordVersion(tm, srcVE)
+		return
+	}
+	// Rule 6 (concurrent): a real join; the clock changes, so t's version
+	// advances and the source version is recorded.
+	d.ownThreadClock(tm)
+	tm.clock.JoinFrom(srcClock)
+	tm.ver.Inc(t)
+	d.recordVersion(tm, srcVE)
+}
+
+// recordVersion notes that tm's thread has received version srcVE. The
+// update is monotonic: when the version fast path is enabled, Rule 4
+// guarantees the stored entry is smaller, but with versions disabled a
+// stale epoch could otherwise roll the entry backwards.
+func (d *Detector) recordVersion(tm *threadMeta, srcVE vclock.VersionEpoch) {
+	if srcVE.IsTop() {
+		return
+	}
+	if u, v := srcVE.Thread(), srcVE.Version(); v > tm.ver.Get(u) {
+		tm.ver.Set(u, v)
+	}
+}
+
+// joinIntoVolatile is PACER's special join C_vx ← C_vx ⊔ C_t at a volatile
+// write (Algorithm 16; Table 7 Rules 7-9). When C_vx ⊑ C_t — established
+// in O(1) via versions when possible — the join degenerates to a copy,
+// which is shallow outside sampling periods. Otherwise the volatile's
+// clock becomes a join of several threads' clocks and its version epoch
+// becomes ⊤ve.
+func (d *Detector) joinIntoVolatile(s *syncMeta, t vclock.Thread) {
+	tm := d.thread(t)
+	p := d.period()
+	subsumes := false
+	if !d.opts.DisableVersions && s.vepoch.Leq(tm.ver) {
+		subsumes = true
+		d.stats.FastJoins[p]++
+	} else if s.clock.Leq(tm.clock) {
+		subsumes = true
+		d.stats.SlowJoins[p]++
+		d.stats.JoinWork += uint64(s.clock.Len())
+	}
+	if subsumes {
+		d.copyToSync(s, t)
+		return
+	}
+	d.stats.SlowJoins[p]++
+	d.stats.JoinWork += uint64(tm.clock.Len())
+	if s.clock.Shared() {
+		old := s.clock
+		s.clock = vclock.New(0)
+		s.clock.CopyFrom(old)
+		d.stats.Clones[p]++
+	}
+	s.clock.JoinFrom(tm.clock)
+	s.vepoch = vclock.VETop // no longer a snapshot of any single thread
+}
+
+// Acquire implements acq(t, m) (Table 6 Rule 1): C_t ← C_t ⊔ L_m.
+func (d *Detector) Acquire(t vclock.Thread, m event.Lock) {
+	d.stats.SyncOps[d.period()]++
+	s := d.lock(m)
+	d.joinIntoThread(t, s.clock, s.vepoch)
+}
+
+// Release implements rel(t, m) (Table 6 Rule 2): L_m ← copy(C_t); inc(t).
+func (d *Detector) Release(t vclock.Thread, m event.Lock) {
+	d.stats.SyncOps[d.period()]++
+	d.copyToSync(d.lock(m), t)
+	d.inc(t)
+}
+
+// Fork implements fork(t, u) (Table 6 Rule 3): C_u ← C_u ⊔ C_t; inc(t).
+func (d *Detector) Fork(t, u vclock.Thread) {
+	d.stats.SyncOps[d.period()]++
+	tm := d.thread(t)
+	d.joinIntoThread(u, tm.clock, d.vepochOf(t, tm))
+	d.inc(t)
+}
+
+// Join implements join(t, u) (Table 6 Rule 4): C_t ← C_t ⊔ C_u; inc(u).
+func (d *Detector) Join(t, u vclock.Thread) {
+	d.stats.SyncOps[d.period()]++
+	um := d.thread(u)
+	d.joinIntoThread(t, um.clock, d.vepochOf(u, um))
+	d.inc(u)
+	d.markJoined(u)
+}
+
+// VolRead implements vol_rd(t, vx) (Table 6 Rule 5): C_t ← C_t ⊔ V_vx.
+func (d *Detector) VolRead(t vclock.Thread, vx event.Volatile) {
+	d.stats.SyncOps[d.period()]++
+	s := d.vol(vx)
+	d.joinIntoThread(t, s.clock, s.vepoch)
+}
+
+// VolWrite implements vol_wr(t, vx) (Table 6 Rule 6):
+// V_vx ← V_vx ⊔ C_t; inc(t).
+func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) {
+	d.stats.SyncOps[d.period()]++
+	d.joinIntoVolatile(d.vol(vx), t)
+	d.inc(t)
+}
+
+func (d *Detector) emit(r detector.Race) {
+	d.stats.Races++
+	if d.report != nil {
+		d.report(r)
+	}
+}
+
+// Read implements rd(t, x) (Algorithm 12; Table 4 Rules 1-4).
+func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
+	m, exists := d.vars[x]
+	if !d.sampling && !exists {
+		// Inline fast path: no metadata and not sampling → no action.
+		d.stats.ReadFast[detector.NonSampling]++
+		return
+	}
+	p := d.period()
+	d.stats.ReadSlow[p]++
+	tm := d.thread(t)
+	ct := tm.clock
+
+	if exists {
+		// Rule 1 (same epoch): R_x = epoch(t) → no action.
+		if m.r.Size() == 1 {
+			if e := m.r.Single(); e.T == t && e.C == ct.Get(t) {
+				return
+			}
+		}
+		// Race check: W_x ≼ C_t.
+		if !m.w.Leq(ct) {
+			d.emit(detector.Race{
+				Var: x, Kind: detector.WriteRead,
+				FirstThread: m.w.Thread(), SecondThread: t,
+				FirstSite: m.wSite, SecondSite: site,
+			})
+		}
+	}
+
+	if d.sampling {
+		// Rules 2-4, sampling column: exactly FASTTRACK's update.
+		if m == nil {
+			m = &varMeta{}
+			d.vars[x] = m
+		}
+		if m.r.Size() <= 1 && m.r.Leq(ct) {
+			m.r.SetEpoch(vclock.ReadEntry{T: t, C: ct.Get(t), Site: uint32(site)})
+		} else {
+			m.r.Set(t, ct.Get(t), uint32(site))
+		}
+		return
+	}
+	// Non-sampling column: discard what FASTTRACK would have replaced.
+	if d.opts.DisableDiscard {
+		return
+	}
+	switch {
+	case m.r.Size() == 1 && m.r.Leq(ct):
+		// Rule 2: the prior read happens before this one; any future
+		// access racing with it also races with a later access, so it
+		// cannot be the first access of a sampled shortest race.
+		m.r.Clear()
+	case m.r.Size() > 1:
+		// Rule 3: discard t's own entry only.
+		m.r.Remove(t)
+	}
+	d.maybeDiscard(x, m)
+}
+
+// Write implements wr(t, x) (Algorithm 13; Table 4 Rules 5-7).
+func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
+	m, exists := d.vars[x]
+	if !d.sampling && !exists {
+		d.stats.WriteFast[detector.NonSampling]++
+		return
+	}
+	p := d.period()
+	d.stats.WriteSlow[p]++
+	tm := d.thread(t)
+	ct := tm.clock
+
+	if exists {
+		// Rule 5 (same epoch): W_x = epoch(t) → no action.
+		if !m.w.IsZero() && m.w.Thread() == t && m.w.Clock() == ct.Get(t) {
+			return
+		}
+		// Race checks: W_x ≼ C_t and R_x ⊑ C_t.
+		if !m.w.Leq(ct) {
+			d.emit(detector.Race{
+				Var: x, Kind: detector.WriteWrite,
+				FirstThread: m.w.Thread(), SecondThread: t,
+				FirstSite: m.wSite, SecondSite: site,
+			})
+		}
+		m.r.Racing(ct, func(e vclock.ReadEntry) {
+			d.emit(detector.Race{
+				Var: x, Kind: detector.ReadWrite,
+				FirstThread: e.T, SecondThread: t,
+				FirstSite: event.Site(e.Site), SecondSite: site,
+			})
+		})
+	}
+
+	if d.sampling {
+		// Rules 6-7, sampling column: W_x ← epoch(t), R_x cleared.
+		if m == nil {
+			m = &varMeta{}
+			d.vars[x] = m
+		}
+		m.r.Clear()
+		m.w = vclock.MakeEpoch(t, ct.Get(t))
+		m.wSite = site
+		return
+	}
+	// Non-sampling column: this write supersedes all recorded accesses as
+	// the potential last racer, and it is itself unsampled — discard.
+	if d.opts.DisableDiscard {
+		return
+	}
+	delete(d.vars, x)
+}
+
+// maybeDiscard removes x's table entry once it carries no information,
+// reclaiming space (Section 4's null metadata header word).
+func (d *Detector) maybeDiscard(x event.Var, m *varMeta) {
+	if m.w.IsZero() && m.r.IsEmpty() {
+		delete(d.vars, x)
+	}
+}
+
+// VarsTracked returns the number of variables currently holding metadata
+// (used by tests and the space accountant).
+func (d *Detector) VarsTracked() int { return len(d.vars) }
+
+// MetadataWords implements detector.MemoryAccounted. Shared vector clocks
+// are counted once, reflecting the space saving of shallow copies.
+func (d *Detector) MetadataWords() int {
+	seen := make(map[*vclock.VC]bool)
+	w := 0
+	count := func(c *vclock.VC) {
+		if c == nil || seen[c] {
+			return
+		}
+		seen[c] = true
+		w += c.MemoryWords()
+	}
+	for _, tm := range d.threads {
+		if tm == nil {
+			continue
+		}
+		count(tm.clock)
+		count(tm.ver)
+	}
+	for _, s := range d.locks {
+		count(s.clock)
+		w += 1 // version epoch word
+	}
+	for _, s := range d.vols {
+		count(s.clock)
+		w += 1
+	}
+	for _, m := range d.vars {
+		w += 2 + m.r.MemoryWords()
+	}
+	return w
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"pacer/internal/detector"
+	"pacer/internal/vclock"
+)
+
+func TestReusableThreadRequiresDeadAndJoined(t *testing.T) {
+	d := New(nil)
+	d.Fork(0, 1)
+	if _, ok := d.ReusableThread(); ok {
+		t.Fatal("live thread offered for reuse")
+	}
+	d.ThreadExit(1)
+	if _, ok := d.ReusableThread(); ok {
+		t.Fatal("unjoined thread offered for reuse")
+	}
+	d.Join(0, 1)
+	u, ok := d.ReusableThread()
+	if !ok || u != 1 {
+		t.Fatalf("ReusableThread = %v, %v; want 1, true", u, ok)
+	}
+	// The slot is revived: not offered again until retired again.
+	if _, ok := d.ReusableThread(); ok {
+		t.Fatal("slot offered twice")
+	}
+}
+
+func TestReusableThreadBlockedByMetadata(t *testing.T) {
+	d := New(nil)
+	d.SampleBegin()
+	d.Fork(0, 1)
+	d.Write(1, 7, 100, 0) // sampled write: metadata names thread 1
+	d.SampleEnd()
+	d.ThreadExit(1)
+	d.Join(0, 1)
+	if _, ok := d.ReusableThread(); ok {
+		t.Fatal("slot with a live write epoch offered for reuse")
+	}
+	// An unsampled write by another thread discards x7's metadata.
+	d.Write(2, 7, 200, 0)
+	if d.VarsTracked() != 0 {
+		t.Fatal("metadata not discarded")
+	}
+	if u, ok := d.ReusableThread(); !ok || u != 1 {
+		t.Fatalf("slot not offered after discard: %v, %v", u, ok)
+	}
+}
+
+func TestReusableThreadBlockedByReadEntryAndVepoch(t *testing.T) {
+	d := New(nil)
+	d.SampleBegin()
+	d.Fork(0, 1)
+	d.Read(1, 7, 100, 0)
+	d.SampleEnd()
+	d.ThreadExit(1)
+	d.Join(0, 1)
+	if _, ok := d.ReusableThread(); ok {
+		t.Fatal("slot with a live read entry offered for reuse")
+	}
+
+	d2 := New(nil)
+	d2.Fork(0, 1)
+	d2.Release(1, 5) // lock 5's version epoch names thread 1
+	d2.ThreadExit(1)
+	d2.Join(0, 1)
+	if _, ok := d2.ReusableThread(); ok {
+		t.Fatal("slot named by a lock version epoch offered for reuse")
+	}
+	d2.Release(2, 5) // lock 5's vepoch now names thread 2
+	if u, ok := d2.ReusableThread(); !ok || u != 1 {
+		t.Fatalf("slot not offered after vepoch moved on: %v, %v", u, ok)
+	}
+}
+
+// Races involving a reused slot are attributed correctly: the new thread's
+// epochs are strictly above the old thread's final time, so a third party
+// that synchronized only with the old thread still races with the new one.
+func TestReuseSoundness(t *testing.T) {
+	col := detector.NewCollector()
+	d := New(col.Report)
+	d.SampleBegin()
+
+	// Generation 1: thread 1 works and retires; thread 2 joins it.
+	d.Fork(0, 1)
+	d.Write(1, 7, 100, 0)
+	d.Fork(0, 2)
+	// Thread 2 joins thread 1: ordered after 1's write.
+	d.Join(2, 1)
+	d.Read(2, 7, 110, 0) // ordered → no race
+	if col.DynamicCount() != 0 {
+		t.Fatalf("ordered access raced: %v", col.Dynamic)
+	}
+	d.ThreadExit(1)
+	// Clear x7's metadata so slot 1 becomes reusable.
+	d.SampleEnd()
+	d.Write(3, 7, 120, 0) // unsampled write discards (and races — but first access was sampled!)
+	racesSoFar := col.DynamicCount()
+	d.SampleBegin()
+
+	u, ok := d.ReusableThread()
+	if !ok || u != 1 {
+		t.Fatalf("expected slot 1 reusable, got %v, %v", u, ok)
+	}
+	// Generation 2: new thread reuses slot 1, forked by thread 3.
+	d.Fork(3, u)
+	d.Write(u, 8, 200, 0)
+	// Thread 2 synchronized with the OLD occupant of slot 1 only; its
+	// access to x8 must still race with the new occupant's write.
+	d.Write(2, 8, 210, 0)
+	if col.DynamicCount() != racesSoFar+1 {
+		t.Fatalf("reused-slot race missed: %d reports (want %d)", col.DynamicCount(), racesSoFar+1)
+	}
+	last := col.Dynamic[len(col.Dynamic)-1]
+	if last.FirstThread != u || last.FirstSite != 200 {
+		t.Errorf("race misattributed: %v", last)
+	}
+}
+
+// With reuse, generations of fork/join keep the clock width bounded.
+func TestReuseBoundsClockWidth(t *testing.T) {
+	d := New(nil)
+	for gen := 0; gen < 50; gen++ {
+		u, ok := d.ReusableThread()
+		if !ok {
+			u = vclock.Thread(d.ThreadSlots())
+		}
+		d.Fork(0, u)
+		d.Acquire(u, 1)
+		d.Release(u, 1)
+		d.ThreadExit(u)
+		d.Join(0, u)
+		// Clear the lock's vepoch reference so the slot can recycle.
+		d.Acquire(0, 1)
+		d.Release(0, 1)
+	}
+	if d.ThreadSlots() > 4 {
+		t.Errorf("thread slots = %d after 50 generations, want ≤ 4", d.ThreadSlots())
+	}
+}
+
+// Reuse must not create false positives: a properly synchronized program
+// over many generations stays silent.
+func TestReuseNoFalsePositives(t *testing.T) {
+	col := detector.NewCollector()
+	d := New(col.Report)
+	d.SampleBegin()
+	for gen := 0; gen < 30; gen++ {
+		u, ok := d.ReusableThread()
+		if !ok {
+			u = vclock.Thread(d.ThreadSlots())
+		}
+		d.Fork(0, u)
+		d.Acquire(u, 1)
+		d.Read(u, 7, 10, 0)
+		d.Write(u, 7, 11, 0)
+		d.Release(u, 1)
+		d.ThreadExit(u)
+		d.Join(0, u)
+	}
+	if col.DynamicCount() != 0 {
+		t.Fatalf("false positive across generations: %v", col.Dynamic[0])
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"pacer/internal/detector"
+)
+
+// Algorithm 16, subsume-via-version path: a thread re-writing a volatile
+// it last wrote finds its own version epoch subsumed and performs a copy
+// (shallow outside sampling) rather than a join.
+func TestVolatileRewriteUsesVersionSubsume(t *testing.T) {
+	d := New(nil)
+	d.VolWrite(0, 1)
+	fastBefore := d.stats.FastJoins[detector.NonSampling]
+	shallowBefore := d.stats.ShallowCopies[detector.NonSampling]
+	d.VolWrite(0, 1) // same thread, version unchanged → fast subsume
+	if d.stats.FastJoins[detector.NonSampling] != fastBefore+1 {
+		t.Error("re-write did not take the version fast path")
+	}
+	if d.stats.ShallowCopies[detector.NonSampling] != shallowBefore+1 {
+		t.Error("non-sampling volatile subsume should shallow-copy")
+	}
+	if ve := d.vols[1].vepoch; ve.IsTop() {
+		t.Error("ordered volatile writes must keep a real version epoch")
+	}
+}
+
+// Algorithm 16, concurrent path: a write by a thread that has not seen the
+// volatile's current snapshot joins the clocks and poisons the version
+// epoch to ⊤ve.
+func TestVolatileConcurrentWriteSetsTop(t *testing.T) {
+	d := New(nil)
+	d.SampleBegin()
+	d.VolWrite(0, 1)
+	d.VolWrite(1, 1) // t1 concurrent with t0's write
+	s := d.vols[1]
+	if !s.vepoch.IsTop() {
+		t.Fatalf("vepoch = %v, want ⊤ve", s.vepoch)
+	}
+	// The volatile's clock must now dominate both writers' pre-write
+	// clocks.
+	if s.clock.Get(0) < 1 || s.clock.Get(1) < 1 {
+		t.Errorf("joined volatile clock %v missing writer components", s.clock)
+	}
+	// A third thread reading the volatile receives both components.
+	d.VolRead(2, 1)
+	tm := d.thread(2)
+	if tm.clock.Get(0) < 1 || tm.clock.Get(1) < 1 {
+		t.Error("volatile read did not receive the joined clock")
+	}
+}
+
+// After a ⊤ve poisoning, an ordered rewrite restores a version epoch:
+// the writer has (via its own read) seen the joined snapshot, so the
+// O(n) comparison discovers subsumption and the copy re-establishes v@t.
+func TestVolatileTopRecoversAfterOrderedWrite(t *testing.T) {
+	d := New(nil)
+	d.SampleBegin()
+	d.VolWrite(0, 1)
+	d.VolWrite(1, 1) // ⊤ve
+	d.VolRead(2, 1)  // t2 receives the joined snapshot
+	d.VolWrite(2, 1) // t2's clock now subsumes → copy, version epoch v@2
+	s := d.vols[1]
+	if s.vepoch.IsTop() {
+		t.Fatal("ordered rewrite did not restore a version epoch")
+	}
+	if s.vepoch.Thread() != 2 {
+		t.Errorf("vepoch = %v, want thread 2", s.vepoch)
+	}
+}
+
+// A shared volatile clock (from a non-sampling shallow copy) must be
+// cloned before a concurrent join mutates it.
+func TestVolatileConcurrentJoinClonesSharedClock(t *testing.T) {
+	d := New(nil)
+	d.VolWrite(0, 1) // non-sampling: volatile shares t0's clock
+	s := d.vols[1]
+	if s.clock != d.thread(0).clock {
+		t.Fatal("expected shared clock after non-sampling volatile write")
+	}
+	old := s.clock
+	snapshot := s.clock.Clone()
+	d.SampleBegin() // t0 clones for its increment; `old` stays shared
+	d.Release(1, 9) // give t1 some history
+	d.VolWrite(1, 1)
+	if s.clock == old {
+		t.Error("concurrent join did not clone the shared volatile clock")
+	}
+	if !old.Equal(snapshot) {
+		t.Errorf("shared snapshot mutated in place: %v -> %v", snapshot, old)
+	}
+	if s.clock.Get(1) == 0 {
+		t.Error("join did not absorb the writer's clock")
+	}
+}
+
+// Volatiles synchronize exactly like the paper's semantics: write then
+// read orders; read alone does not.
+func TestVolatileHappensBeforeSemantics(t *testing.T) {
+	col := detector.NewCollector()
+	d := New(col.Report)
+	d.SampleBegin()
+	d.Write(0, 5, 1, 0)
+	d.VolWrite(0, 1)
+	d.VolRead(1, 1)
+	d.Write(1, 5, 2, 0) // ordered: no race
+	if col.DynamicCount() != 0 {
+		t.Fatalf("ordered volatile accesses raced: %v", col.Dynamic)
+	}
+	// But a thread that only WROTE the volatile (without reading) is not
+	// ordered after other writers' data accesses... verify with a fresh
+	// detector: t0 writes x then vol; t2 writes vol (joins INTO volatile,
+	// receiving nothing); t2's data write races with t0's.
+	col2 := detector.NewCollector()
+	d2 := New(col2.Report)
+	d2.SampleBegin()
+	d2.Write(0, 5, 1, 0)
+	d2.VolWrite(0, 1)
+	d2.VolWrite(2, 1) // vol_wr does not pull the volatile's clock into t2
+	d2.Write(2, 5, 3, 0)
+	if col2.DynamicCount() != 1 {
+		t.Fatalf("races = %d, want 1 (volatile write is release-only)", col2.DynamicCount())
+	}
+}
+
+// ThreadExit keeps dead threads' clocks frozen across sampling starts.
+func TestThreadExitFreezesClock(t *testing.T) {
+	d := New(nil)
+	tm := d.thread(3)
+	before := tm.clock.Get(3)
+	d.ThreadExit(3)
+	d.SampleBegin()
+	if d.thread(3).clock.Get(3) != before {
+		t.Error("sbegin advanced a dead thread's clock")
+	}
+	if d.thread(0) == nil {
+		t.Fatal("live thread missing")
+	}
+}
+
+// Dead-thread skipping must not change race reports: a race whose first
+// access belongs to a thread that later dies is still reported.
+func TestDeadThreadRaceStillReported(t *testing.T) {
+	col := detector.NewCollector()
+	d := New(col.Report)
+	d.SampleBegin()
+	d.Write(1, 5, 10, 0)
+	d.ThreadExit(1)
+	d.SampleEnd()
+	d.SampleBegin() // t1 skipped here
+	d.SampleEnd()
+	d.Write(2, 5, 20, 0)
+	if col.DynamicCount() != 1 {
+		t.Fatalf("races = %d, want 1", col.DynamicCount())
+	}
+	if r := col.Dynamic[0]; r.FirstThread != 1 || r.FirstSite != 10 {
+		t.Errorf("unexpected attribution %v", r)
+	}
+}

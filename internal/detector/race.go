@@ -1,0 +1,115 @@
+package detector
+
+import (
+	"fmt"
+	"sort"
+
+	"pacer/internal/event"
+	"pacer/internal/vclock"
+)
+
+// RaceKind classifies a race by the kinds of its two accesses, first access
+// first.
+type RaceKind uint8
+
+const (
+	// WriteWrite is a race between two writes.
+	WriteWrite RaceKind = iota
+	// WriteRead is a race whose first access is a write and second a read.
+	WriteRead
+	// ReadWrite is a race whose first access is a read and second a write.
+	ReadWrite
+)
+
+// String returns the conventional name of the race kind.
+func (k RaceKind) String() string {
+	switch k {
+	case WriteWrite:
+		return "write-write"
+	case WriteRead:
+		return "write-read"
+	case ReadWrite:
+		return "read-write"
+	default:
+		return fmt.Sprintf("racekind(%d)", uint8(k))
+	}
+}
+
+// Race is a detected data race: two concurrent conflicting accesses to Var.
+// The first access is the one recorded in metadata (its site travels with
+// the write epoch or read map entry, Section 4); the second access is the
+// current operation.
+type Race struct {
+	Var          event.Var
+	Kind         RaceKind
+	FirstThread  vclock.Thread
+	SecondThread vclock.Thread
+	FirstSite    event.Site
+	SecondSite   event.Site
+}
+
+// String renders the race for human consumption.
+func (r Race) String() string {
+	return fmt.Sprintf("%s race on x%d: t%d@s%d vs t%d@s%d",
+		r.Kind, r.Var, r.FirstThread, r.FirstSite, r.SecondThread, r.SecondSite)
+}
+
+// DistinctKey identifies the static (distinct) race: the unordered pair of
+// program sites, following Section 5.1 ("it reports each pair of program
+// references once even if the race occurs multiple times").
+type DistinctKey struct {
+	SiteA, SiteB event.Site // SiteA ≤ SiteB
+}
+
+// Distinct returns the race's distinct key.
+func (r Race) Distinct() DistinctKey {
+	a, b := r.FirstSite, r.SecondSite
+	if a > b {
+		a, b = b, a
+	}
+	return DistinctKey{SiteA: a, SiteB: b}
+}
+
+// Reporter receives race reports as they are detected.
+type Reporter func(Race)
+
+// Collector is a Reporter that accumulates dynamic and distinct race
+// counts.
+type Collector struct {
+	// Dynamic is every reported race in order.
+	Dynamic []Race
+	// PerDistinct counts dynamic occurrences per distinct race.
+	PerDistinct map[DistinctKey]int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{PerDistinct: make(map[DistinctKey]int)}
+}
+
+// Report records one race.
+func (c *Collector) Report(r Race) {
+	c.Dynamic = append(c.Dynamic, r)
+	c.PerDistinct[r.Distinct()]++
+}
+
+// DistinctCount returns the number of distinct races observed.
+func (c *Collector) DistinctCount() int { return len(c.PerDistinct) }
+
+// DynamicCount returns the number of dynamic races observed.
+func (c *Collector) DynamicCount() int { return len(c.Dynamic) }
+
+// DistinctKeys returns the distinct races in deterministic order.
+func (c *Collector) DistinctKeys() []DistinctKey {
+	keys := make([]DistinctKey, 0, len(c.PerDistinct))
+	for k := range c.PerDistinct {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].SiteA != keys[j].SiteA {
+			return keys[i].SiteA < keys[j].SiteA
+		}
+		return keys[i].SiteB < keys[j].SiteB
+	})
+	return keys
+}

@@ -1,0 +1,180 @@
+// Package djit implements the Djit+ race detector of Pozniansky and
+// Schuster's MultiRace (Section 6.2 of the PACER paper), the strongest
+// vector-clock detector before FASTTRACK. Djit+ keeps GENERIC's full read
+// and write vector clocks but eliminates redundant analysis with *time
+// frames*: a thread's time frame advances only at synchronization releases,
+// and within one frame a second read (or write) of the same variable by
+// the same thread cannot detect anything new, so its O(n) analysis is
+// skipped.
+//
+// The package completes the repository's lineage of baselines —
+// GENERIC → DJIT+ → FASTTRACK → PACER — so the benchmarks can show each
+// paper's incremental win.
+package djit
+
+import (
+	"pacer/internal/detector"
+	"pacer/internal/event"
+	"pacer/internal/vclock"
+)
+
+type varMeta struct {
+	r, w           *vclock.VC
+	rSites, wSites []event.Site
+	// rFrame and wFrame record the time frame of each thread's last
+	// analyzed read/write, enabling the same-frame skip.
+	rFrame, wFrame []uint64
+}
+
+// Detector is the DJIT+ analysis. It is not safe for concurrent use.
+type Detector struct {
+	sync   *detector.BaseSync
+	vars   map[event.Var]*varMeta
+	report detector.Reporter
+	stats  detector.Counters
+	// SameFrameSkips counts accesses dismissed by the time-frame check —
+	// the quantity Djit+'s optimization is about.
+	SameFrameSkips uint64
+}
+
+var (
+	_ detector.Detector        = (*Detector)(nil)
+	_ detector.Counted         = (*Detector)(nil)
+	_ detector.MemoryAccounted = (*Detector)(nil)
+)
+
+// New returns a DJIT+ detector.
+func New(report detector.Reporter) *Detector {
+	d := &Detector{vars: make(map[event.Var]*varMeta), report: report}
+	d.sync = detector.NewBaseSync(&d.stats)
+	return d
+}
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "djit+" }
+
+// Stats returns the detector's operation counters.
+func (d *Detector) Stats() *detector.Counters { return &d.stats }
+
+func (d *Detector) varMeta(x event.Var) *varMeta {
+	m, ok := d.vars[x]
+	if !ok {
+		m = &varMeta{r: vclock.New(0), w: vclock.New(0)}
+		d.vars[x] = m
+	}
+	return m
+}
+
+func frameAt(frames []uint64, t vclock.Thread) uint64 {
+	if int(t) < len(frames) {
+		return frames[t]
+	}
+	return 0
+}
+
+func setFrame(frames *[]uint64, t vclock.Thread, f uint64) {
+	for int(t) >= len(*frames) {
+		*frames = append(*frames, 0)
+	}
+	(*frames)[t] = f
+}
+
+func siteAt(sites []event.Site, t vclock.Thread) event.Site {
+	if int(t) < len(sites) {
+		return sites[t]
+	}
+	return 0
+}
+
+func setSite(sites *[]event.Site, t vclock.Thread, s event.Site) {
+	for int(t) >= len(*sites) {
+		*sites = append(*sites, 0)
+	}
+	(*sites)[t] = s
+}
+
+func (d *Detector) emit(r detector.Race) {
+	d.stats.Races++
+	if d.report != nil {
+		d.report(r)
+	}
+}
+
+func (d *Detector) checkLeq(prior *vclock.VC, sites []event.Site, ct *vclock.VC,
+	kind detector.RaceKind, x event.Var, t vclock.Thread, site event.Site) {
+	if prior.Leq(ct) {
+		return
+	}
+	for u := vclock.Thread(0); int(u) < prior.Len(); u++ {
+		if prior.Get(u) > ct.Get(u) {
+			d.emit(detector.Race{
+				Var: x, Kind: kind,
+				FirstThread: u, SecondThread: t,
+				FirstSite: siteAt(sites, u), SecondSite: site,
+			})
+		}
+	}
+}
+
+// Read performs the GENERIC read analysis unless this thread already read
+// x in its current time frame.
+func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
+	d.stats.ReadSlow[detector.Sampling]++
+	ct := d.sync.ThreadClock(t)
+	m := d.varMeta(x)
+	frame := ct.Get(t) + 1 // frames are 1-based so the zero value means "never"
+	if frameAt(m.rFrame, t) == frame {
+		d.SameFrameSkips++
+		return
+	}
+	d.checkLeq(m.w, m.wSites, ct, detector.WriteRead, x, t, site)
+	m.r.Set(t, ct.Get(t))
+	setSite(&m.rSites, t, site)
+	setFrame(&m.rFrame, t, frame)
+}
+
+// Write performs the GENERIC write analysis unless this thread already
+// wrote x in its current time frame.
+func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
+	d.stats.WriteSlow[detector.Sampling]++
+	ct := d.sync.ThreadClock(t)
+	m := d.varMeta(x)
+	frame := ct.Get(t) + 1
+	if frameAt(m.wFrame, t) == frame {
+		d.SameFrameSkips++
+		return
+	}
+	d.checkLeq(m.w, m.wSites, ct, detector.WriteWrite, x, t, site)
+	d.checkLeq(m.r, m.rSites, ct, detector.ReadWrite, x, t, site)
+	m.w.Set(t, ct.Get(t))
+	setSite(&m.wSites, t, site)
+	setFrame(&m.wFrame, t, frame)
+}
+
+// Acquire implements Algorithm 1.
+func (d *Detector) Acquire(t vclock.Thread, m event.Lock) { d.sync.Acquire(t, m) }
+
+// Release implements Algorithm 2 (and advances t's time frame).
+func (d *Detector) Release(t vclock.Thread, m event.Lock) { d.sync.Release(t, m) }
+
+// Fork implements Algorithm 3.
+func (d *Detector) Fork(t, u vclock.Thread) { d.sync.Fork(t, u) }
+
+// Join implements Algorithm 4.
+func (d *Detector) Join(t, u vclock.Thread) { d.sync.Join(t, u) }
+
+// VolRead implements Algorithm 14.
+func (d *Detector) VolRead(t vclock.Thread, vx event.Volatile) { d.sync.VolRead(t, vx) }
+
+// VolWrite implements Algorithm 15.
+func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) { d.sync.VolWrite(t, vx) }
+
+// MetadataWords implements detector.MemoryAccounted.
+func (d *Detector) MetadataWords() int {
+	w := d.sync.MetadataWords()
+	for _, m := range d.vars {
+		w += m.r.MemoryWords() + m.w.MemoryWords() +
+			(len(m.rSites)+len(m.wSites)+len(m.rFrame)+len(m.wFrame))/2 + 2
+	}
+	return w
+}

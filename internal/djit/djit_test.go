@@ -1,0 +1,109 @@
+package djit_test
+
+import (
+	"testing"
+
+	"pacer/internal/detector"
+	"pacer/internal/djit"
+	"pacer/internal/dtest"
+	"pacer/internal/event"
+	"pacer/internal/generic"
+)
+
+func mk(r detector.Reporter) detector.Detector { return djit.New(r) }
+
+func TestBasicRaces(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace event.Trace
+		kind  detector.RaceKind
+	}{
+		{"ww", dtest.NewTB().Write(0, 1).Write(1, 1).Trace, detector.WriteWrite},
+		{"wr", dtest.NewTB().Write(0, 1).Read(1, 1).Trace, detector.WriteRead},
+		{"rw", dtest.NewTB().Read(0, 1).Write(1, 1).Trace, detector.ReadWrite},
+	}
+	for _, tc := range cases {
+		c := dtest.Run(tc.trace, mk)
+		if c.DynamicCount() != 1 || c.Dynamic[0].Kind != tc.kind {
+			t.Errorf("%s: got %v", tc.name, c.Dynamic)
+		}
+	}
+}
+
+func TestSynchronizedTracesAreRaceFree(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := event.Generate(event.Synchronized(6, 4000, seed))
+		if c := dtest.Run(tr, mk); c.DynamicCount() != 0 {
+			t.Fatalf("seed %d: false positive %v", seed, c.Dynamic[0])
+		}
+	}
+}
+
+func TestSameFrameSkipFires(t *testing.T) {
+	d := djit.New(nil)
+	d.Read(0, 1, 10, 0)
+	d.Read(0, 1, 11, 0) // same frame: skipped
+	d.Write(0, 1, 12, 0)
+	d.Write(0, 1, 13, 0) // same frame: skipped
+	if d.SameFrameSkips != 2 {
+		t.Fatalf("skips = %d, want 2", d.SameFrameSkips)
+	}
+	// A release advances the frame; the next accesses analyze again.
+	d.Acquire(0, 1)
+	d.Release(0, 1)
+	d.Read(0, 1, 14, 0)
+	d.Write(0, 1, 15, 0)
+	if d.SameFrameSkips != 2 {
+		t.Fatalf("skips = %d after frame advance, want 2", d.SameFrameSkips)
+	}
+}
+
+func TestSkipDoesNotLoseFirstRaces(t *testing.T) {
+	// The time-frame skip changes which side detects a race, never whether
+	// one is detected: per-variable first races match GENERIC exactly.
+	for seed := int64(0); seed < 25; seed++ {
+		tr := event.Generate(event.GenConfig{
+			Threads: 6, Vars: 10, Locks: 3, Volatiles: 2,
+			Steps: 2500, PGuarded: 0.55, PWrite: 0.4, Seed: seed,
+		})
+		dj := dtest.FirstRacePerVar(tr, mk)
+		gen := dtest.FirstRacePerVar(tr, func(r detector.Reporter) detector.Detector { return generic.New(r) })
+		if len(dj) != len(gen) {
+			t.Fatalf("seed %d: djit found races on %d vars, generic on %d", seed, len(dj), len(gen))
+		}
+		for v, i := range dj {
+			if gen[v] != i {
+				t.Fatalf("seed %d: first race on x%d at event %d (djit) vs %d (generic)", seed, v, i, gen[v])
+			}
+		}
+	}
+}
+
+func TestSkipsReduceWorkOnHotLoops(t *testing.T) {
+	d := djit.New(nil)
+	for i := 0; i < 1000; i++ {
+		d.Read(0, 1, 1, 0)
+	}
+	if d.SameFrameSkips != 999 {
+		t.Fatalf("skips = %d, want 999", d.SameFrameSkips)
+	}
+}
+
+func TestStatsAndMetadata(t *testing.T) {
+	d := djit.New(nil)
+	d.Write(0, 1, 1, 0)
+	d.Read(1, 1, 2, 0)
+	d.Fork(0, 1)
+	d.Join(0, 1)
+	d.VolWrite(0, 1)
+	d.VolRead(1, 1)
+	if d.Name() != "djit+" {
+		t.Error("wrong name")
+	}
+	if d.Stats().TotalSyncOps() != 4 {
+		t.Errorf("sync ops = %d", d.Stats().TotalSyncOps())
+	}
+	if d.MetadataWords() == 0 {
+		t.Error("no metadata accounted")
+	}
+}

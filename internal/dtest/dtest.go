@@ -1,0 +1,377 @@
+// Package dtest provides shared test support for the race detector
+// packages: a fluent trace builder for hand-crafted scenarios, replay
+// helpers that collect race reports, and utilities for differential
+// comparisons between detectors.
+package dtest
+
+import (
+	"pacer/internal/detector"
+	"pacer/internal/event"
+	"pacer/internal/vclock"
+)
+
+// TB builds traces fluently for scenario tests.
+type TB struct {
+	Trace event.Trace
+}
+
+// NewTB returns an empty trace builder.
+func NewTB() *TB { return &TB{} }
+
+func (b *TB) add(e event.Event) *TB {
+	b.Trace = append(b.Trace, e)
+	return b
+}
+
+// Read appends rd(t, x) at site uint32(x)*1000 + uint32(t) unless
+// overridden via ReadAt.
+func (b *TB) Read(t vclock.Thread, x event.Var) *TB {
+	return b.ReadAt(t, x, event.Site(uint32(x)*1000+uint32(t)))
+}
+
+// ReadAt appends rd(t, x) at an explicit site.
+func (b *TB) ReadAt(t vclock.Thread, x event.Var, s event.Site) *TB {
+	return b.add(event.Event{Kind: event.Read, Thread: t, Target: uint32(x), Site: s})
+}
+
+// Write appends wr(t, x) at site uint32(x)*1000 + 500 + uint32(t).
+func (b *TB) Write(t vclock.Thread, x event.Var) *TB {
+	return b.WriteAt(t, x, event.Site(uint32(x)*1000+500+uint32(t)))
+}
+
+// WriteAt appends wr(t, x) at an explicit site.
+func (b *TB) WriteAt(t vclock.Thread, x event.Var, s event.Site) *TB {
+	return b.add(event.Event{Kind: event.Write, Thread: t, Target: uint32(x), Site: s})
+}
+
+// Acq appends acq(t, m).
+func (b *TB) Acq(t vclock.Thread, m event.Lock) *TB {
+	return b.add(event.Event{Kind: event.Acquire, Thread: t, Target: uint32(m)})
+}
+
+// Rel appends rel(t, m).
+func (b *TB) Rel(t vclock.Thread, m event.Lock) *TB {
+	return b.add(event.Event{Kind: event.Release, Thread: t, Target: uint32(m)})
+}
+
+// Fork appends fork(t, u).
+func (b *TB) Fork(t, u vclock.Thread) *TB {
+	return b.add(event.Event{Kind: event.Fork, Thread: t, Target: uint32(u)})
+}
+
+// Join appends join(t, u).
+func (b *TB) Join(t, u vclock.Thread) *TB {
+	return b.add(event.Event{Kind: event.Join, Thread: t, Target: uint32(u)})
+}
+
+// VolRead appends vol_rd(t, vx).
+func (b *TB) VolRead(t vclock.Thread, vx event.Volatile) *TB {
+	return b.add(event.Event{Kind: event.VolRead, Thread: t, Target: uint32(vx)})
+}
+
+// VolWrite appends vol_wr(t, vx).
+func (b *TB) VolWrite(t vclock.Thread, vx event.Volatile) *TB {
+	return b.add(event.Event{Kind: event.VolWrite, Thread: t, Target: uint32(vx)})
+}
+
+// SBegin appends sbegin().
+func (b *TB) SBegin() *TB { return b.add(event.Event{Kind: event.SampleBegin}) }
+
+// SEnd appends send().
+func (b *TB) SEnd() *TB { return b.add(event.Event{Kind: event.SampleEnd}) }
+
+// Run replays the builder's trace through the detector constructed by
+// mk and returns the collected races.
+func Run(tr event.Trace, mk func(detector.Reporter) detector.Detector) *detector.Collector {
+	c := detector.NewCollector()
+	d := mk(c.Report)
+	detector.Replay(d, tr)
+	return c
+}
+
+// UniqueSites returns a copy of tr in which every data access carries a
+// distinct Site (its event index + 1), so that a race's FirstSite uniquely
+// identifies the dynamic first access. Used by the statistical-soundness
+// differential tests.
+func UniqueSites(tr event.Trace) event.Trace {
+	out := make(event.Trace, len(tr))
+	copy(out, tr)
+	for i := range out {
+		if out[i].Kind.IsAccess() {
+			out[i].Site = event.Site(i + 1)
+		}
+	}
+	return out
+}
+
+// SamplingAt returns, for each event index of tr, whether the analysis is
+// inside a sampling period when that event executes (sbegin/send events
+// take effect before subsequent events).
+func SamplingAt(tr event.Trace) []bool {
+	out := make([]bool, len(tr))
+	sampling := false
+	for i, e := range tr {
+		switch e.Kind {
+		case event.SampleBegin:
+			sampling = true
+		case event.SampleEnd:
+			sampling = false
+		}
+		out[i] = sampling
+	}
+	return out
+}
+
+// RaceKey identifies a race for cross-detector comparison. With unique
+// sites it identifies the dynamic access pair exactly.
+type RaceKey struct {
+	Var        event.Var
+	Kind       detector.RaceKind
+	FirstSite  event.Site
+	SecondSite event.Site
+}
+
+// KeyOf returns r's comparison key.
+func KeyOf(r detector.Race) RaceKey {
+	return RaceKey{Var: r.Var, Kind: r.Kind, FirstSite: r.FirstSite, SecondSite: r.SecondSite}
+}
+
+// KeySet converts a report list into a set of keys.
+func KeySet(races []detector.Race) map[RaceKey]int {
+	m := make(map[RaceKey]int)
+	for _, r := range races {
+		m[KeyOf(r)]++
+	}
+	return m
+}
+
+// FirstRacePerVar replays tr through the detector built by mk and returns,
+// for each variable, the index of the event at which its first race was
+// reported. Used for the GENERIC/FASTTRACK precision comparison, which is
+// only defined up to each variable's first race.
+func FirstRacePerVar(tr event.Trace, mk func(detector.Reporter) detector.Detector) map[event.Var]int {
+	first := make(map[event.Var]int)
+	idx := 0
+	d := mk(func(r detector.Race) {
+		if _, ok := first[r.Var]; !ok {
+			first[r.Var] = idx
+		}
+	})
+	for i, e := range tr {
+		idx = i
+		detector.Apply(d, e)
+	}
+	return first
+}
+
+// HBOracle computes the exact happens-before relation of a trace,
+// independent of any detector, so tests can verify that reported races are
+// true races. It requires a trace preprocessed by UniqueSites, so that a
+// site identifies one dynamic access.
+type HBOracle struct {
+	access map[event.Site]accessInfo
+	byVar  map[event.Var][]event.Site // access sites per variable, in trace order
+}
+
+type accessInfo struct {
+	idx   int
+	t     vclock.Thread
+	kind  event.Kind
+	v     event.Var
+	c     uint64     // C_t(t) at the access
+	clock *vclock.VC // snapshot of C_t at the access
+}
+
+// NewHBOracle replays tr with the textbook vector-clock rules and records
+// a clock snapshot at every data access.
+func NewHBOracle(tr event.Trace) *HBOracle {
+	o := &HBOracle{
+		access: make(map[event.Site]accessInfo),
+		byVar:  make(map[event.Var][]event.Site),
+	}
+	threads := map[vclock.Thread]*vclock.VC{}
+	locks := map[event.Lock]*vclock.VC{}
+	vols := map[event.Volatile]*vclock.VC{}
+	clk := func(t vclock.Thread) *vclock.VC {
+		c, ok := threads[t]
+		if !ok {
+			c = vclock.New(int(t) + 1)
+			c.Set(t, 1)
+			threads[t] = c
+		}
+		return c
+	}
+	lock := func(id event.Lock) *vclock.VC {
+		c, ok := locks[id]
+		if !ok {
+			c = vclock.New(0)
+			locks[id] = c
+		}
+		return c
+	}
+	vol := func(id event.Volatile) *vclock.VC {
+		c, ok := vols[id]
+		if !ok {
+			c = vclock.New(0)
+			vols[id] = c
+		}
+		return c
+	}
+	for i, e := range tr {
+		switch e.Kind {
+		case event.Read, event.Write:
+			ct := clk(e.Thread)
+			o.access[e.Site] = accessInfo{
+				idx: i, t: e.Thread, kind: e.Kind, v: event.Var(e.Target),
+				c: ct.Get(e.Thread), clock: ct.Clone(),
+			}
+			o.byVar[event.Var(e.Target)] = append(o.byVar[event.Var(e.Target)], e.Site)
+		case event.Acquire:
+			clk(e.Thread).JoinFrom(lock(event.Lock(e.Target)))
+		case event.Release:
+			lock(event.Lock(e.Target)).CopyFrom(clk(e.Thread))
+			clk(e.Thread).Inc(e.Thread)
+		case event.Fork:
+			u := vclock.Thread(e.Target)
+			clk(u).JoinFrom(clk(e.Thread))
+			clk(e.Thread).Inc(e.Thread)
+		case event.Join:
+			u := vclock.Thread(e.Target)
+			clk(e.Thread).JoinFrom(clk(u))
+			clk(u).Inc(u)
+		case event.VolRead:
+			clk(e.Thread).JoinFrom(vol(event.Volatile(e.Target)))
+		case event.VolWrite:
+			vol(event.Volatile(e.Target)).JoinFrom(clk(e.Thread))
+			clk(e.Thread).Inc(e.Thread)
+		}
+	}
+	return o
+}
+
+// TrueRace reports whether the race r names two known accesses to the same
+// variable, of the kinds the report claims, that are truly concurrent under
+// the happens-before relation.
+func (o *HBOracle) TrueRace(r detector.Race) bool {
+	a, okA := o.access[r.FirstSite]
+	b, okB := o.access[r.SecondSite]
+	if !okA || !okB {
+		return false
+	}
+	if a.v != r.Var || b.v != r.Var || a.t != r.FirstThread || b.t != r.SecondThread {
+		return false
+	}
+	var wantA, wantB event.Kind
+	switch r.Kind {
+	case detector.WriteWrite:
+		wantA, wantB = event.Write, event.Write
+	case detector.WriteRead:
+		wantA, wantB = event.Write, event.Read
+	case detector.ReadWrite:
+		wantA, wantB = event.Read, event.Write
+	}
+	if a.kind != wantA || b.kind != wantB {
+		return false
+	}
+	if a.idx >= b.idx {
+		return false
+	}
+	// Concurrent: the first access does not happen before the second.
+	return a.c > b.clock.Get(a.t)
+}
+
+// Shortest reports whether the race r is a *shortest* race (Definition 5):
+// no access to the same variable between its two accesses both conflicts
+// and races with the second access. The happens-before guarantee covers
+// only shortest races; detectors may also report longer (still true) ones.
+func (o *HBOracle) Shortest(r detector.Race) bool {
+	a, okA := o.access[r.FirstSite]
+	b, okB := o.access[r.SecondSite]
+	if !okA || !okB {
+		return false
+	}
+	for _, site := range o.byVar[r.Var] {
+		d := o.access[site]
+		if d.idx <= a.idx || d.idx >= b.idx {
+			continue
+		}
+		if d.kind != event.Write && b.kind != event.Write {
+			continue // two reads do not conflict
+		}
+		if d.c > b.clock.Get(d.t) { // d races with the second access
+			return false
+		}
+	}
+	return true
+}
+
+// FirstAccessKey is a (variable, first-access site) pair: "this sampled
+// access was flagged as racing".
+type FirstAccessKey struct {
+	Var  event.Var
+	Site event.Site
+}
+
+// FirstAccessSet projects races onto their flagged first accesses.
+func FirstAccessSet(races []detector.Race) map[FirstAccessKey]bool {
+	m := make(map[FirstAccessKey]bool)
+	for _, r := range races {
+		m[FirstAccessKey{Var: r.Var, Site: r.FirstSite}] = true
+	}
+	return m
+}
+
+// EpochClass identifies a dynamic access up to happens-before
+// indistinguishability: accesses to one variable by one thread at one
+// vector clock (e.g. a read and a write separated only by operations that
+// do not advance the thread's clock) are interchangeable as the "first
+// access" of a race report — anything concurrent with one is concurrent
+// with all — and detectors may legitimately attribute a race to any of
+// them, with either access kind.
+type EpochClass struct {
+	Var    event.Var
+	Thread vclock.Thread
+	C      uint64
+}
+
+// ClassOf returns the epoch class of the access recorded at site, which
+// must come from a UniqueSites trace.
+func (o *HBOracle) ClassOf(v event.Var, site event.Site) (EpochClass, bool) {
+	a, ok := o.access[site]
+	if !ok || a.v != v {
+		return EpochClass{}, false
+	}
+	return EpochClass{Var: a.v, Thread: a.t, C: a.c}, true
+}
+
+// FirstAccessClasses projects races onto the epoch classes of their first
+// accesses, dropping races whose first site is unknown to the oracle.
+func (o *HBOracle) FirstAccessClasses(races []detector.Race) map[EpochClass]bool {
+	m := make(map[EpochClass]bool)
+	for _, r := range races {
+		if c, ok := o.ClassOf(r.Var, r.FirstSite); ok {
+			m[c] = true
+		}
+	}
+	return m
+}
+
+// IndexedRace is a race report tagged with the index of the event that
+// triggered it.
+type IndexedRace struct {
+	detector.Race
+	Idx int
+}
+
+// RunIndexed replays tr and returns every report tagged with its event
+// index.
+func RunIndexed(tr event.Trace, mk func(detector.Reporter) detector.Detector) []IndexedRace {
+	var out []IndexedRace
+	idx := 0
+	d := mk(func(r detector.Race) { out = append(out, IndexedRace{Race: r, Idx: idx}) })
+	for i, e := range tr {
+		idx = i
+		detector.Apply(d, e)
+	}
+	return out
+}

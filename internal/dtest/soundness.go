@@ -1,0 +1,97 @@
+package dtest
+
+import (
+	"fmt"
+
+	"pacer/internal/detector"
+	"pacer/internal/event"
+)
+
+// SoundnessIssue checks the paper's central correctness properties of a
+// PACER detector run against a FASTTRACK run on the same trace, which must
+// have unique sites (UniqueSites). It returns a description of the first
+// violation found, or "" when the trace passes:
+//
+//   - Guarantee (Theorem 2 analogue): at the first event where FASTTRACK
+//     reports on a variable, every *shortest* (Definition 5) report with a
+//     sampled first access is matched by PACER flagging the same
+//     first-access epoch class.
+//   - No early reports: PACER never detects a variable's first race before
+//     FASTTRACK (it tracks strictly less information).
+//   - Precision: every PACER report is a true race per the happens-before
+//     oracle, and its first access lies inside a sampling period.
+//
+// mkPacer and mkFastTrack construct fresh detectors per call.
+func SoundnessIssue(tr event.Trace,
+	mkPacer, mkFastTrack func(detector.Reporter) detector.Detector) string {
+
+	sampledAt := SamplingAt(tr)
+	oracle := NewHBOracle(tr)
+	ftReports := RunIndexed(tr, mkFastTrack)
+	pReports := RunIndexed(tr, mkPacer)
+
+	ftFirstIdx := map[event.Var]int{}
+	for _, r := range ftReports {
+		if _, ok := ftFirstIdx[r.Var]; !ok {
+			ftFirstIdx[r.Var] = r.Idx
+		}
+	}
+	pFirstIdx := map[event.Var]int{}
+	pAtEvent := map[event.Var]map[EpochClass]bool{}
+	for _, r := range pReports {
+		if _, ok := pFirstIdx[r.Var]; !ok {
+			pFirstIdx[r.Var] = r.Idx
+		}
+		if r.Idx != ftFirstIdx[r.Var] {
+			continue
+		}
+		if cls, ok := oracle.ClassOf(r.Var, r.FirstSite); ok {
+			if pAtEvent[r.Var] == nil {
+				pAtEvent[r.Var] = map[EpochClass]bool{}
+			}
+			pAtEvent[r.Var][cls] = true
+		}
+	}
+
+	// Guarantee. Only *shortest* races are covered (Definition 5):
+	// FASTTRACK's own same-epoch fast path can report a non-shortest race
+	// (a stale read entry superseded by a same-epoch write), which the
+	// theorem does not oblige PACER to match.
+	for _, r := range ftReports {
+		if r.Idx != ftFirstIdx[r.Var] {
+			continue
+		}
+		idx := int(r.FirstSite) - 1
+		if idx < 0 || idx >= len(sampledAt) || !sampledAt[idx] {
+			continue
+		}
+		if !oracle.Shortest(r.Race) {
+			continue
+		}
+		cls, ok := oracle.ClassOf(r.Var, r.FirstSite)
+		if !ok {
+			return fmt.Sprintf("oracle does not know access s%d", r.FirstSite)
+		}
+		if !pAtEvent[r.Var][cls] {
+			return fmt.Sprintf("sampled shortest race on x%d (first access by t%d at clock %d, event %d) missed by PACER",
+				r.Var, cls.Thread, cls.C, r.Idx)
+		}
+	}
+	// No early reports.
+	for v, pi := range pFirstIdx {
+		if fi, ok := ftFirstIdx[v]; !ok || pi < fi {
+			return fmt.Sprintf("PACER reported on x%d at event %d before FASTTRACK (event %d)", v, pi, ftFirstIdx[v])
+		}
+	}
+	// Precision.
+	for _, r := range pReports {
+		if !oracle.TrueRace(r.Race) {
+			return fmt.Sprintf("PACER reported a false or inconsistent race: %v", r.Race)
+		}
+		idx := int(r.FirstSite) - 1
+		if idx < 0 || idx >= len(sampledAt) || !sampledAt[idx] {
+			return fmt.Sprintf("PACER report %v has an unsampled first access", r.Race)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,93 @@
+package event
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pacer/internal/vclock"
+)
+
+// Trace files begin with an 8-byte magic string followed by a varint event
+// count and one varint-packed record per event. The format is deliberately
+// simple: it exists so traces can be recorded once (e.g. from the simulator
+// or the public API) and replayed under many detector configurations, the
+// way LiteRace logs operations for offline analysis — except our detectors
+// are online and the log is only a testing/debugging convenience.
+const traceMagic = "PACERTR1"
+
+var (
+	// ErrBadMagic reports a trace stream that does not start with the
+	// expected magic string.
+	ErrBadMagic = errors.New("event: bad trace magic")
+)
+
+// WriteTrace encodes tr to w in the binary trace format.
+func WriteTrace(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [5 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(tr)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, e := range tr {
+		n = 0
+		buf[n] = byte(e.Kind)
+		n++
+		n += binary.PutUvarint(buf[n:], uint64(e.Thread))
+		n += binary.PutUvarint(buf[n:], uint64(e.Target))
+		n += binary.PutUvarint(buf[n:], uint64(e.Site))
+		n += binary.PutUvarint(buf[n:], uint64(e.Method))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace decodes a trace previously written by WriteTrace.
+func ReadTrace(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("event: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, ErrBadMagic
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("event: reading count: %w", err)
+	}
+	const maxPrealloc = 1 << 20
+	tr := make(Trace, 0, min(count, maxPrealloc))
+	for i := uint64(0); i < count; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("event: event %d kind: %w", i, err)
+		}
+		if Kind(kind) >= numKinds {
+			return nil, fmt.Errorf("event: event %d has invalid kind %d", i, kind)
+		}
+		var fields [4]uint64
+		for j := range fields {
+			fields[j], err = binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("event: event %d field %d: %w", i, j, err)
+			}
+		}
+		tr = append(tr, Event{
+			Kind:   Kind(kind),
+			Thread: vclock.Thread(uint32(fields[0])),
+			Target: uint32(fields[1]),
+			Site:   Site(fields[2]),
+			Method: uint32(fields[3]),
+		})
+	}
+	return tr, nil
+}

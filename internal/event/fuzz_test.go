@@ -1,0 +1,60 @@
+package event
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace ensures the block decoder never panics or over-allocates
+// on arbitrary input, and that successfully decoded traces re-encode to an
+// equivalent stream.
+func FuzzReadTrace(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteTrace(&seed, Generate(Racy(3, 200, 1))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(traceMagic))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, tr); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		tr2, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(tr2) != len(tr) {
+			t.Fatalf("round-trip length %d != %d", len(tr2), len(tr))
+		}
+	})
+}
+
+// FuzzStreamReader ensures the streaming decoder never panics on arbitrary
+// input.
+func FuzzStreamReader(f *testing.F) {
+	var seed bytes.Buffer
+	w, _ := NewStreamWriter(&seed)
+	for _, e := range Generate(Racy(3, 100, 2)) {
+		w.Write(e)
+	}
+	w.Close()
+	f.Add(seed.Bytes())
+	f.Add([]byte(streamMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1_000_000; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package event
+
+import (
+	"math/rand"
+
+	"pacer/internal/vclock"
+)
+
+// GenConfig parameterizes the random well-formed trace generator used by
+// the differential and property-based tests. Generated traces respect the
+// feasibility rules of Appendix A: locks are held by at most one thread and
+// released only by their holder, forked threads act only after their fork,
+// and joined threads act never again after being joined.
+type GenConfig struct {
+	// Threads is the maximum number of threads (≥ 1). Thread 0 is the main
+	// thread and never finishes.
+	Threads int
+	// Vars, Locks, Volatiles size the identifier pools.
+	Vars, Locks, Volatiles int
+	// Steps is the number of generator steps; each step emits zero or more
+	// events.
+	Steps int
+	// PGuarded is the probability that a data access is wrapped in an
+	// acquire/release of the variable's guard lock. 1.0 produces a
+	// properly synchronized (race-free) trace; 0.0 maximizes racing.
+	PGuarded float64
+	// PWrite is the probability that a data access is a write.
+	PWrite float64
+	// PSample is the per-step probability of toggling the global sampling
+	// period (emitting sbegin/send). Zero disables sampling events.
+	PSample float64
+	// StartSampling emits an sbegin before the first step, so the trace
+	// starts inside a sampling period.
+	StartSampling bool
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Synchronized returns a config producing properly synchronized traces:
+// every access to variable v happens while holding lock v mod Locks.
+func Synchronized(threads, steps int, seed int64) GenConfig {
+	return GenConfig{
+		Threads: threads, Vars: 12, Locks: 4, Volatiles: 3,
+		Steps: steps, PGuarded: 1.0, PWrite: 0.4, Seed: seed,
+	}
+}
+
+// Racy returns a config producing traces with many data races.
+func Racy(threads, steps int, seed int64) GenConfig {
+	return GenConfig{
+		Threads: threads, Vars: 12, Locks: 4, Volatiles: 3,
+		Steps: steps, PGuarded: 0.5, PWrite: 0.4, Seed: seed,
+	}
+}
+
+type genThread struct {
+	started  bool
+	finished bool
+	joined   bool
+	held     []Lock
+}
+
+// Generate produces a random well-formed trace according to cfg.
+func Generate(cfg GenConfig) Trace {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Vars < 1 {
+		cfg.Vars = 1
+	}
+	if cfg.Locks < 1 {
+		cfg.Locks = 1
+	}
+	if cfg.Volatiles < 1 {
+		cfg.Volatiles = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	threads := make([]genThread, 1, cfg.Threads)
+	threads[0].started = true
+	lockOwner := make([]vclock.Thread, cfg.Locks)
+	for i := range lockOwner {
+		lockOwner[i] = vclock.NoThread
+	}
+	var tr Trace
+	sampling := false
+	if cfg.StartSampling {
+		tr = append(tr, Event{Kind: SampleBegin})
+		sampling = true
+	}
+
+	runnable := func() []vclock.Thread {
+		var rs []vclock.Thread
+		for i := range threads {
+			if threads[i].started && !threads[i].finished {
+				rs = append(rs, vclock.Thread(i))
+			}
+		}
+		return rs
+	}
+
+	emitAccess := func(t vclock.Thread, v Var) {
+		kind := Read
+		if rng.Float64() < cfg.PWrite {
+			kind = Write
+		}
+		site := Site(uint32(v)*2 + uint32(kind))
+		tr = append(tr, Event{Kind: kind, Thread: t, Target: uint32(v), Site: site, Method: uint32(v) % 7})
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		if cfg.PSample > 0 && rng.Float64() < cfg.PSample {
+			if sampling {
+				tr = append(tr, Event{Kind: SampleEnd})
+			} else {
+				tr = append(tr, Event{Kind: SampleBegin})
+			}
+			sampling = !sampling
+		}
+		rs := runnable()
+		t := rs[rng.Intn(len(rs))]
+		st := &threads[t]
+		accessStep := func(repeat int) {
+			v := Var(rng.Intn(cfg.Vars))
+			if rng.Float64() < cfg.PGuarded {
+				guard := Lock(uint32(v) % uint32(cfg.Locks))
+				if lockOwner[guard] != vclock.NoThread {
+					return // guard contended; skip this step
+				}
+				tr = append(tr, Event{Kind: Acquire, Thread: t, Target: uint32(guard)})
+				lockOwner[guard] = t
+				st.held = append(st.held, guard)
+				for i := 0; i < repeat; i++ {
+					emitAccess(t, v)
+				}
+				tr = append(tr, Event{Kind: Release, Thread: t, Target: uint32(guard)})
+				lockOwner[guard] = vclock.NoThread
+				st.held = st.held[:len(st.held)-1]
+			} else {
+				for i := 0; i < repeat; i++ {
+					emitAccess(t, v)
+				}
+			}
+		}
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // data access
+			accessStep(1)
+		case 5: // acquire a free lock
+			m := Lock(rng.Intn(cfg.Locks))
+			if lockOwner[m] != vclock.NoThread {
+				continue
+			}
+			tr = append(tr, Event{Kind: Acquire, Thread: t, Target: uint32(m)})
+			lockOwner[m] = t
+			st.held = append(st.held, m)
+		case 6: // release a held lock
+			if len(st.held) == 0 {
+				continue
+			}
+			i := rng.Intn(len(st.held))
+			m := st.held[i]
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			lockOwner[m] = vclock.NoThread
+			tr = append(tr, Event{Kind: Release, Thread: t, Target: uint32(m)})
+		case 7: // volatile access
+			vx := Volatile(rng.Intn(cfg.Volatiles))
+			k := VolRead
+			if rng.Float64() < cfg.PWrite {
+				k = VolWrite
+			}
+			tr = append(tr, Event{Kind: k, Thread: t, Target: uint32(vx)})
+		case 8: // fork, join, or finish
+			switch rng.Intn(3) {
+			case 0:
+				if len(threads) >= cfg.Threads {
+					continue
+				}
+				u := vclock.Thread(len(threads))
+				threads = append(threads, genThread{started: true})
+				tr = append(tr, Event{Kind: Fork, Thread: t, Target: uint32(u)})
+			case 1:
+				u := pickFinishedUnjoined(rng, threads, t)
+				if u == vclock.NoThread {
+					continue
+				}
+				threads[u].joined = true
+				tr = append(tr, Event{Kind: Join, Thread: t, Target: uint32(u)})
+			case 2:
+				if t == 0 || len(st.held) > 0 {
+					continue
+				}
+				st.finished = true
+			}
+		case 9: // repeated access to the same variable (exercises same-epoch paths)
+			accessStep(2)
+		}
+	}
+	return tr
+}
+
+func pickFinishedUnjoined(rng *rand.Rand, threads []genThread, self vclock.Thread) vclock.Thread {
+	var candidates []vclock.Thread
+	for i := range threads {
+		if vclock.Thread(i) != self && threads[i].finished && !threads[i].joined {
+			candidates = append(candidates, vclock.Thread(i))
+		}
+	}
+	if len(candidates) == 0 {
+		return vclock.NoThread
+	}
+	return candidates[rng.Intn(len(candidates))]
+}

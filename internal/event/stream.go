@@ -1,0 +1,139 @@
+package event
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pacer/internal/vclock"
+)
+
+// Streaming trace format: like the block format of WriteTrace but without
+// an upfront event count, so a recorder can write events as they happen
+// (the way LiteRace logs operations) and a consumer can process a trace
+// larger than memory. The stream starts with an 8-byte magic and ends with
+// a sentinel record.
+const (
+	streamMagic   = "PACERTS1"
+	streamEndKind = 0xFF
+)
+
+// ErrStreamTruncated reports a stream that ended without its sentinel.
+var ErrStreamTruncated = errors.New("event: trace stream truncated")
+
+// StreamWriter writes events incrementally. Close writes the end sentinel;
+// a stream without it is detected as truncated on read.
+type StreamWriter struct {
+	bw     *bufio.Writer
+	closed bool
+	count  uint64
+}
+
+// NewStreamWriter starts a streaming trace on w.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(streamMagic); err != nil {
+		return nil, err
+	}
+	return &StreamWriter{bw: bw}, nil
+}
+
+// Write appends one event to the stream.
+func (s *StreamWriter) Write(e Event) error {
+	if s.closed {
+		return errors.New("event: write to closed trace stream")
+	}
+	var buf [1 + 4*binary.MaxVarintLen64]byte
+	buf[0] = byte(e.Kind)
+	n := 1
+	n += binary.PutUvarint(buf[n:], uint64(e.Thread))
+	n += binary.PutUvarint(buf[n:], uint64(e.Target))
+	n += binary.PutUvarint(buf[n:], uint64(e.Site))
+	n += binary.PutUvarint(buf[n:], uint64(e.Method))
+	if _, err := s.bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	s.count++
+	return nil
+}
+
+// Count returns the number of events written so far.
+func (s *StreamWriter) Count() uint64 { return s.count }
+
+// Flush pushes buffered events to the underlying writer without ending the
+// stream, so long-running recorders can bound data loss on a crash.
+func (s *StreamWriter) Flush() error { return s.bw.Flush() }
+
+// Close writes the end sentinel and flushes. The underlying writer is not
+// closed.
+func (s *StreamWriter) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.bw.WriteByte(streamEndKind); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// StreamReader reads a streaming trace event by event.
+type StreamReader struct {
+	br   *bufio.Reader
+	done bool
+	idx  uint64
+}
+
+// NewStreamReader validates the magic and returns a reader.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(streamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("event: reading stream magic: %w", err)
+	}
+	if string(magic) != streamMagic {
+		return nil, ErrBadMagic
+	}
+	return &StreamReader{br: br}, nil
+}
+
+// Next returns the next event, or io.EOF after the sentinel.
+func (s *StreamReader) Next() (Event, error) {
+	if s.done {
+		return Event{}, io.EOF
+	}
+	kind, err := s.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Event{}, ErrStreamTruncated
+		}
+		return Event{}, err
+	}
+	if kind == streamEndKind {
+		s.done = true
+		return Event{}, io.EOF
+	}
+	if Kind(kind) >= numKinds {
+		return Event{}, fmt.Errorf("event: stream event %d has invalid kind %d", s.idx, kind)
+	}
+	var fields [4]uint64
+	for j := range fields {
+		fields[j], err = binary.ReadUvarint(s.br)
+		if err != nil {
+			if err == io.EOF {
+				err = ErrStreamTruncated
+			}
+			return Event{}, fmt.Errorf("event: stream event %d field %d: %w", s.idx, j, err)
+		}
+	}
+	s.idx++
+	return Event{
+		Kind:   Kind(kind),
+		Thread: vclock.Thread(uint32(fields[0])),
+		Target: uint32(fields[1]),
+		Site:   Site(fields[2]),
+		Method: uint32(fields[3]),
+	}, nil
+}

@@ -1,0 +1,113 @@
+package event
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	tr := Generate(Racy(5, 1500, 11))
+	var buf bytes.Buffer
+	w, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(tr)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(tr))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("read %d events, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], tr[i])
+		}
+	}
+	// EOF is sticky.
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next err = %v", err)
+	}
+}
+
+func TestStreamTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewStreamWriter(&buf)
+	for _, e := range Generate(Racy(3, 200, 1)) {
+		w.Write(e)
+	}
+	// Flush without Close: events visible, sentinel missing.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := r.Next()
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrStreamTruncated) {
+			t.Fatalf("err = %v, want ErrStreamTruncated", err)
+		}
+		break
+	}
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewStreamWriter(&buf)
+	w.Close()
+	if err := w.Write(Event{Kind: Read}); err == nil {
+		t.Fatal("write after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestStreamBadMagic(t *testing.T) {
+	if _, err := NewStreamReader(strings.NewReader("WRONGMAG")); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewStreamWriter(&buf)
+	w.Close()
+	r, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty stream Next err = %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package fasttrack implements the FASTTRACK race detector of Flanagan and
+// Freund as presented in Section 2.2 of the PACER paper (Algorithms 7-8).
+// It replaces the write vector clock with an epoch and uses an adaptive
+// read map, reducing nearly all read/write analysis from O(n) to O(1).
+//
+// Following the paper, this implementation clears the read map at writes
+// ("New: clear read map" in Algorithm 8) so that it corresponds directly
+// with PACER; the original FastTrack behaviour is available via Options for
+// the ablation benchmarks.
+package fasttrack
+
+import (
+	"pacer/internal/detector"
+	"pacer/internal/event"
+	"pacer/internal/vclock"
+)
+
+// Options tune the detector, mainly for ablation studies.
+type Options struct {
+	// KeepReadEpochOnWrite restores the original FastTrack behaviour of
+	// leaving a single-entry read map in place at a write (the paper's
+	// modified algorithm clears it).
+	KeepReadEpochOnWrite bool
+	// DisableEpochFastPath forces the full analysis even when the access
+	// matches the variable's current epoch, for the ablation benchmark
+	// measuring the value of FastTrack's same-epoch check.
+	DisableEpochFastPath bool
+}
+
+type varMeta struct {
+	w     vclock.Epoch
+	wSite event.Site
+	r     vclock.ReadMap
+}
+
+// Detector is the FASTTRACK analysis. It is not safe for concurrent use.
+type Detector struct {
+	sync   *detector.BaseSync
+	vars   map[event.Var]*varMeta
+	report detector.Reporter
+	stats  detector.Counters
+	opts   Options
+}
+
+var (
+	_ detector.Detector        = (*Detector)(nil)
+	_ detector.Counted         = (*Detector)(nil)
+	_ detector.MemoryAccounted = (*Detector)(nil)
+)
+
+// New returns a FASTTRACK detector with default options.
+func New(report detector.Reporter) *Detector {
+	return NewWithOptions(report, Options{})
+}
+
+// NewWithOptions returns a FASTTRACK detector with explicit options.
+func NewWithOptions(report detector.Reporter, opts Options) *Detector {
+	d := &Detector{vars: make(map[event.Var]*varMeta), report: report, opts: opts}
+	d.sync = detector.NewBaseSync(&d.stats)
+	return d
+}
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "fasttrack" }
+
+// Stats returns the detector's operation counters.
+func (d *Detector) Stats() *detector.Counters { return &d.stats }
+
+func (d *Detector) varMeta(x event.Var) *varMeta {
+	m, ok := d.vars[x]
+	if !ok {
+		m = &varMeta{}
+		d.vars[x] = m
+	}
+	return m
+}
+
+func (d *Detector) emit(r detector.Race) {
+	d.stats.Races++
+	if d.report != nil {
+		d.report(r)
+	}
+}
+
+// Read implements Algorithm 7.
+func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
+	d.stats.ReadSlow[detector.Sampling]++
+	ct := d.sync.ThreadClock(t)
+	m := d.varMeta(x)
+
+	// Same epoch: R_x = epoch(t) → no action.
+	if !d.opts.DisableEpochFastPath && m.r.Size() == 1 {
+		if e := m.r.Single(); e.T == t && e.C == ct.Get(t) {
+			return
+		}
+	}
+	// check W_x ⊑ C_t.
+	if !m.w.Leq(ct) {
+		d.emit(detector.Race{
+			Var: x, Kind: detector.WriteRead,
+			FirstThread: m.w.Thread(), SecondThread: t,
+			FirstSite: m.wSite, SecondSite: site,
+		})
+	}
+	// Update the read map: collapse to an epoch when reads so far are
+	// totally ordered before this one; otherwise record a concurrent read.
+	if m.r.Size() <= 1 && m.r.Leq(ct) {
+		m.r.SetEpoch(vclock.ReadEntry{T: t, C: ct.Get(t), Site: uint32(site)})
+	} else {
+		m.r.Set(t, ct.Get(t), uint32(site))
+	}
+}
+
+// Write implements Algorithm 8 (with the paper's read-map clearing).
+func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
+	d.stats.WriteSlow[detector.Sampling]++
+	ct := d.sync.ThreadClock(t)
+	m := d.varMeta(x)
+
+	// Same epoch: W_x = epoch(t) → no action.
+	if !d.opts.DisableEpochFastPath && !m.w.IsZero() &&
+		m.w.Thread() == t && m.w.Clock() == ct.Get(t) {
+		return
+	}
+	// check W_x ⊑ C_t.
+	if !m.w.Leq(ct) {
+		d.emit(detector.Race{
+			Var: x, Kind: detector.WriteWrite,
+			FirstThread: m.w.Thread(), SecondThread: t,
+			FirstSite: m.wSite, SecondSite: site,
+		})
+	}
+	// check R_x ⊑ C_t, reporting one race per concurrent prior read.
+	m.r.Racing(ct, func(e vclock.ReadEntry) {
+		d.emit(detector.Race{
+			Var: x, Kind: detector.ReadWrite,
+			FirstThread: e.T, SecondThread: t,
+			FirstSite: event.Site(e.Site), SecondSite: site,
+		})
+	})
+	if d.opts.KeepReadEpochOnWrite && m.r.Size() <= 1 {
+		// Original FastTrack: a read epoch survives the write.
+	} else {
+		m.r.Clear()
+	}
+	m.w = vclock.MakeEpoch(t, ct.Get(t))
+	m.wSite = site
+}
+
+// Acquire implements Algorithm 1.
+func (d *Detector) Acquire(t vclock.Thread, m event.Lock) { d.sync.Acquire(t, m) }
+
+// Release implements Algorithm 2.
+func (d *Detector) Release(t vclock.Thread, m event.Lock) { d.sync.Release(t, m) }
+
+// Fork implements Algorithm 3.
+func (d *Detector) Fork(t, u vclock.Thread) { d.sync.Fork(t, u) }
+
+// Join implements Algorithm 4.
+func (d *Detector) Join(t, u vclock.Thread) { d.sync.Join(t, u) }
+
+// VolRead implements Algorithm 14.
+func (d *Detector) VolRead(t vclock.Thread, vx event.Volatile) { d.sync.VolRead(t, vx) }
+
+// VolWrite implements Algorithm 15.
+func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) { d.sync.VolWrite(t, vx) }
+
+// MetadataWords implements detector.MemoryAccounted.
+func (d *Detector) MetadataWords() int {
+	w := d.sync.MetadataWords()
+	for _, m := range d.vars {
+		w += 2 + m.r.MemoryWords()
+	}
+	return w
+}

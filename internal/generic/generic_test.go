@@ -1,0 +1,225 @@
+package generic_test
+
+import (
+	"testing"
+
+	"pacer/internal/detector"
+	"pacer/internal/dtest"
+	"pacer/internal/event"
+	"pacer/internal/generic"
+)
+
+func mk(r detector.Reporter) detector.Detector { return generic.New(r) }
+
+func TestWriteWriteRace(t *testing.T) {
+	b := dtest.NewTB().Write(0, 1).Write(1, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 1 {
+		t.Fatalf("races = %d, want 1", c.DynamicCount())
+	}
+	r := c.Dynamic[0]
+	if r.Kind != detector.WriteWrite || r.FirstThread != 0 || r.SecondThread != 1 {
+		t.Errorf("unexpected race %v", r)
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	b := dtest.NewTB().Write(0, 1).Read(1, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 1 || c.Dynamic[0].Kind != detector.WriteRead {
+		t.Fatalf("got %v", c.Dynamic)
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	b := dtest.NewTB().Read(0, 1).Write(1, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 1 || c.Dynamic[0].Kind != detector.ReadWrite {
+		t.Fatalf("got %v", c.Dynamic)
+	}
+}
+
+func TestReadsDoNotRace(t *testing.T) {
+	b := dtest.NewTB().Read(0, 1).Read(1, 1).Read(2, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 0 {
+		t.Fatalf("reads raced: %v", c.Dynamic)
+	}
+}
+
+func TestLockPreventsRace(t *testing.T) {
+	b := dtest.NewTB().
+		Acq(0, 9).Write(0, 1).Rel(0, 9).
+		Acq(1, 9).Write(1, 1).Read(1, 1).Rel(1, 9)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 0 {
+		t.Fatalf("lock-ordered accesses raced: %v", c.Dynamic)
+	}
+}
+
+func TestDifferentLocksDoNotSynchronize(t *testing.T) {
+	b := dtest.NewTB().
+		Acq(0, 1).Write(0, 1).Rel(0, 1).
+		Acq(1, 2).Write(1, 1).Rel(1, 2)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 1 {
+		t.Fatalf("races = %d, want 1", c.DynamicCount())
+	}
+}
+
+func TestForkOrders(t *testing.T) {
+	b := dtest.NewTB().Write(0, 1).Fork(0, 1).Read(1, 1).Write(1, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 0 {
+		t.Fatalf("fork-ordered accesses raced: %v", c.Dynamic)
+	}
+}
+
+func TestJoinOrders(t *testing.T) {
+	b := dtest.NewTB().Fork(0, 1).Write(1, 1).Join(0, 1).Read(0, 1).Write(0, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 0 {
+		t.Fatalf("join-ordered accesses raced: %v", c.Dynamic)
+	}
+}
+
+func TestForkDoesNotOrderParentAfterChild(t *testing.T) {
+	// The child's write is concurrent with the parent's later write.
+	b := dtest.NewTB().Fork(0, 1).Write(1, 1).Write(0, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 1 {
+		t.Fatalf("races = %d, want 1", c.DynamicCount())
+	}
+}
+
+func TestVolatileSynchronizes(t *testing.T) {
+	b := dtest.NewTB().
+		Write(0, 1).VolWrite(0, 3).
+		VolRead(1, 3).Read(1, 1).Write(1, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 0 {
+		t.Fatalf("volatile-ordered accesses raced: %v", c.Dynamic)
+	}
+}
+
+func TestVolatileReadAloneDoesNotSynchronize(t *testing.T) {
+	// A volatile read without a prior write of the same volatile carries no
+	// happens-before edge from the writer thread.
+	b := dtest.NewTB().Write(0, 1).VolRead(1, 3).Write(1, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 1 {
+		t.Fatalf("races = %d, want 1", c.DynamicCount())
+	}
+}
+
+func TestTransitiveHappensBefore(t *testing.T) {
+	// t0 -(lock 1)-> t1 -(lock 2)-> t2: transitivity orders t0's write
+	// before t2's read.
+	b := dtest.NewTB().
+		Write(0, 1).Acq(0, 1).Rel(0, 1).
+		Acq(1, 1).Rel(1, 1).Acq(1, 2).Rel(1, 2).
+		Acq(2, 2).Rel(2, 2).Read(2, 1).Write(2, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 0 {
+		t.Fatalf("transitively ordered accesses raced: %v", c.Dynamic)
+	}
+}
+
+func TestConcurrentWritesBothRecorded(t *testing.T) {
+	// GENERIC keeps a full write vector: a third write ordered after only
+	// one of two concurrent writes still races with the other.
+	b := dtest.NewTB().
+		Write(0, 1). // A
+		Write(1, 1). // B, races with A
+		Rel(1, 5).
+		Acq(2, 5).
+		Write(2, 1) // C: ordered after B, concurrent with A
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 2 {
+		t.Fatalf("races = %d (%v), want 2", c.DynamicCount(), c.Dynamic)
+	}
+	last := c.Dynamic[1]
+	if last.FirstThread != 0 || last.SecondThread != 2 {
+		t.Errorf("third write should race with thread 0's write: %v", last)
+	}
+}
+
+func TestMultipleConcurrentReadsAllRaceWithWrite(t *testing.T) {
+	b := dtest.NewTB().Read(0, 1).Read(1, 1).Read(2, 1).Write(3, 1)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 3 {
+		t.Fatalf("races = %d, want 3 (one per concurrent read)", c.DynamicCount())
+	}
+	for _, r := range c.Dynamic {
+		if r.Kind != detector.ReadWrite {
+			t.Errorf("unexpected kind %v", r.Kind)
+		}
+	}
+}
+
+func TestRaceSitesReported(t *testing.T) {
+	b := dtest.NewTB().WriteAt(0, 1, 111).WriteAt(1, 1, 222)
+	c := dtest.Run(b.Trace, mk)
+	if c.DynamicCount() != 1 {
+		t.Fatal("expected one race")
+	}
+	r := c.Dynamic[0]
+	if r.FirstSite != 111 || r.SecondSite != 222 {
+		t.Errorf("sites = %d/%d, want 111/222", r.FirstSite, r.SecondSite)
+	}
+}
+
+func TestSynchronizedTracesAreRaceFree(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := event.Generate(event.Synchronized(6, 4000, seed))
+		c := dtest.Run(tr, mk)
+		if c.DynamicCount() != 0 {
+			t.Fatalf("seed %d: false positives: %v", seed, c.Dynamic[0])
+		}
+	}
+}
+
+func TestRacyTracesReportRaces(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 5; seed++ {
+		tr := event.Generate(event.Racy(6, 4000, seed))
+		if dtest.Run(tr, mk).DynamicCount() > 0 {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no races found in any racy trace")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := generic.New(nil)
+	tr := dtest.NewTB().Write(0, 1).Read(1, 1).Acq(0, 1).Rel(0, 1).Trace
+	detector.Replay(d, tr)
+	s := d.Stats()
+	if s.TotalReads() != 1 || s.TotalWrites() != 1 || s.TotalSyncOps() != 2 {
+		t.Errorf("counters: reads=%d writes=%d syncs=%d", s.TotalReads(), s.TotalWrites(), s.TotalSyncOps())
+	}
+	if s.Races != 1 {
+		t.Errorf("races counter = %d, want 1", s.Races)
+	}
+}
+
+func TestMetadataWordsGrows(t *testing.T) {
+	d := generic.New(nil)
+	w0 := d.MetadataWords()
+	b := dtest.NewTB()
+	for x := event.Var(0); x < 50; x++ {
+		b.Write(0, x)
+	}
+	detector.Replay(d, b.Trace)
+	if d.MetadataWords() <= w0 {
+		t.Error("metadata footprint did not grow with tracked variables")
+	}
+}
+
+func TestName(t *testing.T) {
+	if generic.New(nil).Name() != "generic" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pacer/internal/stats"
+	"pacer/internal/workload"
+)
+
+// AccuracyRates are the sampling rates swept by Figures 3-5.
+var AccuracyRates = []float64{0.01, 0.03, 0.05, 0.10, 0.25, 0.50, 1.00}
+
+// RaceRates is one evaluation race's measurement at one sampling rate.
+type RaceRates struct {
+	// AvgDynamic is the mean dynamic reports per trial.
+	AvgDynamic float64
+	// DistinctProb is the fraction of trials in which the race was
+	// reported at least once.
+	DistinctProb float64
+}
+
+// BenchAccuracy is one benchmark's detection-rate data.
+type BenchAccuracy struct {
+	Bench     string
+	EvalRaces []int
+	// PerRace[rate][raceID] is the race's measurement at that rate.
+	PerRace map[float64]map[int]RaceRates
+	// Fig3 and Fig4 are the unweighted mean detection rates per sampling
+	// rate for dynamic and distinct races respectively, normalized to the
+	// r = 100% baseline.
+	Fig3, Fig4 map[float64]float64
+	// Effective is the mean effective sampling rate observed per rate.
+	Effective map[float64]float64
+}
+
+// AccuracyResult reproduces Figures 3, 4, and 5.
+type AccuracyResult struct {
+	Benches []*BenchAccuracy
+}
+
+// Accuracy runs the detection-rate sweep. The r = 100% point doubles as
+// the normalization baseline and the evaluation-race selector (races
+// detected in at least half of the fully sampled trials).
+func Accuracy(o Options) (*AccuracyResult, error) {
+	o.fill()
+	out := &AccuracyResult{}
+	for _, b := range o.Benches {
+		ba, err := accuracyBench(b, o)
+		if err != nil {
+			return nil, err
+		}
+		out.Benches = append(out.Benches, ba)
+	}
+	return out, nil
+}
+
+func accuracyBench(b *workload.Spec, o Options) (*BenchAccuracy, error) {
+	ba := &BenchAccuracy{
+		Bench:     b.Name,
+		PerRace:   map[float64]map[int]RaceRates{},
+		Fig3:      map[float64]float64{},
+		Fig4:      map[float64]float64{},
+		Effective: map[float64]float64{},
+	}
+	type agg struct {
+		dyn      int
+		detected int
+	}
+	measure := func(rate float64, trials int, seedOff int64) (map[int]*agg, float64, error) {
+		per := map[int]*agg{}
+		effSum := 0.0
+		for i := 0; i < trials; i++ {
+			t, err := RunTrial(TrialConfig{
+				Bench: b, Kind: Pacer, Rate: rate,
+				Seed: o.SeedBase + seedOff + int64(i), InstrumentAccesses: true, Nursery: o.Nursery,
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			effSum += t.EffectiveRate
+			for id, n := range t.PerRace {
+				a := per[id]
+				if a == nil {
+					a = &agg{}
+					per[id] = a
+				}
+				a.dyn += n
+				a.detected++
+			}
+		}
+		return per, effSum / float64(trials), nil
+	}
+
+	// Baseline: fully sampled trials select evaluation races and provide
+	// the denominators.
+	baseTrials := o.trials(50)
+	base, eff, err := measure(1.0, baseTrials, 0)
+	if err != nil {
+		return nil, err
+	}
+	ba.Effective[1.0] = eff
+	half := (baseTrials + 1) / 2
+	for id, a := range base {
+		if a.detected >= half {
+			ba.EvalRaces = append(ba.EvalRaces, id)
+		}
+	}
+	sort.Ints(ba.EvalRaces)
+	record := func(rate float64, per map[int]*agg, trials int) {
+		m := map[int]RaceRates{}
+		for _, id := range ba.EvalRaces {
+			var rr RaceRates
+			if a := per[id]; a != nil {
+				rr.AvgDynamic = float64(a.dyn) / float64(trials)
+				rr.DistinctProb = float64(a.detected) / float64(trials)
+			}
+			m[id] = rr
+		}
+		ba.PerRace[rate] = m
+	}
+	record(1.0, base, baseTrials)
+	ba.Fig3[1.0], ba.Fig4[1.0] = 1.0, 1.0
+
+	seedOff := int64(baseTrials)
+	for _, rate := range AccuracyRates {
+		if rate == 1.0 {
+			continue
+		}
+		trials := o.trials(stats.NumTrials(rate))
+		per, eff, err := measure(rate, trials, seedOff)
+		if err != nil {
+			return nil, err
+		}
+		seedOff += int64(trials)
+		ba.Effective[rate] = eff
+		record(rate, per, trials)
+		var dynRates, distRates []float64
+		for _, id := range ba.EvalRaces {
+			b100 := ba.PerRace[1.0][id]
+			r := ba.PerRace[rate][id]
+			dynRates = append(dynRates, stats.Ratio(r.AvgDynamic, b100.AvgDynamic))
+			distRates = append(distRates, stats.Ratio(r.DistinctProb, b100.DistinctProb))
+		}
+		ba.Fig3[rate] = stats.Mean(dynRates)
+		ba.Fig4[rate] = stats.Mean(distRates)
+	}
+	return ba, nil
+}
+
+// RenderFig3 prints the dynamic-race detection-rate curve (Figure 3).
+func (a *AccuracyResult) RenderFig3(w io.Writer) { a.renderCurve(w, 3, "dynamic", false) }
+
+// RenderFig4 prints the distinct-race detection-rate curve (Figure 4).
+func (a *AccuracyResult) RenderFig4(w io.Writer) { a.renderCurve(w, 4, "distinct", true) }
+
+func (a *AccuracyResult) renderCurve(w io.Writer, fig int, kind string, distinct bool) {
+	fmt.Fprintf(w, "Figure %d: PACER's accuracy on %s races (detection rate vs\n", fig, kind)
+	fmt.Fprintln(w, "specified sampling rate; the proportionality guarantee is the diagonal).")
+	fmt.Fprintf(w, "%-14s", "rate")
+	for _, b := range a.Benches {
+		fmt.Fprintf(w, " %12s", b.Bench)
+	}
+	fmt.Fprintf(w, " %12s\n", "ideal")
+	rule(w, 14+13*(len(a.Benches)+1))
+	for _, r := range AccuracyRates {
+		fmt.Fprintf(w, "%-14s", fmt.Sprintf("r = %g%%", r*100))
+		for _, b := range a.Benches {
+			m := b.Fig3
+			if distinct {
+				m = b.Fig4
+			}
+			fmt.Fprintf(w, " %11.1f%%", m[r]*100)
+		}
+		fmt.Fprintf(w, " %11.1f%%\n", r*100)
+	}
+}
+
+// RenderFig5 prints the per-distinct-race detection rates (Figure 5): for
+// each benchmark and sampling rate, the evaluation races' detection rates
+// sorted descending.
+func (a *AccuracyResult) RenderFig5(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: PACER's per-distinct-race detection rate varying r.")
+	fmt.Fprintln(w, "(Each line lists the evaluation races' detection rates, sorted.)")
+	for _, b := range a.Benches {
+		fmt.Fprintf(w, "\n%s (%d evaluation races)\n", b.Bench, len(b.EvalRaces))
+		for _, r := range AccuracyRates {
+			var rates []float64
+			for _, id := range b.EvalRaces {
+				rates = append(rates, b.PerRace[r][id].DistinctProb*100)
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(rates)))
+			fmt.Fprintf(w, "  r=%5.1f%%:", r*100)
+			for _, x := range rates {
+				fmt.Fprintf(w, " %5.1f", x)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pacer/internal/plot"
+)
+
+// Chart renders Figure 3 or 4 as an ASCII line chart with the
+// proportionality diagonal.
+func (a *AccuracyResult) Chart(w io.Writer, distinct bool) {
+	fig, kind := 3, "dynamic"
+	if distinct {
+		fig, kind = 4, "distinct"
+	}
+	c := plot.Chart{
+		Title:   fmt.Sprintf("Figure %d: detection rate vs sampling rate (%s races)", fig, kind),
+		XLabel:  "specified sampling rate",
+		Diag:    true,
+		Percent: true,
+		YMax:    1,
+	}
+	for _, b := range a.Benches {
+		s := plot.Series{Name: b.Bench}
+		for _, r := range AccuracyRates {
+			m := b.Fig3
+			if distinct {
+				m = b.Fig4
+			}
+			s.Points = append(s.Points, [2]float64{r, m[r]})
+		}
+		c.Series = append(c.Series, s)
+	}
+	c.Render(w)
+}
+
+// Chart renders the slowdown curves of Figures 8/9.
+func (s *ScalingResult) Chart(w io.Writer) {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("Figure %d: slowdown vs sampling rate", s.Figure),
+		XLabel: "sampling rate",
+	}
+	for _, b := range s.Benches {
+		series := plot.Series{Name: b}
+		for _, r := range s.Rates {
+			series.Points = append(series.Points, [2]float64{r, s.Slowdown[b][r]})
+		}
+		c.Series = append(c.Series, series)
+	}
+	c.Render(w)
+}
+
+// Chart renders the Figure 10 space timeline.
+func (f *Fig10Result) Chart(w io.Writer) {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("Figure 10: live space over normalized time (%s, Kwords)", f.Bench),
+		XLabel: "normalized time",
+	}
+	for _, s := range f.Series {
+		series := plot.Series{Name: s.Label}
+		for _, p := range s.Points {
+			series.Points = append(series.Points, [2]float64{p[0], p[1] / 1000})
+		}
+		c.Series = append(c.Series, series)
+	}
+	c.Render(w)
+}
+
+// Chart renders the Figure 7 breakdown as bars.
+func (f *Fig7Result) Chart(w io.Writer) {
+	var labels []string
+	var values []float64
+	for _, r := range append(f.Rows, f.Avg) {
+		for _, cfg := range []struct {
+			name string
+			v    float64
+		}{{"om+sync", r.OMSync}, {"r=0%", r.R0}, {"r=1%", r.R1}, {"r=3%", r.R3}} {
+			labels = append(labels, r.Bench+" "+cfg.name)
+			values = append(values, cfg.v)
+		}
+	}
+	plot.Bars(w, "Figure 7: overhead breakdown", labels, values,
+		func(v float64) string { return fmt.Sprintf("%.0f%%", v*100) })
+}

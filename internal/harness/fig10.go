@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pacer/internal/workload"
+)
+
+// Fig10Series is one configuration's live-memory timeline.
+type Fig10Series struct {
+	Label string
+	// Points are (normalized time, total live words) pairs.
+	Points [][2]float64
+	// Peak is the series' maximum total live words.
+	Peak int
+}
+
+// Fig10Result reproduces Figure 10: total space over normalized time for
+// one benchmark (the paper uses eclipse) under Base, OM only, PACER at
+// several rates, LITERACE, and full tracking.
+type Fig10Result struct {
+	Bench  string
+	Series []Fig10Series
+}
+
+// Fig10Configs lists the configurations measured.
+var fig10Configs = []struct {
+	label string
+	kind  DetectorKind
+	rate  float64
+	instr bool
+}{
+	{"Base", NoDetector, 0, false},
+	{"OM only", Pacer, 0, false},
+	{"Pacer r=1%", Pacer, 0.01, true},
+	{"Pacer r=3%", Pacer, 0.03, true},
+	{"Pacer r=10%", Pacer, 0.10, true},
+	{"Pacer r=25%", Pacer, 0.25, true},
+	{"Pacer r=100%", Pacer, 1.00, true},
+	{"LiteRace", LiteRace, 0, true},
+}
+
+// Fig10 records memory timelines: one trial per configuration, as in the
+// paper ("averaging over multiple trials might smooth spikes").
+func Fig10(b *workload.Spec, o Options) (*Fig10Result, error) {
+	o.fill()
+	out := &Fig10Result{Bench: b.Name}
+	for _, c := range fig10Configs {
+		t, err := RunTrial(TrialConfig{
+			Bench: b, Kind: c.kind, Rate: c.rate,
+			Seed: o.SeedBase, InstrumentAccesses: c.instr, MemTimeline: true, Nursery: o.Nursery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := Fig10Series{Label: c.label}
+		for _, m := range t.Result.MemSamples {
+			frac := float64(m.Event) / float64(t.Result.Events)
+			s.Points = append(s.Points, [2]float64{frac, float64(m.Total())})
+			if m.Total() > s.Peak {
+				s.Peak = m.Total()
+			}
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+func memSampleAt(s Fig10Series, frac float64) float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p[0] <= frac {
+			best = p[1]
+		}
+	}
+	return best
+}
+
+// Render prints each series' live memory at deciles of normalized time,
+// plus its peak.
+func (f *Fig10Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 10: Total live space over normalized time for %s (Kwords).\n", f.Bench)
+	fmt.Fprintf(w, "%-14s", "config")
+	for d := 1; d <= 10; d++ {
+		fmt.Fprintf(w, " %6s", fmt.Sprintf("%d%%", d*10))
+	}
+	fmt.Fprintf(w, " %8s\n", "peak")
+	rule(w, 14+7*10+9)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%-14s", s.Label)
+		for d := 1; d <= 10; d++ {
+			fmt.Fprintf(w, " %6.1f", memSampleAt(s, float64(d)/10)/1000)
+		}
+		fmt.Fprintf(w, " %8.1f\n", float64(s.Peak)/1000)
+	}
+	fmt.Fprintln(w, "(Expected shape: PACER's space scales with r; LiteRace's does not.)")
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pacer/internal/workload"
+)
+
+// Fig6Result reproduces Figure 6: LITERACE's per-distinct-race detection
+// rate for eclipse across many trials, showing that races in hot code are
+// consistently missed while PACER's guarantee still covers them.
+type Fig6Result struct {
+	Bench     string
+	Trials    int
+	EvalRaces []int
+	// Detections[id] counts trials in which race id was reported.
+	Detections map[int]int
+	// Hot[id] marks evaluation races planted in hot code.
+	Hot map[int]bool
+	// EffectiveRate is LiteRace's mean access sampling rate.
+	EffectiveRate float64
+	// NeverFound counts evaluation races never reported in any trial.
+	NeverFound int
+}
+
+// Fig6 runs the LITERACE comparison on the given benchmark (the paper uses
+// eclipse).
+func Fig6(b *workload.Spec, o Options) (*Fig6Result, error) {
+	o.fill()
+	res := &Fig6Result{
+		Bench:      b.Name,
+		Detections: map[int]int{},
+		Hot:        map[int]bool{},
+	}
+
+	// Evaluation races come from fully sampled PACER runs, as in the
+	// accuracy experiments.
+	baseTrials := o.trials(50)
+	full := map[int]int{}
+	for i := 0; i < baseTrials; i++ {
+		t, err := RunTrial(TrialConfig{Bench: b, Kind: Pacer, Rate: 1.0, Seed: o.SeedBase + int64(i), InstrumentAccesses: true, Nursery: o.Nursery})
+		if err != nil {
+			return nil, err
+		}
+		for id := range t.PerRace {
+			full[id]++
+		}
+	}
+	half := (baseTrials + 1) / 2
+	for id, n := range full {
+		if n >= half {
+			res.EvalRaces = append(res.EvalRaces, id)
+			res.Hot[id] = b.Races[id].Hot
+		}
+	}
+	sort.Ints(res.EvalRaces)
+
+	res.Trials = o.trials(500)
+	effSum := 0.0
+	for i := 0; i < res.Trials; i++ {
+		t, err := RunTrial(TrialConfig{
+			Bench: b, Kind: LiteRace,
+			Seed: o.SeedBase + 10_000 + int64(i), InstrumentAccesses: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		effSum += t.LiteRaceRate
+		for id := range t.PerRace {
+			res.Detections[id]++
+		}
+	}
+	res.EffectiveRate = effSum / float64(res.Trials)
+	for _, id := range res.EvalRaces {
+		if res.Detections[id] == 0 {
+			res.NeverFound++
+		}
+	}
+	return res, nil
+}
+
+// Render prints the per-race detection rates, hot races marked.
+func (f *Fig6Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6: LITERACE's per-distinct-race detection rate for %s\n", f.Bench)
+	fmt.Fprintf(w, "(%d trials, effective access sampling rate %.2f%%).\n", f.Trials, f.EffectiveRate*100)
+	type entry struct {
+		id   int
+		rate float64
+		hot  bool
+	}
+	var es []entry
+	for _, id := range f.EvalRaces {
+		es = append(es, entry{id, float64(f.Detections[id]) / float64(f.Trials), f.Hot[id]})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].rate > es[j].rate })
+	for _, e := range es {
+		tag := "cold"
+		if e.hot {
+			tag = "HOT "
+		}
+		fmt.Fprintf(w, "  race %3d [%s]: detected in %5.1f%% of trials\n", e.id, tag, e.rate*100)
+	}
+	fmt.Fprintf(w, "%d of %d evaluation races never reported.\n", f.NeverFound, len(f.EvalRaces))
+}

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pacer/internal/stats"
+	"pacer/internal/workload"
+)
+
+// Fig7Row is one benchmark's overhead breakdown (Figure 7), in percent
+// over the uninstrumented base.
+type Fig7Row struct {
+	Bench string
+	// OMSync is the "OM + sync ops, r = 0%" configuration: object metadata
+	// plus synchronization instrumentation only.
+	OMSync float64
+	// R0, R1, R3 are full PACER at sampling rates 0%, 1%, and 3%.
+	R0, R1, R3 float64
+}
+
+// Fig7Result reproduces the overhead breakdown.
+type Fig7Result struct {
+	Rows []Fig7Row
+	// Avg is the arithmetic mean row.
+	Avg Fig7Row
+}
+
+// medianOverhead runs n trials of a configuration and returns the median
+// overhead (the paper's "each sub-bar is the median of 10 trials").
+func medianOverhead(b *workload.Spec, o Options, kind DetectorKind, rate float64, instr bool, n int) (float64, error) {
+	var xs []float64
+	for i := 0; i < n; i++ {
+		t, err := RunTrial(TrialConfig{
+			Bench: b, Kind: kind, Rate: rate,
+			Seed: o.SeedBase + int64(i), InstrumentAccesses: instr, Nursery: o.Nursery,
+		})
+		if err != nil {
+			return 0, err
+		}
+		xs = append(xs, t.Result.Overhead())
+	}
+	return stats.Median(xs), nil
+}
+
+// Fig7 measures the overhead breakdown at r = 0-3%.
+func Fig7(o Options) (*Fig7Result, error) {
+	o.fill()
+	out := &Fig7Result{}
+	n := o.trials(10)
+	for _, b := range o.Benches {
+		row := Fig7Row{Bench: b.Name}
+		var err error
+		if row.OMSync, err = medianOverhead(b, o, Pacer, 0, false, n); err != nil {
+			return nil, err
+		}
+		if row.R0, err = medianOverhead(b, o, Pacer, 0, true, n); err != nil {
+			return nil, err
+		}
+		if row.R1, err = medianOverhead(b, o, Pacer, 0.01, true, n); err != nil {
+			return nil, err
+		}
+		if row.R3, err = medianOverhead(b, o, Pacer, 0.03, true, n); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+		out.Avg.OMSync += row.OMSync
+		out.Avg.R0 += row.R0
+		out.Avg.R1 += row.R1
+		out.Avg.R3 += row.R3
+	}
+	k := float64(len(out.Rows))
+	out.Avg = Fig7Row{Bench: "avg", OMSync: out.Avg.OMSync / k, R0: out.Avg.R0 / k, R1: out.Avg.R1 / k, R3: out.Avg.R3 / k}
+	return out, nil
+}
+
+// Render prints the breakdown.
+func (f *Fig7Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7: PACER overhead breakdown for r = 0-3% (percent over base,")
+	fmt.Fprintln(w, "median per configuration).")
+	fmt.Fprintf(w, "%-10s %16s %12s %12s %12s\n", "Program", "OM+sync r=0%", "Pacer r=0%", "Pacer r=1%", "Pacer r=3%")
+	rule(w, 68)
+	for _, r := range append(f.Rows, f.Avg) {
+		fmt.Fprintf(w, "%-10s %15.0f%% %11.0f%% %11.0f%% %11.0f%%\n",
+			r.Bench, r.OMSync*100, r.R0*100, r.R1*100, r.R3*100)
+	}
+	fmt.Fprintln(w, "(Paper, avg: 15%, 33%, 52%, 86%.)")
+}
+
+// Fig8Rates is the full sampling-rate sweep of Figure 8.
+var Fig8Rates = []float64{0, 0.01, 0.03, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00}
+
+// Fig9Rates is the zoomed sweep of Figure 9.
+var Fig9Rates = []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.10}
+
+// ScalingResult reproduces Figures 8 and 9: slowdown vs sampling rate.
+type ScalingResult struct {
+	Rates []float64
+	// Slowdown[bench][rate] is total time relative to base (1.0 = none).
+	Slowdown map[string]map[float64]float64
+	// FastTrackSlowdown[bench] is the full-tracking comparator.
+	FastTrackSlowdown map[string]float64
+	Benches           []string
+	Figure            int
+}
+
+// Scaling measures slowdown across sampling rates; pass Fig8Rates or
+// Fig9Rates.
+func Scaling(o Options, rates []float64, figure int) (*ScalingResult, error) {
+	o.fill()
+	out := &ScalingResult{
+		Rates:             rates,
+		Slowdown:          map[string]map[float64]float64{},
+		FastTrackSlowdown: map[string]float64{},
+		Figure:            figure,
+	}
+	n := o.trials(10)
+	for _, b := range o.Benches {
+		out.Benches = append(out.Benches, b.Name)
+		out.Slowdown[b.Name] = map[float64]float64{}
+		for _, r := range rates {
+			ov, err := medianOverhead(b, o, Pacer, r, true, n)
+			if err != nil {
+				return nil, err
+			}
+			out.Slowdown[b.Name][r] = 1 + ov
+		}
+		ov, err := medianOverhead(b, o, FastTrack, 0, true, n)
+		if err != nil {
+			return nil, err
+		}
+		out.FastTrackSlowdown[b.Name] = 1 + ov
+	}
+	return out, nil
+}
+
+// Render prints the slowdown curve.
+func (s *ScalingResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure %d: Performance vs sampling rate (slowdown relative to base).\n", s.Figure)
+	fmt.Fprintf(w, "%-12s", "rate")
+	for _, b := range s.Benches {
+		fmt.Fprintf(w, " %10s", b)
+	}
+	fmt.Fprintln(w)
+	rule(w, 12+11*len(s.Benches))
+	for _, r := range s.Rates {
+		fmt.Fprintf(w, "%-12s", fmt.Sprintf("r = %g%%", r*100))
+		for _, b := range s.Benches {
+			fmt.Fprintf(w, " %9.2fx", s.Slowdown[b][r])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-12s", "fasttrack")
+	for _, b := range s.Benches {
+		fmt.Fprintf(w, " %9.2fx", s.FastTrackSlowdown[b])
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pacer/internal/stats"
+)
+
+// Table1Rates are the specified sampling rates of Table 1.
+var Table1Rates = []float64{0.01, 0.03, 0.05, 0.10, 0.25}
+
+// Table1Cell is one effective-rate measurement.
+type Table1Cell struct {
+	Mean, Std float64
+}
+
+// Table1Result reproduces Table 1: effective sampling rates (± one
+// standard deviation) for each specified PACER sampling rate.
+type Table1Result struct {
+	Benches []string
+	Rates   []float64
+	Cells   map[string]map[float64]Table1Cell
+}
+
+// Table1 runs the effective-sampling-rate experiment.
+func Table1(o Options) (*Table1Result, error) {
+	o.fill()
+	res := &Table1Result{Rates: Table1Rates, Cells: map[string]map[float64]Table1Cell{}}
+	for _, b := range o.Benches {
+		res.Benches = append(res.Benches, b.Name)
+		res.Cells[b.Name] = map[float64]Table1Cell{}
+		for _, r := range Table1Rates {
+			n := o.trials(10)
+			var rates []float64
+			for i := 0; i < n; i++ {
+				t, err := RunTrial(TrialConfig{
+					Bench: b, Kind: Pacer, Rate: r,
+					Seed: o.SeedBase + int64(i), InstrumentAccesses: true, Nursery: o.Nursery,
+				})
+				if err != nil {
+					return nil, err
+				}
+				rates = append(rates, t.EffectiveRate*100)
+			}
+			res.Cells[b.Name][r] = Table1Cell{Mean: stats.Mean(rates), Std: stats.StdDev(rates)}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Effective sampling rates (± one standard deviation) for")
+	fmt.Fprintln(w, "specified PACER sampling rates.")
+	fmt.Fprintf(w, "%-10s", "Program")
+	for _, r := range t.Rates {
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("r = %g%%", r*100))
+	}
+	fmt.Fprintln(w)
+	rule(w, 10+15*len(t.Rates))
+	for _, b := range t.Benches {
+		fmt.Fprintf(w, "%-10s", b)
+		for _, r := range t.Rates {
+			c := t.Cells[b][r]
+			fmt.Fprintf(w, " %14s", fmt.Sprintf("%.1f±%.1f", c.Mean, c.Std))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pacer/internal/workload"
+)
+
+// Table2Row reproduces one row of Table 2: thread counts and race counts.
+type Table2Row struct {
+	Bench          string
+	TotalThreads   int
+	MaxLiveThreads int
+	// AllGe1 and AllGe5 count distinct races observed in ≥1 / ≥5 of all
+	// trials (full-rate and sampled combined).
+	AllTrials      int
+	AllGe1, AllGe5 int
+	// FullGe1/5/25 count distinct races observed in ≥1 / ≥5 / ≥25 of the
+	// full-rate (r = 100%) trials.
+	FullTrials                 int
+	FullGe1, FullGe5, FullGe25 int
+	// EvalRaces are the races observed in at least half of the full-rate
+	// trials — the paper's evaluation races.
+	EvalRaces []int
+	// FullDetections[id] counts the full-rate trials in which race id was
+	// observed; PerRaceDynamic[id] sums its dynamic reports over those
+	// trials. Downstream experiments (Figures 3-5) reuse these baselines.
+	FullDetections  map[int]int
+	PerRaceDynamic  map[int]int
+	PlantedDistinct int
+}
+
+// Table2Result is the full table.
+type Table2Result struct {
+	Rows []*Table2Row
+}
+
+// table2SampledRates spreads the paper's ~1,234 sampled trials across the
+// sampling rates used elsewhere in the evaluation.
+var table2SampledRates = []float64{0.01, 0.03, 0.05, 0.10, 0.25}
+
+// Table2 runs the race-characterization experiment: 50 fully sampled
+// trials plus a population of sampled trials per benchmark (all counts
+// scaled by Options.Scale).
+func Table2(o Options) (*Table2Result, error) {
+	o.fill()
+	out := &Table2Result{}
+	for _, b := range o.Benches {
+		row, err := table2Bench(b, o)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func table2Bench(b *workload.Spec, o Options) (*Table2Row, error) {
+	row := &Table2Row{
+		Bench:           b.Name,
+		TotalThreads:    b.TotalThreads(),
+		MaxLiveThreads:  b.MaxLiveThreads(),
+		FullDetections:  map[int]int{},
+		PerRaceDynamic:  map[int]int{},
+		PlantedDistinct: len(b.Races),
+	}
+	allDetections := map[int]int{}
+
+	row.FullTrials = o.trials(50)
+	seed := o.SeedBase
+	for i := 0; i < row.FullTrials; i++ {
+		t, err := RunTrial(TrialConfig{Bench: b, Kind: Pacer, Rate: 1.0, Seed: seed, InstrumentAccesses: true, Nursery: o.Nursery})
+		if err != nil {
+			return nil, err
+		}
+		seed++
+		for id, n := range t.PerRace {
+			row.FullDetections[id]++
+			allDetections[id]++
+			row.PerRaceDynamic[id] += n
+		}
+	}
+	row.AllTrials = row.FullTrials
+	perRate := o.trials(1234) / len(table2SampledRates)
+	for _, r := range table2SampledRates {
+		for i := 0; i < perRate; i++ {
+			t, err := RunTrial(TrialConfig{Bench: b, Kind: Pacer, Rate: r, Seed: seed, InstrumentAccesses: true, Nursery: o.Nursery})
+			if err != nil {
+				return nil, err
+			}
+			seed++
+			row.AllTrials++
+			for id := range t.PerRace {
+				allDetections[id]++
+			}
+		}
+	}
+
+	// The paper's thresholds (≥5 of ~1,284 trials; ≥5 and ≥25 of 50 full
+	// trials) scale proportionally when Options.Scale shrinks the trial
+	// counts.
+	allTh5 := max(2, (5*row.AllTrials+642)/1284)
+	fullTh5 := max(1, (5*row.FullTrials+25)/50)
+	half := (row.FullTrials + 1) / 2
+	for _, n := range allDetections {
+		if n >= 1 {
+			row.AllGe1++
+		}
+		if n >= allTh5 {
+			row.AllGe5++
+		}
+	}
+	for id, n := range row.FullDetections {
+		if n >= 1 {
+			row.FullGe1++
+		}
+		if n >= fullTh5 {
+			row.FullGe5++
+		}
+		if n >= half {
+			row.FullGe25++
+			row.EvalRaces = append(row.EvalRaces, id)
+		}
+	}
+	return row, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table2Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: Thread counts and race counts.")
+	fmt.Fprintf(w, "%-10s %8s %8s | %9s: %5s %5s | %9s: %5s %5s %5s\n",
+		"Program", "Total", "Max live", "Races ∀r", "≥1", "≥5", "r = 100%", "≥1", "≥5", "≥25")
+	rule(w, 86)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-10s %8d %8d | %9d trials %3d %5d | %9d trials %3d %5d %5d\n",
+			r.Bench, r.TotalThreads, r.MaxLiveThreads,
+			r.AllTrials, r.AllGe1, r.AllGe5,
+			r.FullTrials, r.FullGe1, r.FullGe5, r.FullGe25)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%s: %d planted distinct races, %d evaluation races (≥ half of full trials)\n",
+			r.Bench, r.PlantedDistinct, len(r.EvalRaces))
+	}
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pacer/internal/detector"
+)
+
+// Table3Row aggregates PACER's operation counters for one benchmark at
+// r = 3%, averaged over the trial count (Table 3).
+type Table3Row struct {
+	Bench    string
+	Counters detector.Counters
+	Trials   int
+}
+
+// Table3Result reproduces Table 3: counts of vector clock joins and
+// copies, and read and write operations.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs PACER at a 3% sampling rate and aggregates counters.
+func Table3(o Options) (*Table3Result, error) {
+	o.fill()
+	out := &Table3Result{}
+	n := o.trials(10)
+	for _, b := range o.Benches {
+		row := Table3Row{Bench: b.Name, Trials: n}
+		for i := 0; i < n; i++ {
+			t, err := RunTrial(TrialConfig{
+				Bench: b, Kind: Pacer, Rate: 0.03,
+				Seed: o.SeedBase + int64(i), InstrumentAccesses: true, Nursery: o.Nursery,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Counters.Add(&t.Result.Counters)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout (per-trial averages).
+func (t *Table3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: Counts of vector clock joins and copies, and read and")
+	fmt.Fprintln(w, "write operations for PACER at a sampling rate of 3% (per trial).")
+	const (
+		S  = detector.Sampling
+		NS = detector.NonSampling
+	)
+	avg := func(row Table3Row, v uint64) float64 { return float64(v) / float64(row.Trials) }
+
+	fmt.Fprintln(w, "\nVC joins")
+	fmt.Fprintf(w, "%-10s %14s %14s | %14s %14s\n", "Program", "Samp slow", "Samp fast", "Non-samp slow", "Non-samp fast")
+	rule(w, 74)
+	for _, r := range t.Rows {
+		c := r.Counters
+		fmt.Fprintf(w, "%-10s %14.0f %14.0f | %14.0f %14.0f\n", r.Bench,
+			avg(r, c.SlowJoins[S]), avg(r, c.FastJoins[S]), avg(r, c.SlowJoins[NS]), avg(r, c.FastJoins[NS]))
+	}
+
+	fmt.Fprintln(w, "\nVC copies")
+	fmt.Fprintf(w, "%-10s %14s %14s | %14s %14s\n", "Program", "Samp deep", "Samp shallow", "Non-samp deep", "Non-samp shal")
+	rule(w, 74)
+	for _, r := range t.Rows {
+		c := r.Counters
+		fmt.Fprintf(w, "%-10s %14.0f %14.0f | %14.0f %14.0f\n", r.Bench,
+			avg(r, c.DeepCopies[S]), avg(r, c.ShallowCopies[S]), avg(r, c.DeepCopies[NS]), avg(r, c.ShallowCopies[NS]))
+	}
+
+	fmt.Fprintln(w, "\nReads")
+	fmt.Fprintf(w, "%-10s %14s | %14s %14s\n", "Program", "Samp slow", "Non-samp slow", "Non-samp fast")
+	rule(w, 59)
+	for _, r := range t.Rows {
+		c := r.Counters
+		fmt.Fprintf(w, "%-10s %14.0f | %14.0f %14.0f\n", r.Bench,
+			avg(r, c.ReadSlow[S]), avg(r, c.ReadSlow[NS]), avg(r, c.ReadFast[NS]))
+	}
+
+	fmt.Fprintln(w, "\nWrites")
+	fmt.Fprintf(w, "%-10s %14s | %14s %14s\n", "Program", "Samp slow", "Non-samp slow", "Non-samp fast")
+	rule(w, 59)
+	for _, r := range t.Rows {
+		c := r.Counters
+		fmt.Fprintf(w, "%-10s %14.0f | %14.0f %14.0f\n", r.Bench,
+			avg(r, c.WriteSlow[S]), avg(r, c.WriteSlow[NS]), avg(r, c.WriteFast[NS]))
+	}
+	fmt.Fprintln(w, "\n(The paper's headline: O(n)-time VC operations are almost entirely")
+	fmt.Fprintln(w, "confined to sampling periods.)")
+}

@@ -1,0 +1,172 @@
+package literace_test
+
+import (
+	"testing"
+
+	"pacer/internal/detector"
+	"pacer/internal/dtest"
+	"pacer/internal/event"
+	"pacer/internal/fasttrack"
+	"pacer/internal/literace"
+)
+
+func mk(r detector.Reporter) detector.Detector {
+	return literace.New(r, literace.DefaultOptions())
+}
+
+func TestDetectsRacesWhileBurstSampling(t *testing.T) {
+	// Within the initial 100% burst LiteRace behaves like FastTrack.
+	c := dtest.Run(dtest.NewTB().Write(0, 1).Write(1, 1).Trace, mk)
+	if c.DynamicCount() != 1 || c.Dynamic[0].Kind != detector.WriteWrite {
+		t.Fatalf("got %v", c.Dynamic)
+	}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		tr := event.Generate(event.Synchronized(6, 4000, seed))
+		if c := dtest.Run(tr, mk); c.DynamicCount() != 0 {
+			t.Fatalf("seed %d: false positive %v", seed, c.Dynamic[0])
+		}
+	}
+}
+
+func TestSamplingRateBacksOffForHotCode(t *testing.T) {
+	d := literace.New(nil, literace.Options{BurstLength: 10, MinRate: 0.001, Backoff: 10, Seed: 1})
+	// One hot method executed 100k times by one thread.
+	for i := 0; i < 100000; i++ {
+		d.Read(0, 1, 5, 42)
+	}
+	rate := d.EffectiveRate()
+	if rate > 0.05 {
+		t.Errorf("hot method effective rate = %.4f, want well under 5%%", rate)
+	}
+	if rate <= 0 {
+		t.Error("rate should be positive (bursts still fire)")
+	}
+}
+
+func TestColdCodeFullySampled(t *testing.T) {
+	d := literace.New(nil, literace.Options{BurstLength: 1000, MinRate: 0.001, Backoff: 10, Seed: 1})
+	// A cold method: fewer executions than one burst → all sampled.
+	for i := 0; i < 500; i++ {
+		d.Read(0, event.Var(i), event.Site(i), 7)
+	}
+	if d.EffectiveRate() != 1.0 {
+		t.Errorf("cold method rate = %.3f, want 1.0", d.EffectiveRate())
+	}
+}
+
+func TestPerMethodThreadStateIsIndependent(t *testing.T) {
+	d := literace.New(nil, literace.Options{BurstLength: 10, MinRate: 0.001, Backoff: 10, Seed: 1})
+	// Exhaust method 1 on thread 0.
+	for i := 0; i < 10000; i++ {
+		d.Read(0, 1, 5, 1)
+	}
+	s0 := d.Sampled
+	// Method 2 on thread 0 and method 1 on thread 1 both start fresh at 100%.
+	d.Read(0, 2, 6, 2)
+	d.Read(1, 3, 7, 1)
+	if d.Sampled != s0+2 {
+		t.Errorf("fresh method-thread pairs were not sampled (sampled=%d, want %d)", d.Sampled, s0+2)
+	}
+}
+
+// The cold-region hypothesis failure mode (Figure 6): a race between two
+// hot accesses is consistently missed once the sampler has backed off,
+// while PACER-style global sampling would still catch it in proportion.
+func TestHotRaceMissedAfterBackoff(t *testing.T) {
+	d := literace.New(detector.NewCollector().Report, literace.Options{BurstLength: 10, MinRate: 0.001, Backoff: 10, Seed: 1})
+	col := detector.NewCollector()
+	d = literace.New(col.Report, literace.Options{BurstLength: 10, MinRate: 0.001, Backoff: 10, Seed: 1})
+	// Heat up method 9 on both threads using non-racy per-thread variables.
+	for i := 0; i < 200000; i++ {
+		d.Read(0, 100, 1, 9)
+		d.Read(1, 101, 2, 9)
+	}
+	// Now the hot method races on variable 7 — both accesses are almost
+	// certainly skipped.
+	d.Write(0, 7, 70, 9)
+	d.Write(1, 7, 71, 9)
+	if col.DynamicCount() != 0 {
+		t.Skipf("sampler happened to catch the hot race (possible but rare)")
+	}
+	// The same race in cold code is caught.
+	d.Write(0, 8, 80, 55)
+	d.Write(1, 8, 81, 55)
+	found := false
+	for _, r := range col.Dynamic {
+		if r.Var == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cold race missed")
+	}
+}
+
+func TestSyncAlwaysInstrumented(t *testing.T) {
+	d := literace.New(nil, literace.DefaultOptions())
+	tr := dtest.NewTB().Acq(0, 1).Rel(0, 1).VolWrite(1, 2).VolRead(0, 2).Fork(0, 2).Join(0, 2).Trace
+	detector.Replay(d, tr)
+	if d.Stats().TotalSyncOps() != 6 {
+		t.Errorf("sync ops = %d, want 6", d.Stats().TotalSyncOps())
+	}
+}
+
+func TestMetadataNeverDiscarded(t *testing.T) {
+	d := literace.New(nil, literace.DefaultOptions())
+	for x := event.Var(0); x < 100; x++ {
+		d.Write(0, x, event.Site(x), 1)
+	}
+	w1 := d.MetadataWords()
+	// More writes to new variables keep growing the footprint; nothing is
+	// reclaimed even for variables never touched again.
+	for x := event.Var(100); x < 200; x++ {
+		d.Write(0, x, event.Site(x), 1)
+	}
+	if d.MetadataWords() <= w1 {
+		t.Error("metadata footprint should grow monotonically")
+	}
+}
+
+func TestEffectiveRateTracksSampledFraction(t *testing.T) {
+	d := literace.New(nil, literace.Options{BurstLength: 100, MinRate: 0.01, Backoff: 10, Seed: 3})
+	for i := 0; i < 50000; i++ {
+		d.Read(0, 1, 1, 1)
+	}
+	total := d.Sampled + d.Skipped
+	if total != 50000 {
+		t.Fatalf("accounted accesses = %d, want 50000", total)
+	}
+	if r := d.EffectiveRate(); r <= 0 || r >= 1 {
+		t.Errorf("effective rate = %v, want in (0,1)", r)
+	}
+}
+
+func TestAgreesWithFastTrackDuringInitialBurst(t *testing.T) {
+	// With a burst longer than the trace, LiteRace samples everything and
+	// must match FastTrack exactly.
+	for seed := int64(0); seed < 10; seed++ {
+		tr := dtest.UniqueSites(event.Generate(event.Racy(5, 800, seed)))
+		lr := dtest.Run(tr, func(r detector.Reporter) detector.Detector {
+			return literace.New(r, literace.Options{BurstLength: 1 << 20, MinRate: 0.001, Backoff: 10, Seed: 1})
+		})
+		ft := dtest.Run(tr, func(r detector.Reporter) detector.Detector { return fasttrack.New(r) })
+		ka, kb := dtest.KeySet(lr.Dynamic), dtest.KeySet(ft.Dynamic)
+		if len(ka) != len(kb) {
+			t.Fatalf("seed %d: literace %d reports, fasttrack %d", seed, len(ka), len(kb))
+		}
+		for k, n := range kb {
+			if ka[k] != n {
+				t.Fatalf("seed %d: report %v: literace %d, fasttrack %d", seed, k, ka[k], n)
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if mk(nil).Name() != "literace" {
+		t.Error("wrong name")
+	}
+}

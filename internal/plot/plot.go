@@ -1,0 +1,175 @@
+// Package plot renders simple ASCII line charts and bar charts so the
+// experiment harness can print the paper's *figures* as figures, not just
+// tables, in any terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Points [][2]float64 // (x, y)
+}
+
+// Chart is an ASCII line chart.
+type Chart struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Width   int // plot area columns (default 60)
+	Height  int // plot area rows (default 16)
+	Series  []Series
+	YMax    float64 // 0 = auto
+	Diag    bool    // draw the y=x diagonal (the proportionality ideal)
+	Percent bool    // format axis labels as percentages
+}
+
+// markers label successive series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), 0
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xmin = math.Min(xmin, p[0])
+			xmax = math.Max(xmax, p[0])
+			ymax = math.Max(ymax, p[1])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymax = 0, 1, 1
+	}
+	if c.YMax > 0 {
+		ymax = c.YMax
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	return
+}
+
+func (c *Chart) fmtVal(v float64) string {
+	if c.Percent {
+		return fmt.Sprintf("%.0f%%", v*100)
+	}
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// Render draws the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		f := (x - xmin) / (xmax - xmin)
+		return min(max(int(f*float64(width-1)+0.5), 0), width-1)
+	}
+	row := func(y float64) int {
+		f := (y - ymin) / (ymax - ymin)
+		r := height - 1 - int(f*float64(height-1)+0.5)
+		return min(max(r, 0), height-1)
+	}
+	if c.Diag {
+		for x := xmin; x <= xmax; x += (xmax - xmin) / float64(width) {
+			if x >= ymin && x <= ymax {
+				grid[row(x)][col(x)] = '.'
+			}
+		}
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		pts := append([][2]float64(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+		// Connect consecutive points with interpolated marks.
+		for i, p := range pts {
+			grid[row(p[1])][col(p[0])] = m
+			if i+1 < len(pts) {
+				q := pts[i+1]
+				steps := col(q[0]) - col(p[0])
+				for k := 1; k < steps; k++ {
+					f := float64(k) / float64(steps)
+					x := p[0] + f*(q[0]-p[0])
+					y := p[1] + f*(q[1]-p[1])
+					if grid[row(y)][col(x)] == ' ' {
+						grid[row(y)][col(x)] = '-'
+					}
+				}
+			}
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	yLabelTop := c.fmtVal(ymax)
+	yLabelBot := c.fmtVal(ymin)
+	pad := max(len(yLabelTop), len(yLabelBot))
+	for i, line := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yLabelTop)
+		}
+		if i == height-1 {
+			label = fmt.Sprintf("%*s", pad, yLabelBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(c.fmtVal(xmax)), c.fmtVal(xmin), c.fmtVal(xmax))
+	if c.XLabel != "" {
+		fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", pad), c.XLabel)
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if c.Diag {
+		legend = append(legend, ". ideal")
+	}
+	fmt.Fprintf(w, "%s  legend: %s\n", strings.Repeat(" ", pad), strings.Join(legend, "   "))
+}
+
+// Bars renders a horizontal bar chart of labelled values.
+func Bars(w io.Writer, title string, labels []string, values []float64, format func(float64) string) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		maxVal = math.Max(maxVal, v)
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	const width = 50
+	for i, v := range values {
+		n := int(v / maxVal * width)
+		fmt.Fprintf(w, "%*s |%s %s\n", maxLabel, labels[i], strings.Repeat("=", n), format(v))
+	}
+}

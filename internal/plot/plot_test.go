@@ -1,0 +1,81 @@
+package plot_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pacer/internal/plot"
+)
+
+func TestChartRendersSeriesAndLegend(t *testing.T) {
+	c := plot.Chart{
+		Title:  "detection rate vs sampling rate",
+		XLabel: "sampling rate",
+		Series: []plot.Series{
+			{Name: "eclipse", Points: [][2]float64{{0.01, 0.01}, {0.5, 0.55}, {1, 1}}},
+			{Name: "xalan", Points: [][2]float64{{0.01, 0.02}, {0.5, 0.45}, {1, 1}}},
+		},
+		Diag:    true,
+		Percent: true,
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"detection rate", "eclipse", "xalan", "ideal", "*", "o", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(out, "\n")) < 16 {
+		t.Error("chart too short")
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	(&plot.Chart{Title: "empty"}).Render(&buf)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty chart did not render")
+	}
+}
+
+func TestChartMonotoneLinePlacesExtremes(t *testing.T) {
+	c := plot.Chart{
+		Height: 10, Width: 40,
+		Series: []plot.Series{{Name: "s", Points: [][2]float64{{0, 0}, {1, 1}}}},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	lines := strings.Split(buf.String(), "\n")
+	// First plot row holds the max point, last plot row the min.
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("max point not on top row: %q", lines[0])
+	}
+	if !strings.Contains(lines[9], "*") {
+		t.Errorf("min point not on bottom row: %q", lines[9])
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	plot.Bars(&buf, "overheads", []string{"a", "bb"}, []float64{0.5, 1.0},
+		func(v float64) string { return "v" })
+	out := buf.String()
+	if !strings.Contains(out, "overheads") || !strings.Contains(out, "==") {
+		t.Errorf("bars output wrong:\n%s", out)
+	}
+	// The larger value has the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "=") >= strings.Count(lines[2], "=") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	var buf bytes.Buffer
+	plot.Bars(&buf, "", []string{"z"}, []float64{0}, func(v float64) string { return "0" })
+	if !strings.Contains(buf.String(), "z |") {
+		t.Error("zero bar missing")
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// Cond identifies a condition variable (a Java monitor used with
+// wait/notify).
+type Cond uint32
+
+// Wait releases m, blocks until another thread notifies c, then
+// re-acquires m — Java's Object.wait. The calling thread must hold m.
+// Happens-before edges come entirely from the monitor operations the wait
+// decomposes into (the release on entry and the re-acquisition on wakeup),
+// exactly as in the Java memory model.
+func (t *Thread) Wait(c Cond, m Lock) {
+	t.yield(op{kind: opWait, target: uint32(c), aux: uint32(m)})
+}
+
+// Notify wakes one waiter of c, if any — Java's Object.notify. A notify
+// with no waiters is lost.
+func (t *Thread) Notify(c Cond) {
+	t.yield(op{kind: opNotify, target: uint32(c)})
+}
+
+// NotifyAll wakes every waiter of c — Java's Object.notifyAll.
+func (t *Thread) NotifyAll(c Cond) {
+	t.yield(op{kind: opNotifyAll, target: uint32(c)})
+}
+
+// stepWait handles the wait operation: release the monitor, report the
+// release, and park the thread on the condition queue. The thread's
+// goroutine stays blocked in its yield; the scheduler re-arms its pending
+// operation as a monitor re-acquisition when a notify arrives.
+func (s *Sim) stepWait(t *Thread, o op) error {
+	m := Lock(o.aux)
+	if owner, held := s.lockOwner[m]; !held || owner != t.id {
+		return fmt.Errorf("sim: thread %d waits on cond %d without holding lock %d", t.id, o.target, m)
+	}
+	delete(s.lockOwner, m)
+	s.syncOp()
+	if s.cfg.Detector != nil {
+		s.cfg.Detector.Release(t.id, m)
+		s.accountDelta()
+	}
+	t.pending = nil // parked: not runnable until notified
+	if s.condWaiters == nil {
+		s.condWaiters = make(map[Cond][]*Thread)
+	}
+	c := Cond(o.target)
+	s.condWaiters[c] = append(s.condWaiters[c], t)
+	t.waitLock = m
+	return nil
+}
+
+// wake re-arms a parked waiter as a lock re-acquisition; granting that
+// acquisition completes the original Wait call.
+func (s *Sim) wake(t *Thread) {
+	t.pending = &op{kind: opLock, target: uint32(t.waitLock), fromWait: true}
+}
+
+func (s *Sim) stepNotify(t *Thread, o op, all bool) {
+	s.syncOp()
+	c := Cond(o.target)
+	waiters := s.condWaiters[c]
+	if len(waiters) == 0 {
+		return // lost notification
+	}
+	if all {
+		for _, w := range waiters {
+			s.wake(w)
+		}
+		delete(s.condWaiters, c)
+		return
+	}
+	// Wake the scheduler-deterministic first waiter (FIFO, like most JVMs
+	// in practice; the spec allows any).
+	s.wake(waiters[0])
+	rest := waiters[1:]
+	if len(rest) == 0 {
+		delete(s.condWaiters, c)
+	} else {
+		s.condWaiters[c] = rest
+	}
+}

@@ -1,0 +1,149 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"pacer/internal/detector"
+	"pacer/internal/fasttrack"
+	"pacer/internal/sim"
+	"pacer/internal/vclock"
+)
+
+// producerConsumerCond is the canonical monitor handoff: the consumer
+// waits under the lock until the producer sets state and notifies.
+func producerConsumerCond(items int) (sim.Program, *[]int) {
+	delivered := &[]int{}
+	return sim.Program{
+		Name: "cond-handoff",
+		Main: func(t *sim.Thread) {
+			const (
+				mon  = sim.Lock(1)
+				cv   = sim.Cond(1)
+				data = sim.Var(500)
+			)
+			ready := false
+			consumer := t.Fork(func(c *sim.Thread) {
+				c.Lock(mon)
+				for !ready {
+					c.Wait(cv, mon)
+				}
+				c.Read(data, 1, 0)
+				*delivered = append(*delivered, 1)
+				c.Unlock(mon)
+			})
+			producer := t.Fork(func(p *sim.Thread) {
+				p.Work(3)
+				p.Lock(mon)
+				p.Write(data, 2, 0)
+				ready = true
+				p.Notify(cv)
+				p.Unlock(mon)
+			})
+			t.Join(consumer)
+			t.Join(producer)
+		},
+	}, delivered
+}
+
+func TestCondHandoffCompletesAndIsRaceFree(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p, delivered := producerConsumerCond(1)
+		col := detector.NewCollector()
+		_, err := sim.Run(p, sim.Config{
+			Seed: seed, Detector: fasttrack.New(col.Report), InstrumentAccesses: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(*delivered) != 1 {
+			t.Fatalf("seed %d: consumer never completed", seed)
+		}
+		if col.DynamicCount() != 0 {
+			t.Fatalf("seed %d: monitor handoff raced: %v", seed, col.Dynamic[0])
+		}
+	}
+}
+
+func TestNotifyAllWakesEveryWaiter(t *testing.T) {
+	woken := 0
+	p := sim.Program{
+		Name: "notify-all",
+		Main: func(t *sim.Thread) {
+			const (
+				mon = sim.Lock(1)
+				cv  = sim.Cond(1)
+			)
+			go_ := false
+			var ids []vclock.Thread
+			for i := 0; i < 5; i++ {
+				ids = append(ids, t.Fork(func(c *sim.Thread) {
+					c.Lock(mon)
+					for !go_ {
+						c.Wait(cv, mon)
+					}
+					woken++
+					c.Unlock(mon)
+				}))
+			}
+			t.Work(5)
+			t.Lock(mon)
+			go_ = true
+			t.NotifyAll(cv)
+			t.Unlock(mon)
+			for _, id := range ids {
+				t.Join(id)
+			}
+		},
+	}
+	if _, err := sim.Run(p, sim.Config{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestWaitWithoutLockErrors(t *testing.T) {
+	p := sim.Program{
+		Name: "bad-wait",
+		Main: func(t *sim.Thread) { t.Wait(1, 2) },
+	}
+	if _, err := sim.Run(p, sim.Config{Seed: 1}); err == nil {
+		t.Fatal("wait without holding the monitor did not error")
+	}
+}
+
+func TestLostNotifyDeadlocks(t *testing.T) {
+	// The waiter arrives after the only notify: a classic lost-wakeup
+	// deadlock the simulator must detect.
+	p := sim.Program{
+		Name: "lost-notify",
+		Main: func(t *sim.Thread) {
+			const (
+				mon = sim.Lock(1)
+				cv  = sim.Cond(1)
+			)
+			w := t.Fork(func(c *sim.Thread) {
+				c.Work(50) // guarantee the notify happens first
+				c.Lock(mon)
+				c.Wait(cv, mon) // waits forever
+				c.Unlock(mon)
+			})
+			t.Lock(mon)
+			t.Notify(cv) // no waiters yet: lost
+			t.Unlock(mon)
+			t.Join(w)
+		},
+	}
+	sawDeadlock := false
+	for seed := int64(0); seed < 10; seed++ {
+		_, err := sim.Run(p, sim.Config{Seed: seed})
+		if errors.Is(err, sim.ErrDeadlock) {
+			sawDeadlock = true
+		}
+	}
+	if !sawDeadlock {
+		t.Fatal("lost notification never deadlocked")
+	}
+}

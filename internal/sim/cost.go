@@ -1,0 +1,70 @@
+package sim
+
+// CostModel assigns simulated time units to program operations and
+// instrumentation work. The *structure* of the model is exact — every term
+// is driven by a counted operation of the detector under test, so overhead
+// scales precisely with how often each analysis path executes — while the
+// unit constants are calibrated once against the overhead breakdown the
+// paper reports for its Jikes RVM implementation (Figure 7: ~15% for object
+// metadata + sync instrumentation, ~18% for the inline read/write check,
+// ~12x at a 100% sampling rate; Section 4: "the overhead of this check is
+// about 18%").
+type CostModel struct {
+	// AccessBase is the base cost of an uninstrumented read or write.
+	AccessBase float64
+	// SyncBase is the base cost of a synchronization operation.
+	SyncBase float64
+	// AllocPerWord is the base cost of allocating one heap word.
+	AllocPerWord float64
+
+	// OMPerWord is the extra allocation cost per program word for the two
+	// object header words.
+	OMPerWord float64
+	// SyncInstrBase is the fixed instrumentation cost at each
+	// synchronization operation (call into the analysis).
+	SyncInstrBase float64
+	// FastPathCheck is the inline "sampling || metadata != null" check on
+	// an access whose slow path is not taken.
+	FastPathCheck float64
+	// SlowPathAccess is the analysis cost of an access slow path.
+	SlowPathAccess float64
+	// SlowJoinBase and PerElem price an O(n) join: fixed part plus per
+	// vector element compared. MemcpyPerElem prices the cheaper streaming
+	// element work of deep copies and clones.
+	SlowJoinBase  float64
+	PerElem       float64
+	MemcpyPerElem float64
+	// FastJoin is a version-epoch comparison that skips the join.
+	FastJoin float64
+	// DeepCopyBase and ShallowCopy price vector clock copies.
+	DeepCopyBase float64
+	ShallowCopy  float64
+	// Increment prices a vector clock increment.
+	Increment float64
+}
+
+// DefaultCostModel returns the calibrated constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		AccessBase:     1.0,
+		SyncBase:       4.0,
+		AllocPerWord:   0.05,
+		OMPerWord:      0.012,
+		SyncInstrBase:  0.6,
+		FastPathCheck:  0.40,
+		SlowPathAccess: 9.0,
+		SlowJoinBase:   1.0,
+		PerElem:        0.35,
+		MemcpyPerElem:  0.10,
+		FastJoin:       0.5,
+		DeepCopyBase:   1.0,
+		ShallowCopy:    0.5,
+		Increment:      0.3,
+	}
+}
+
+func (c *CostModel) fill() {
+	if c.AccessBase == 0 {
+		*c = DefaultCostModel()
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "pacer/internal/detector"
+
+// MemSample is one live-memory observation at a full-heap collection
+// (Figure 10). All quantities are in 8-byte words.
+type MemSample struct {
+	// Event is the simulation event count at the collection, the
+	// "normalized time" axis once divided by the trial's total events.
+	Event uint64
+	// ProgramWords is the program's live heap.
+	ProgramWords int
+	// HeaderWords is the space added by the two per-object header words.
+	HeaderWords int
+	// MetaWords is the detector's live metadata.
+	MetaWords int
+}
+
+// Total returns the sample's total live memory.
+func (m MemSample) Total() int { return m.ProgramWords + m.HeaderWords + m.MetaWords }
+
+// Result aggregates one simulation trial.
+type Result struct {
+	// Program is the workload name.
+	Program string
+	// Events counts every executed operation.
+	Events uint64
+	// Reads, Writes, and SyncOps count program-level operations.
+	Reads, Writes, SyncOps uint64
+	// ThreadsTotal and MaxLiveThreads reproduce Table 2's thread columns.
+	ThreadsTotal   int
+	MaxLiveThreads int
+	// BaseCost is the simulated time of the uninstrumented program;
+	// InstrCost is the additional time spent in the detector.
+	BaseCost, InstrCost float64
+	// EffectiveRate is the fraction of program work (measured in sync ops,
+	// as in Section 4) that executed inside sampling periods.
+	EffectiveRate float64
+	// Collections and SamplingPeriods count GCs and sampling periods.
+	Collections     int
+	SamplingPeriods int
+	// MemSamples is the live-memory timeline (when enabled).
+	MemSamples []MemSample
+	// FinalMetaWords is the detector's metadata footprint at exit.
+	FinalMetaWords int
+	// Counters is a snapshot of the detector's operation counters.
+	Counters detector.Counters
+}
+
+// Overhead returns the run's instrumentation overhead as a fraction of
+// base execution time (0.52 means 52% slower).
+func (r *Result) Overhead() float64 {
+	if r.BaseCost == 0 {
+		return 0
+	}
+	return r.InstrCost / r.BaseCost
+}
+
+// Slowdown returns total time relative to the uninstrumented program
+// (1.0 = no overhead).
+func (r *Result) Slowdown() float64 { return 1 + r.Overhead() }

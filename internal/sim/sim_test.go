@@ -1,0 +1,365 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"pacer/internal/core"
+	"pacer/internal/detector"
+	"pacer/internal/fasttrack"
+	"pacer/internal/sim"
+	"pacer/internal/vclock"
+)
+
+// twoThreadRace: thread 0 forks a child; both write variable 1 without
+// synchronization.
+func twoThreadRace() sim.Program {
+	return sim.Program{
+		Name: "two-thread-race",
+		Main: func(t *sim.Thread) {
+			u := t.Fork(func(c *sim.Thread) {
+				c.Write(1, 100, 0)
+			})
+			t.Write(1, 200, 0)
+			t.Join(u)
+		},
+	}
+}
+
+// lockedProgram: n threads increment a shared counter under a lock.
+func lockedProgram(n, iters int) sim.Program {
+	return sim.Program{
+		Name: "locked",
+		Main: func(t *sim.Thread) {
+			var kids []vclock.Thread
+			for i := 0; i < n; i++ {
+				kids = append(kids, t.Fork(func(c *sim.Thread) {
+					for j := 0; j < iters; j++ {
+						c.Lock(1)
+						c.Read(7, 1, 0)
+						c.Write(7, 2, 0)
+						c.Unlock(1)
+						c.Alloc(16)
+					}
+				}))
+			}
+			for _, k := range kids {
+				t.Join(k)
+			}
+		},
+	}
+}
+
+func TestRaceDetectedUnderFullTracking(t *testing.T) {
+	col := detector.NewCollector()
+	res, err := sim.Run(twoThreadRace(), sim.Config{
+		Seed:               1,
+		Detector:           fasttrack.New(col.Report),
+		InstrumentAccesses: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.DynamicCount() != 1 {
+		t.Fatalf("races = %d, want 1", col.DynamicCount())
+	}
+	if res.ThreadsTotal != 2 {
+		t.Errorf("threads = %d, want 2", res.ThreadsTotal)
+	}
+}
+
+func TestLockedProgramIsRaceFree(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		col := detector.NewCollector()
+		_, err := sim.Run(lockedProgram(6, 40), sim.Config{
+			Seed:               seed,
+			Detector:           fasttrack.New(col.Report),
+			InstrumentAccesses: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if col.DynamicCount() != 0 {
+			t.Fatalf("seed %d: false positive %v", seed, col.Dynamic[0])
+		}
+	}
+}
+
+func TestDeterministicUnderFixedSeed(t *testing.T) {
+	run := func() *sim.Result {
+		col := detector.NewCollector()
+		res, err := sim.Run(lockedProgram(5, 30), sim.Config{
+			Seed:               42,
+			Detector:           core.New(col.Report),
+			InstrumentAccesses: true,
+			SampleTarget:       0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Events != b.Events || a.BaseCost != b.BaseCost || a.InstrCost != b.InstrCost ||
+		a.EffectiveRate != b.EffectiveRate || a.Collections != b.Collections {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	events := map[uint64]bool{}
+	var costs []float64
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := sim.Run(lockedProgram(5, 30), sim.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events[res.Events] = true
+		costs = append(costs, res.BaseCost)
+	}
+	// The program always performs the same operations; only their order
+	// changes, so the op count is seed-independent and base cost matches
+	// up to floating-point accumulation order.
+	if len(events) != 1 {
+		t.Errorf("same program, different op counts across seeds: %v", events)
+	}
+	for _, c := range costs[1:] {
+		if c < costs[0]*0.999 || c > costs[0]*1.001 {
+			t.Errorf("base costs diverge beyond accumulation noise: %v", costs)
+		}
+	}
+}
+
+func TestMutualExclusionEnforced(t *testing.T) {
+	// A program that would corrupt state without mutual exclusion: each
+	// thread asserts it is alone in the critical section via a host-level
+	// counter.
+	inCS := 0
+	maxInCS := 0
+	p := sim.Program{
+		Name: "mutex",
+		Main: func(t *sim.Thread) {
+			var kids []vclock.Thread
+			for i := 0; i < 8; i++ {
+				kids = append(kids, t.Fork(func(c *sim.Thread) {
+					for j := 0; j < 50; j++ {
+						c.Lock(3)
+						inCS++
+						if inCS > maxInCS {
+							maxInCS = inCS
+						}
+						c.Work(5) // yield inside the critical section
+						inCS--
+						c.Unlock(3)
+					}
+				}))
+			}
+			for _, k := range kids {
+				t.Join(k)
+			}
+		},
+	}
+	if _, err := sim.Run(p, sim.Config{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if maxInCS != 1 {
+		t.Fatalf("mutual exclusion violated: %d threads in critical section", maxInCS)
+	}
+}
+
+func TestJoinWaitsForChild(t *testing.T) {
+	order := []string{}
+	p := sim.Program{
+		Name: "join-order",
+		Main: func(t *sim.Thread) {
+			u := t.Fork(func(c *sim.Thread) {
+				c.Work(1)
+				order = append(order, "child")
+			})
+			t.Join(u)
+			order = append(order, "parent-after-join")
+		},
+	}
+	if _, err := sim.Run(p, sim.Config{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "child" || order[1] != "parent-after-join" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	p := sim.Program{
+		Name: "deadlock",
+		Main: func(t *sim.Thread) {
+			u := t.Fork(func(c *sim.Thread) {
+				c.Lock(2)
+				c.Lock(1) // blocks forever once parent holds 1
+				c.Unlock(1)
+				c.Unlock(2)
+			})
+			t.Lock(1)
+			t.Work(1)
+			t.Lock(2) // may deadlock depending on schedule
+			t.Unlock(2)
+			t.Unlock(1)
+			t.Join(u)
+		},
+	}
+	sawDeadlock := false
+	for seed := int64(0); seed < 50; seed++ {
+		_, err := sim.Run(p, sim.Config{Seed: seed})
+		if errors.Is(err, sim.ErrDeadlock) {
+			sawDeadlock = true
+		} else if err != nil {
+			t.Fatalf("seed %d: unexpected error %v", seed, err)
+		}
+	}
+	if !sawDeadlock {
+		t.Error("classic lock-order inversion never deadlocked in 50 schedules")
+	}
+}
+
+func TestSamplingControllerApproximatesTarget(t *testing.T) {
+	// A long allocation-heavy program so many GC periods occur.
+	p := sim.Program{
+		Name: "alloc-heavy",
+		Main: func(t *sim.Thread) {
+			u := t.Fork(func(c *sim.Thread) {
+				for i := 0; i < 30000; i++ {
+					c.Alloc(8)
+					c.Lock(1)
+					c.Write(5, 1, 0)
+					c.Unlock(1)
+				}
+			})
+			for i := 0; i < 30000; i++ {
+				t.Alloc(8)
+				t.Lock(1)
+				t.Read(5, 2, 0)
+				t.Unlock(1)
+			}
+			t.Join(u)
+		},
+	}
+	for _, target := range []float64{0.05, 0.25} {
+		var rates []float64
+		for seed := int64(0); seed < 6; seed++ {
+			res, err := sim.Run(p, sim.Config{
+				Seed:               seed,
+				Detector:           core.New(nil),
+				InstrumentAccesses: true,
+				SampleTarget:       target,
+				NurseryWords:       4096,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rates = append(rates, res.EffectiveRate)
+		}
+		mean := 0.0
+		for _, r := range rates {
+			mean += r
+		}
+		mean /= float64(len(rates))
+		if mean < target*0.5 || mean > target*1.7 {
+			t.Errorf("target %.0f%%: mean effective rate %.1f%% is far off", target*100, mean*100)
+		}
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	// Overhead must rank: base(0) < OM+sync < pacer r=0 < pacer r=5% <
+	// pacer r=100%.
+	p := lockedProgram(6, 300)
+	run := func(instr bool, target float64) float64 {
+		sum := 0.0
+		const seeds = 5
+		for seed := int64(0); seed < seeds; seed++ {
+			res, err := sim.Run(p, sim.Config{
+				Seed: seed, Detector: core.New(nil),
+				InstrumentAccesses: instr, SampleTarget: target,
+				NurseryWords: 1024,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Overhead()
+		}
+		return sum / seeds
+	}
+	base, err := sim.Run(p, sim.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Overhead() != 0 {
+		t.Fatalf("uninstrumented overhead = %v, want 0", base.Overhead())
+	}
+	omSync := run(false, 0)
+	r0 := run(true, 0)
+	r30 := run(true, 0.3)
+	r100 := run(true, 1.0)
+	if !(omSync > 0 && omSync < r0 && r0 < r30 && r30 < r100) {
+		t.Errorf("overhead ordering violated: om+sync=%.3f r0=%.3f r30=%.3f r100=%.3f", omSync, r0, r30, r100)
+	}
+}
+
+func TestMemTimelineRecorded(t *testing.T) {
+	res, err := sim.Run(lockedProgram(4, 2000), sim.Config{
+		Seed:               2,
+		Detector:           core.New(nil),
+		InstrumentAccesses: true,
+		SampleTarget:       0.25,
+		NurseryWords:       2048,
+		MemTimeline:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MemSamples) == 0 {
+		t.Fatal("no memory samples recorded")
+	}
+	for _, s := range res.MemSamples {
+		if s.Total() <= 0 || s.ProgramWords <= 0 {
+			t.Fatalf("bad sample %+v", s)
+		}
+	}
+}
+
+func TestLockErrorsSurfaceAsErrors(t *testing.T) {
+	p := sim.Program{
+		Name: "bad-unlock",
+		Main: func(t *sim.Thread) { t.Unlock(1) },
+	}
+	if _, err := sim.Run(p, sim.Config{Seed: 1}); err == nil {
+		t.Fatal("releasing an unheld lock did not error")
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	p := sim.Program{
+		Name: "spin",
+		Main: func(t *sim.Thread) {
+			for {
+				t.Work(1)
+			}
+		},
+	}
+	_, err := sim.Run(p, sim.Config{Seed: 1, MaxEvents: 1000})
+	if !errors.Is(err, sim.ErrTooManyEvents) {
+		t.Fatalf("err = %v, want ErrTooManyEvents", err)
+	}
+}
+
+func TestThreadCountsReported(t *testing.T) {
+	res, err := sim.Run(lockedProgram(9, 5), sim.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThreadsTotal != 10 {
+		t.Errorf("ThreadsTotal = %d, want 10", res.ThreadsTotal)
+	}
+	if res.MaxLiveThreads < 2 || res.MaxLiveThreads > 10 {
+		t.Errorf("MaxLiveThreads = %d out of range", res.MaxLiveThreads)
+	}
+}

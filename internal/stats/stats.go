@@ -1,0 +1,80 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: means, standard deviations, detection-rate math, and the
+// paper's trial-count formula.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Median returns the median of xs (0 for an empty slice).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// NumTrials implements the paper's trial-count formula (Section 5.1):
+//
+//	numTrials_r = min(max(⌈1000% / r⌉, 50), 500)
+//
+// with r expressed as a fraction (0.01 for 1%).
+func NumTrials(r float64) int {
+	if r <= 0 {
+		return 50
+	}
+	n := int(math.Ceil(10 / r))
+	return min(max(n, 50), 500)
+}
+
+// Ratio returns a/b, or 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// BinomialCI returns the half-width of the normal-approximation 95%
+// confidence interval for a proportion p observed over n trials.
+func BinomialCI(p float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 1.96 * math.Sqrt(p*(1-p)/float64(n))
+}

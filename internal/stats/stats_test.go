@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev(nil) != 0 || StdDev([]float64{5}) != 0 {
+		t.Error("degenerate StdDev should be 0")
+	}
+	// Sample stddev of {2,4,4,4,5,5,7,9} is ~2.138.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestStdDevNonNegativeQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		return StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); !almost(got, c.want) {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+// NumTrials reproduces the paper's examples: 500 trials at 1%, 334 at 3%,
+// 50 at 100%.
+func TestNumTrialsPaperValues(t *testing.T) {
+	cases := []struct {
+		r    float64
+		want int
+	}{
+		{0.01, 500},
+		{0.03, 334},
+		{0.05, 200},
+		{0.10, 100},
+		{0.25, 50},
+		{1.00, 50},
+		{0, 50},
+	}
+	for _, c := range cases {
+		if got := NumTrials(c.r); got != c.want {
+			t.Errorf("NumTrials(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestNumTrialsBounds(t *testing.T) {
+	f := func(r float64) bool {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return true
+		}
+		n := NumTrials(math.Abs(r))
+		return n >= 50 && n <= 500
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio by zero should be 0")
+	}
+	if !almost(Ratio(3, 4), 0.75) {
+		t.Error("Ratio wrong")
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	if BinomialCI(0.5, 0) != 0 {
+		t.Error("n=0 should give 0")
+	}
+	// p=0.5, n=100 → 1.96*sqrt(0.25/100) = 0.098.
+	if got := BinomialCI(0.5, 100); math.Abs(got-0.098) > 1e-9 {
+		t.Errorf("CI = %v", got)
+	}
+}

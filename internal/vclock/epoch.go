@@ -1,0 +1,139 @@
+// Package vclock implements the clock machinery shared by all of the race
+// detectors in this repository: vector clocks with copy-on-write sharing,
+// epochs (c@t), read maps, version vectors, and version epochs.
+//
+// The terminology follows Bond, Coons, and McKinley, "PACER: Proportional
+// Detection of Data Races" (PLDI 2010), which in turn builds on Flanagan and
+// Freund's FastTrack (PLDI 2009).
+package vclock
+
+import "fmt"
+
+// Thread identifies a logical thread. Thread identifiers are small dense
+// integers assigned in fork order, starting at 0.
+type Thread int32
+
+// NoThread is the invalid thread identifier.
+const NoThread Thread = -1
+
+const (
+	// epochThreadBits is the number of low bits of an Epoch that hold the
+	// thread identifier. 22 bits allow ~4M threads, far more than the
+	// paper's maximum of 403 total threads (hsqldb, Table 2).
+	epochThreadBits = 22
+	epochThreadMask = 1<<epochThreadBits - 1
+
+	// MaxThreads is the largest number of threads an Epoch can name.
+	MaxThreads = 1 << epochThreadBits
+
+	// MaxClock is the largest clock value an Epoch can carry (42 bits).
+	MaxClock = 1<<(64-epochThreadBits) - 1
+)
+
+// Epoch is a packed pair c@t: the clock value c of thread t at some moment.
+// The zero value is the minimal epoch 0@0, written ⊥e in the paper; any
+// epoch with clock 0 is minimal because thread clocks start at 1.
+//
+// FastTrack and PACER use epochs to represent a totally ordered last write
+// (and, when reads are totally ordered, the last read) in O(1) space.
+type Epoch uint64
+
+// EpochZero is the minimal epoch 0@0 (⊥e).
+const EpochZero Epoch = 0
+
+// MakeEpoch packs clock value c of thread t into an Epoch.
+func MakeEpoch(t Thread, c uint64) Epoch {
+	if t < 0 || t >= MaxThreads {
+		panic(fmt.Sprintf("vclock: thread %d out of epoch range", t))
+	}
+	if c > MaxClock {
+		panic(fmt.Sprintf("vclock: clock %d overflows epoch", c))
+	}
+	return Epoch(c<<epochThreadBits | uint64(t))
+}
+
+// Thread returns the thread component t of the epoch c@t.
+func (e Epoch) Thread() Thread { return Thread(e & epochThreadMask) }
+
+// Clock returns the clock component c of the epoch c@t.
+func (e Epoch) Clock() uint64 { return uint64(e >> epochThreadBits) }
+
+// IsZero reports whether the epoch is minimal (clock 0), i.e. carries no
+// access information.
+func (e Epoch) IsZero() bool { return e.Clock() == 0 }
+
+// Leq reports c@t ≼ V, i.e. c ≤ V(t). This is the constant-time ordering
+// check of FastTrack Equation 4.
+func (e Epoch) Leq(v *VC) bool { return e.Clock() <= v.Get(e.Thread()) }
+
+// String renders the epoch in the paper's c@t notation.
+func (e Epoch) String() string {
+	return fmt.Sprintf("%d@%d", e.Clock(), e.Thread())
+}
+
+// VersionEpoch is a packed pair v@t naming version v of thread t's vector
+// clock (Appendix A.2). It has two distinguished values:
+//
+//   - VEBottom (⊥ve, the zero value): v@t with v = 0; ⊥ve ≼ V always holds,
+//     so a join against a clock tagged ⊥ve can always be skipped. PACER's
+//     implementation represents this state as a null version epoch on a
+//     lock that has never been released (its clock is still minimal).
+//   - VETop (⊤ve): ⊤ve ≼ V never holds. PACER tags a volatile's clock with
+//     ⊤ve once the clock is a join of several threads' clocks and therefore
+//     no longer a snapshot of any single thread's clock (Algorithm 16).
+type VersionEpoch uint64
+
+const (
+	// VEBottom is the minimal version epoch 0@0 (⊥ve).
+	VEBottom VersionEpoch = 0
+	// VETop is the maximal version epoch (⊤ve); VETop.Leq is never true.
+	VETop VersionEpoch = ^VersionEpoch(0)
+)
+
+// MakeVersionEpoch packs version v of thread t into a VersionEpoch.
+func MakeVersionEpoch(t Thread, v uint64) VersionEpoch {
+	if t < 0 || t >= MaxThreads {
+		panic(fmt.Sprintf("vclock: thread %d out of version epoch range", t))
+	}
+	if v > MaxClock {
+		panic(fmt.Sprintf("vclock: version %d overflows version epoch", v))
+	}
+	ve := VersionEpoch(v<<epochThreadBits | uint64(t))
+	if ve == VETop {
+		panic("vclock: version epoch collides with ⊤ve")
+	}
+	return ve
+}
+
+// Thread returns the thread component of the version epoch. It must not be
+// called on VETop.
+func (ve VersionEpoch) Thread() Thread { return Thread(ve & epochThreadMask) }
+
+// Version returns the version component of the version epoch. It must not
+// be called on VETop.
+func (ve VersionEpoch) Version() uint64 { return uint64(ve >> epochThreadBits) }
+
+// IsTop reports whether the version epoch is ⊤ve.
+func (ve VersionEpoch) IsTop() bool { return ve == VETop }
+
+// Leq reports v@t ≼ V, i.e. v ≤ V(t) (Appendix Equation 6). It is false
+// for ⊤ve and true for ⊥ve, matching the paper's definitions.
+func (ve VersionEpoch) Leq(v *VC) bool {
+	if ve == VETop {
+		return false
+	}
+	return ve.Version() <= v.Get(ve.Thread())
+}
+
+// String renders the version epoch in v@t notation, or ⊤/⊥ for the
+// distinguished values.
+func (ve VersionEpoch) String() string {
+	switch {
+	case ve == VETop:
+		return "⊤ve"
+	case ve == VEBottom:
+		return "⊥ve"
+	default:
+		return fmt.Sprintf("v%d@%d", ve.Version(), ve.Thread())
+	}
+}

@@ -1,0 +1,178 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochPackUnpack(t *testing.T) {
+	cases := []struct {
+		t Thread
+		c uint64
+	}{
+		{0, 0}, {0, 1}, {1, 0}, {7, 42}, {402, 1 << 30}, {MaxThreads - 1, MaxClock},
+	}
+	for _, tc := range cases {
+		e := MakeEpoch(tc.t, tc.c)
+		if e.Thread() != tc.t || e.Clock() != tc.c {
+			t.Errorf("MakeEpoch(%d,%d) round-trips to %d@%d", tc.t, tc.c, e.Clock(), e.Thread())
+		}
+	}
+}
+
+func TestEpochPackUnpackQuick(t *testing.T) {
+	f := func(tid uint32, c uint64) bool {
+		th := Thread(tid % MaxThreads)
+		cl := c % (MaxClock + 1)
+		e := MakeEpoch(th, cl)
+		return e.Thread() == th && e.Clock() == cl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochZero(t *testing.T) {
+	if !EpochZero.IsZero() {
+		t.Error("EpochZero is not zero")
+	}
+	if EpochZero.Thread() != 0 || EpochZero.Clock() != 0 {
+		t.Error("EpochZero is not 0@0")
+	}
+	// Any epoch with clock 0 is minimal: ≼ every vector clock.
+	v := New(0)
+	if !MakeEpoch(17, 0).Leq(v) {
+		t.Error("0@17 should be ≼ the zero vector clock")
+	}
+}
+
+func TestEpochLeq(t *testing.T) {
+	v := FromSlice([]uint64{3, 0, 5})
+	cases := []struct {
+		e    Epoch
+		want bool
+	}{
+		{MakeEpoch(0, 3), true},
+		{MakeEpoch(0, 4), false},
+		{MakeEpoch(1, 0), true},
+		{MakeEpoch(1, 1), false},
+		{MakeEpoch(2, 5), true},
+		{MakeEpoch(9, 0), true},  // out of range, clock 0
+		{MakeEpoch(9, 1), false}, // out of range, clock > 0
+	}
+	for _, tc := range cases {
+		if got := tc.e.Leq(v); got != tc.want {
+			t.Errorf("%v ≼ %v = %v, want %v", tc.e, v, got, tc.want)
+		}
+	}
+}
+
+// Epoch ≼ VC must agree with the expanded-vector definition: treating the
+// epoch c@t as a vector with the single component c at index t.
+func TestEpochLeqMatchesVectorDefinition(t *testing.T) {
+	f := func(tid uint8, c uint16, vals []uint16) bool {
+		th := Thread(tid % 16)
+		e := MakeEpoch(th, uint64(c))
+		v := New(0)
+		for i, x := range vals {
+			if i >= 16 {
+				break
+			}
+			v.Set(Thread(i), uint64(x))
+		}
+		asVec := New(0)
+		asVec.Set(th, uint64(c))
+		return e.Leq(v) == asVec.Leq(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochString(t *testing.T) {
+	if got := MakeEpoch(3, 7).String(); got != "7@3" {
+		t.Errorf("String() = %q, want 7@3", got)
+	}
+}
+
+func TestMakeEpochPanics(t *testing.T) {
+	mustPanic(t, "negative thread", func() { MakeEpoch(-1, 0) })
+	mustPanic(t, "thread too large", func() { MakeEpoch(MaxThreads, 0) })
+	mustPanic(t, "clock too large", func() { MakeEpoch(0, MaxClock+1) })
+}
+
+func TestVersionEpochBasics(t *testing.T) {
+	ve := MakeVersionEpoch(5, 9)
+	if ve.Thread() != 5 || ve.Version() != 9 {
+		t.Fatalf("round-trip failed: %v", ve)
+	}
+	if ve.IsTop() {
+		t.Error("ordinary version epoch reported as ⊤")
+	}
+	if !VETop.IsTop() {
+		t.Error("VETop not reported as ⊤")
+	}
+}
+
+func TestVersionEpochLeq(t *testing.T) {
+	vv := FromSlice([]uint64{0, 4})
+	if !VEBottom.Leq(vv) {
+		t.Error("⊥ve ≼ V must always hold")
+	}
+	if VETop.Leq(vv) {
+		t.Error("⊤ve ≼ V must never hold")
+	}
+	if !MakeVersionEpoch(1, 4).Leq(vv) {
+		t.Error("v4@1 ≼ ⟨0 4⟩ should hold")
+	}
+	if MakeVersionEpoch(1, 5).Leq(vv) {
+		t.Error("v5@1 ≼ ⟨0 4⟩ should not hold")
+	}
+	if MakeVersionEpoch(2, 1).Leq(vv) {
+		t.Error("v1@2 ≼ ⟨0 4⟩ should not hold (missing component is 0)")
+	}
+}
+
+func TestVersionEpochTopNeverLeq(t *testing.T) {
+	f := func(vals []uint16) bool {
+		v := New(0)
+		for i, x := range vals {
+			if i >= 32 {
+				break
+			}
+			v.Set(Thread(i), uint64(x))
+		}
+		return !VETop.Leq(v) && VEBottom.Leq(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVersionEpochString(t *testing.T) {
+	if got := VETop.String(); got != "⊤ve" {
+		t.Errorf("VETop.String() = %q", got)
+	}
+	if got := VEBottom.String(); got != "⊥ve" {
+		t.Errorf("VEBottom.String() = %q", got)
+	}
+	if got := MakeVersionEpoch(2, 3).String(); got != "v3@2" {
+		t.Errorf("MakeVersionEpoch(2,3).String() = %q", got)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestMakeVersionEpochPanics(t *testing.T) {
+	mustPanic(t, "negative thread", func() { MakeVersionEpoch(-1, 0) })
+	mustPanic(t, "thread too large", func() { MakeVersionEpoch(MaxThreads, 0) })
+	mustPanic(t, "version too large", func() { MakeVersionEpoch(0, MaxClock+1) })
+}

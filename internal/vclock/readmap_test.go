@@ -1,0 +1,270 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadMapEmpty(t *testing.T) {
+	var r ReadMap
+	if !r.IsEmpty() || r.Size() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	if !r.Leq(New(0)) {
+		t.Error("empty read map must be ⊑ everything")
+	}
+	if _, ok := r.Get(3); ok {
+		t.Error("Get on empty map returned an entry")
+	}
+	count := 0
+	r.Racing(New(0), func(ReadEntry) { count++ })
+	if count != 0 {
+		t.Error("empty map reported racing entries")
+	}
+}
+
+func TestReadMapSingleEntry(t *testing.T) {
+	var r ReadMap
+	r.Set(2, 7, 101)
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", r.Size())
+	}
+	e := r.Single()
+	if e.T != 2 || e.C != 7 || e.Site != 101 {
+		t.Fatalf("Single = %+v", e)
+	}
+	if c, ok := r.Get(2); !ok || c != 7 {
+		t.Fatal("Get(2) wrong")
+	}
+	// Overwriting the same thread stays single.
+	r.Set(2, 9, 102)
+	if r.Size() != 1 || r.Single().C != 9 {
+		t.Fatal("same-thread update should stay single")
+	}
+}
+
+func TestReadMapInflateAndShrink(t *testing.T) {
+	var r ReadMap
+	r.Set(0, 5, 1)
+	r.Set(1, 6, 2)
+	r.Set(2, 7, 3)
+	if r.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", r.Size())
+	}
+	if !r.Remove(1) {
+		t.Fatal("Remove(1) failed")
+	}
+	if r.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", r.Size())
+	}
+	if r.Remove(1) {
+		t.Fatal("double Remove(1) succeeded")
+	}
+	if !r.Remove(0) {
+		t.Fatal("Remove(0) failed")
+	}
+	// Shrinks back to the inline single representation.
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", r.Size())
+	}
+	if e := r.Single(); e.T != 2 || e.C != 7 || e.Site != 3 {
+		t.Fatalf("Single after shrink = %+v", e)
+	}
+	if !r.Remove(2) || !r.IsEmpty() {
+		t.Fatal("final Remove failed")
+	}
+}
+
+func TestReadMapSetEpoch(t *testing.T) {
+	var r ReadMap
+	r.Set(0, 5, 1)
+	r.Set(1, 6, 2)
+	r.SetEpoch(ReadEntry{T: 4, C: 9, Site: 77})
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", r.Size())
+	}
+	if e := r.Single(); e.T != 4 || e.C != 9 || e.Site != 77 {
+		t.Fatalf("Single = %+v", e)
+	}
+}
+
+func TestReadMapLeqAndRacing(t *testing.T) {
+	var r ReadMap
+	r.Set(0, 3, 1)
+	r.Set(1, 8, 2)
+	vc := FromSlice([]uint64{5, 5})
+	if r.Leq(vc) {
+		t.Error("entry 8@1 should not be ⊑ ⟨5 5⟩")
+	}
+	var racing []ReadEntry
+	r.Racing(vc, func(e ReadEntry) { racing = append(racing, e) })
+	if len(racing) != 1 || racing[0].T != 1 {
+		t.Fatalf("racing = %+v, want single entry for thread 1", racing)
+	}
+	vc2 := FromSlice([]uint64{3, 8})
+	if !r.Leq(vc2) {
+		t.Error("read map should be ⊑ ⟨3 8⟩")
+	}
+}
+
+func TestReadMapRacingDeterministicOrder(t *testing.T) {
+	var r ReadMap
+	for _, th := range []Thread{9, 3, 7, 1, 5} {
+		r.Set(th, 10, uint32(th))
+	}
+	var order []Thread
+	r.Racing(New(0), func(e ReadEntry) { order = append(order, e.T) })
+	want := []Thread{1, 3, 5, 7, 9}
+	if len(order) != len(want) {
+		t.Fatalf("got %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Leq must agree with the definition "every entry ⊑ vc".
+func TestReadMapLeqMatchesDefinition(t *testing.T) {
+	f := func(entries []uint16, clocks []uint16) bool {
+		var r ReadMap
+		for i, c := range entries {
+			if i >= 8 {
+				break
+			}
+			r.Set(Thread(i%8), uint64(c), 0)
+		}
+		vc := vcFromShorts(clocks)
+		want := true
+		r.ForEach(func(e ReadEntry) {
+			if e.C > vc.Get(e.T) {
+				want = false
+			}
+		})
+		if r.Leq(vc) != want {
+			return false
+		}
+		// Racing must visit exactly the violating entries.
+		n := 0
+		r.Racing(vc, func(e ReadEntry) {
+			if e.C <= vc.Get(e.T) {
+				n = -1 << 20
+			}
+			n++
+		})
+		violating := 0
+		r.ForEach(func(e ReadEntry) {
+			if e.C > vc.Get(e.T) {
+				violating++
+			}
+		})
+		return n == violating
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The read map is a faithful model of a map Thread → (clock, site): checked
+// against a plain map under random operation sequences.
+func TestReadMapModelQuick(t *testing.T) {
+	type op struct {
+		Kind byte
+		T    uint8
+		C    uint16
+	}
+	f := func(ops []op) bool {
+		var r ReadMap
+		model := map[Thread]uint64{}
+		for _, o := range ops {
+			th := Thread(o.T % 10)
+			switch o.Kind % 3 {
+			case 0:
+				r.Set(th, uint64(o.C), uint32(o.C))
+				model[th] = uint64(o.C)
+			case 1:
+				r.Remove(th)
+				delete(model, th)
+			case 2:
+				r.SetEpoch(ReadEntry{T: th, C: uint64(o.C)})
+				model = map[Thread]uint64{th: uint64(o.C)}
+			}
+			if r.Size() != len(model) {
+				return false
+			}
+			for mt, mc := range model {
+				if c, ok := r.Get(mt); !ok || c != mc {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadMapSinglePanicsWhenNotSingle(t *testing.T) {
+	var r ReadMap
+	mustPanic(t, "Single on empty", func() { r.Single() })
+	r.Set(0, 1, 0)
+	r.Set(1, 2, 0)
+	mustPanic(t, "Single on size 2", func() { r.Single() })
+}
+
+func TestReadEntryEpoch(t *testing.T) {
+	e := ReadEntry{T: 3, C: 12}
+	if e.Epoch() != MakeEpoch(3, 12) {
+		t.Error("ReadEntry.Epoch mismatch")
+	}
+}
+
+func TestReadMapString(t *testing.T) {
+	var r ReadMap
+	r.Set(1, 4, 0)
+	r.Set(0, 2, 0)
+	if got := r.String(); got != "{2@0, 4@1}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestReadMapMemoryWords(t *testing.T) {
+	var r ReadMap
+	small := r.MemoryWords()
+	if small <= 0 {
+		t.Error("empty map should still cost a few words")
+	}
+	r.Set(0, 1, 0)
+	r.Set(1, 2, 0)
+	r.Set(2, 3, 0)
+	if r.MemoryWords() <= small {
+		t.Error("inflated map should cost more than the inline form")
+	}
+}
+
+func TestReadMapGetFromMapForm(t *testing.T) {
+	var r ReadMap
+	r.Set(0, 5, 0)
+	r.Set(1, 6, 0)
+	if c, ok := r.Get(1); !ok || c != 6 {
+		t.Errorf("Get(1) = %d,%v", c, ok)
+	}
+	if _, ok := r.Get(9); ok {
+		t.Error("Get(9) found a phantom entry")
+	}
+}
+
+func TestReadMapSingleFromMapForm(t *testing.T) {
+	// Force the map representation, then shrink to one entry via Remove:
+	// the shrink collapses back to inline, but Single must also work if a
+	// map of size 1 ever exists internally.
+	var r ReadMap
+	r.Set(0, 5, 1)
+	r.Set(1, 6, 2)
+	r.Remove(0)
+	if e := r.Single(); e.T != 1 || e.C != 6 {
+		t.Errorf("Single = %+v", e)
+	}
+}

@@ -1,0 +1,202 @@
+package workload
+
+import "math/rand"
+
+// tier is a group of races sharing an occurrence profile. The tier
+// structure reproduces Table 2's central observation: each benchmark mixes
+// races that occur in essentially every fully sampled trial with races so
+// rare they surface only across a thousand-plus trials.
+type tier struct {
+	count   int
+	occ     float64
+	repeats int // base; race i adds i%3
+	hot     int // how many races of this tier live in hot code
+}
+
+// buildRaces deterministically assigns race ends to worker pairs that
+// share a fork wave (so both ends are live together) and span cliques (so
+// background locking rarely orders them).
+func buildRaces(spec *Spec, seed int64, tiers []tier) {
+	rng := rand.New(rand.NewSource(seed))
+	id := 0
+	for _, ti := range tiers {
+		for k := 0; k < ti.count; k++ {
+			waves := (spec.Workers + spec.WaveSize - 1) / spec.WaveSize
+			// Prefer waves with at least two workers.
+			wave := id % waves
+			base := wave * spec.WaveSize
+			n := spec.Workers - base
+			if n > spec.WaveSize {
+				n = spec.WaveSize
+			}
+			if n < 2 {
+				wave = 0
+				base = 0
+				n = min(spec.WaveSize, spec.Workers)
+			}
+			wa := base + rng.Intn(n)
+			wb := wa
+			for wb == wa || spec.clique(wb) == spec.clique(wa) {
+				wb = base + rng.Intn(n)
+			}
+			spec.Races = append(spec.Races, RaceSpec{
+				ID:         id,
+				Occurrence: ti.occ,
+				Repeats:    ti.repeats + id%3,
+				Hot:        k < ti.hot,
+				Kind:       RaceKind(id % 3),
+				WA:         wa,
+				WB:         wb,
+			})
+			id++
+		}
+	}
+}
+
+// Eclipse models the DaCapo eclipse benchmark: 16 total threads, at most 8
+// live, 77 distinct races about a third of which are frequent enough to be
+// evaluation races (Table 2 row 1). Four of the frequent races live in hot
+// code, reproducing the races LiteRace consistently misses (Figure 6).
+func Eclipse() *Spec {
+	s := &Spec{
+		Name:           "eclipse",
+		Workers:        15,
+		WaveSize:       7,
+		Cliques:        3,
+		Iters:          250,
+		VarsPerClique:  6,
+		LocksPerClique: 2,
+		HotOpsPerIter:  4,
+		AllocPerIter:   24,
+		WorkPerIter:    4,
+		NurseryWords:   1024,
+		GlobalSyncProb: 0.02,
+		VolatileProb:   0.05,
+	}
+	buildRaces(s, 101, []tier{
+		{count: 27, occ: 0.75, repeats: 1, hot: 4},
+		{count: 17, occ: 0.22, repeats: 1},
+		{count: 11, occ: 0.05, repeats: 1},
+		{count: 22, occ: 0.004, repeats: 1},
+	})
+	return s
+}
+
+// Hsqldb models the DaCapo hsqldb benchmark: 403 total threads in waves of
+// ~101 live, 28 distinct races of which 23 occur in every trial (Table 2
+// row 2).
+func Hsqldb() *Spec {
+	s := &Spec{
+		Name:           "hsqldb",
+		Workers:        402,
+		WaveSize:       101,
+		Cliques:        25,
+		Iters:          150,
+		VarsPerClique:  8,
+		LocksPerClique: 2,
+		HotOpsPerIter:  2,
+		AllocPerIter:   16,
+		WorkPerIter:    25,
+		NurseryWords:   8192,
+		GlobalSyncProb: 0.02,
+		VolatileProb:   0.04,
+	}
+	buildRaces(s, 202, []tier{
+		{count: 23, occ: 1.0, repeats: 2},
+		{count: 5, occ: 0.003, repeats: 1},
+	})
+	return s
+}
+
+// Xalan models the DaCapo xalan benchmark: 9 threads all live at once, 73
+// distinct races with a long tail of rare ones (Table 2 row 3).
+func Xalan() *Spec {
+	s := &Spec{
+		Name:           "xalan",
+		Workers:        8,
+		WaveSize:       8,
+		Cliques:        2,
+		Iters:          400,
+		VarsPerClique:  6,
+		LocksPerClique: 2,
+		HotOpsPerIter:  4,
+		AllocPerIter:   24,
+		WorkPerIter:    4,
+		NurseryWords:   1024,
+		GlobalSyncProb: 0.015,
+		VolatileProb:   0.05,
+	}
+	buildRaces(s, 303, []tier{
+		{count: 19, occ: 0.6, repeats: 1, hot: 2},
+		{count: 15, occ: 0.22, repeats: 1},
+		{count: 36, occ: 0.045, repeats: 1},
+		{count: 3, occ: 0.004, repeats: 1},
+	})
+	return s
+}
+
+// PseudoJBB models the fixed-workload SPECjbb2000 variant: 37 total
+// threads, at most 9 live, 14 distinct races, 11 of them frequent (Table 2
+// row 4).
+func PseudoJBB() *Spec {
+	s := &Spec{
+		Name:           "pseudojbb",
+		Workers:        36,
+		WaveSize:       8,
+		Cliques:        4,
+		Iters:          100,
+		VarsPerClique:  6,
+		LocksPerClique: 2,
+		HotOpsPerIter:  3,
+		AllocPerIter:   20,
+		WorkPerIter:    4,
+		NurseryWords:   1536,
+		GlobalSyncProb: 0.02,
+		VolatileProb:   0.04,
+	}
+	buildRaces(s, 404, []tier{
+		{count: 11, occ: 0.92, repeats: 2, hot: 1},
+		{count: 3, occ: 0.3, repeats: 1},
+	})
+	return s
+}
+
+// All returns the four benchmark models in the paper's order.
+func All() []*Spec {
+	return []*Spec{Eclipse(), Hsqldb(), Xalan(), PseudoJBB()}
+}
+
+// ByName returns the named benchmark model, or nil.
+func ByName(name string) *Spec {
+	for _, s := range All() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Mini is a small fast model for tests: 7 threads, 8 races, most certain
+// to occur.
+func Mini() *Spec {
+	s := &Spec{
+		Name:           "mini",
+		Workers:        6,
+		WaveSize:       6,
+		Cliques:        2,
+		Iters:          60,
+		VarsPerClique:  4,
+		LocksPerClique: 2,
+		HotOpsPerIter:  2,
+		AllocPerIter:   16,
+		WorkPerIter:    2,
+		NurseryWords:   256,
+		GlobalSyncProb: 0.02,
+		VolatileProb:   0.04,
+	}
+	buildRaces(s, 505, []tier{
+		{count: 6, occ: 1.0, repeats: 1, hot: 1},
+		{count: 2, occ: 0.3, repeats: 1},
+	})
+	return s
+}

@@ -1,0 +1,291 @@
+// Package workload models the paper's benchmarks — the multithreaded
+// DaCapo programs eclipse, hsqldb, and xalan, and pseudojbb — as synthetic
+// programs for the simulator substrate (see DESIGN.md for the
+// substitution argument).
+//
+// Each model reproduces the structural properties the evaluation depends
+// on (Table 2): the benchmark's total and maximum-live thread counts, and
+// a planted population of distinct races whose per-trial occurrence rates
+// span frequent to rare, so that — exactly as in the paper — some races
+// appear in every fully sampled trial and others almost never.
+//
+// Workers are partitioned into lock-sharing cliques. Background work
+// synchronizes densely within a clique (exercising PACER's redundant-
+// communication optimizations) and only rarely across cliques (a global
+// lock and volatile), so racy access pairs, which always span cliques,
+// are usually truly concurrent — but can occasionally be ordered by a
+// chance cross-clique synchronization chain, reproducing the observer
+// effect and heisenbugs the paper discusses (Section 5.1).
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"pacer/internal/event"
+	"pacer/internal/sim"
+	"pacer/internal/vclock"
+)
+
+// Identifier layout. Background variables, race variables, and hot
+// thread-local variables live in disjoint ranges so reports can be
+// attributed.
+const (
+	// RaceVarBase is the first race variable: race i uses RaceVarBase+i.
+	RaceVarBase = 10_000
+	// RaceSiteBase is the first race site: race i's two sites are
+	// RaceSiteBase+2i and RaceSiteBase+2i+1.
+	RaceSiteBase = 20_000
+	// HotMethod is the method id of the hot code path every worker
+	// executes constantly (LiteRace's sampler backs off on it).
+	HotMethod = 1
+	// ColdMethodBase is the first cold method id: race i's accesses live
+	// in method ColdMethodBase+i unless the race is hot.
+	ColdMethodBase = 5_000
+
+	hotVarBase    = 40_000
+	cliqueVarBase = 100
+	globalLock    = 0
+	globalVar     = 90_000
+	cliqueLockOff = 10
+)
+
+// RaceKind is the shape of a planted race.
+type RaceKind int
+
+const (
+	// WriteWrite plants two unsynchronized writes.
+	WriteWrite RaceKind = iota
+	// WriteRead plants a write racing with a read.
+	WriteRead
+	// ReadWrite plants a read racing with a write.
+	ReadWrite
+)
+
+// RaceSpec describes one planted distinct race.
+type RaceSpec struct {
+	// ID indexes the race; its variable is RaceVarBase+ID.
+	ID int
+	// Occurrence is the per-trial probability that the racy code executes.
+	Occurrence float64
+	// Repeats is how many times the racy pair executes when it occurs.
+	Repeats int
+	// Hot places the racy accesses in the hot method, so LiteRace's
+	// adaptive sampler has backed off by the time they execute.
+	Hot bool
+	// Kind selects the access pair shape.
+	Kind RaceKind
+	// WA and WB are the worker indices of the two ends (must share a
+	// fork wave and belong to different cliques).
+	WA, WB int
+}
+
+// Var returns the race's variable.
+func (r RaceSpec) Var() event.Var { return event.Var(RaceVarBase + r.ID) }
+
+// Spec describes a benchmark model.
+type Spec struct {
+	// Name is the benchmark name as used in the paper's tables.
+	Name string
+	// Workers is the number of worker threads (total threads = Workers+1).
+	Workers int
+	// WaveSize bounds simultaneously live workers (max live = WaveSize+1).
+	WaveSize int
+	// Cliques partitions workers into lock-sharing groups.
+	Cliques int
+	// Iters is each worker's background loop count.
+	Iters int
+	// VarsPerClique and LocksPerClique size the guarded shared state.
+	VarsPerClique, LocksPerClique int
+	// HotOpsPerIter is how many hot-method accesses each iteration makes.
+	HotOpsPerIter int
+	// AllocPerIter and WorkPerIter drive the collector and base cost.
+	AllocPerIter, WorkPerIter int
+	// NurseryWords sizes the simulated GC nursery for this benchmark.
+	// It must be large relative to the metadata spikes at sampling-period
+	// onsets (which clone O(live threads) clocks of O(total threads)
+	// words), as the paper's 32 MB nursery was.
+	NurseryWords int
+	// GlobalSyncProb is the per-iteration probability of touching the
+	// global (cross-clique) lock.
+	GlobalSyncProb float64
+	// VolatileProb is the per-iteration probability of a volatile access.
+	VolatileProb float64
+	// Races is the planted race population.
+	Races []RaceSpec
+}
+
+// TotalThreads returns the Table 2 "Total" column for the model.
+func (s *Spec) TotalThreads() int { return s.Workers + 1 }
+
+// MaxLiveThreads returns the Table 2 "Max live" column for the model.
+func (s *Spec) MaxLiveThreads() int { return s.WaveSize + 1 }
+
+// RaceOf maps a reported variable back to the planted race, if any.
+func (s *Spec) RaceOf(v event.Var) (int, bool) {
+	id := int(v) - RaceVarBase
+	if id >= 0 && id < len(s.Races) {
+		return id, true
+	}
+	return -1, false
+}
+
+func (s *Spec) clique(w int) int { return w % s.Cliques }
+
+func (s *Spec) cliqueLock(c, varIdx int) sim.Lock {
+	return sim.Lock(cliqueLockOff + c*s.LocksPerClique + varIdx%s.LocksPerClique)
+}
+
+func (s *Spec) cliqueVar(c, iter int) int {
+	return iter % s.VarsPerClique
+}
+
+// raceEnd is one scheduled racy access inside a worker's loop.
+type raceEnd struct {
+	iter   int
+	race   *RaceSpec
+	isA    bool
+	repeat int
+}
+
+// plan is the per-trial schedule of racy accesses.
+type plan struct {
+	byWorker map[int][]raceEnd
+	occurs   []bool
+}
+
+// makePlan rolls the per-trial occurrence of each race and schedules the
+// executing ends. Both ends run at the same loop iteration so they are
+// close in schedule time.
+func (s *Spec) makePlan(seed int64) *plan {
+	rng := rand.New(rand.NewSource(seed ^ 0x1E3779B97F4A7C15))
+	p := &plan{byWorker: make(map[int][]raceEnd), occurs: make([]bool, len(s.Races))}
+	for i := range s.Races {
+		r := &s.Races[i]
+		if rng.Float64() >= r.Occurrence {
+			continue
+		}
+		p.occurs[i] = true
+		lo := s.Iters / 5
+		hi := s.Iters - 2 - 3*r.Repeats
+		if hi <= lo {
+			hi = lo + 1
+		}
+		k := lo + rng.Intn(hi-lo)
+		for rep := 0; rep < r.Repeats; rep++ {
+			iter := k + 3*rep
+			p.byWorker[r.WA] = append(p.byWorker[r.WA], raceEnd{iter: iter, race: r, isA: true, repeat: rep})
+			p.byWorker[r.WB] = append(p.byWorker[r.WB], raceEnd{iter: iter, race: r, isA: false, repeat: rep})
+		}
+	}
+	for w := range p.byWorker {
+		ends := p.byWorker[w]
+		sort.SliceStable(ends, func(i, j int) bool { return ends[i].iter < ends[j].iter })
+	}
+	return p
+}
+
+// accessEnd performs one racy access, outside any synchronization.
+func accessEnd(t *sim.Thread, e raceEnd) {
+	r := e.race
+	v := r.Var()
+	site := sim.Site(RaceSiteBase + 2*r.ID)
+	if !e.isA {
+		site++
+	}
+	method := uint32(ColdMethodBase + r.ID)
+	if r.Hot {
+		method = HotMethod
+	}
+	write := true
+	switch r.Kind {
+	case WriteRead:
+		write = e.isA
+	case ReadWrite:
+		write = !e.isA
+	}
+	if write {
+		t.Write(v, site, method)
+	} else {
+		t.Read(v, site, method)
+	}
+}
+
+// worker returns the body of worker w.
+func (s *Spec) worker(w int, p *plan) sim.ThreadFunc {
+	return func(t *sim.Thread) {
+		c := s.clique(w)
+		ends := p.byWorker[w]
+		next := 0
+		hotVar := sim.Var(hotVarBase + w)
+		hotSite := sim.Site(hotVarBase + w)
+		for iter := 0; iter < s.Iters; iter++ {
+			for next < len(ends) && ends[next].iter == iter {
+				accessEnd(t, ends[next])
+				next++
+			}
+			// Hot path: thread-local accesses in the hot method.
+			for h := 0; h < s.HotOpsPerIter; h++ {
+				if h%4 == 3 {
+					t.Write(hotVar, hotSite, HotMethod)
+				} else {
+					t.Read(hotVar, hotSite, HotMethod)
+				}
+			}
+			// Properly guarded shared state within the clique.
+			vi := s.cliqueVar(c, iter)
+			v := sim.Var(cliqueVarBase + c*s.VarsPerClique + vi)
+			site := sim.Site(uint32(v))
+			l := s.cliqueLock(c, vi)
+			t.Lock(l)
+			t.Read(v, site, 2)
+			t.Write(v, site+1, 2)
+			t.Unlock(l)
+			t.Alloc(s.AllocPerIter)
+			t.Work(s.WorkPerIter)
+			// Rare cross-clique communication.
+			if t.Rand().Float64() < s.GlobalSyncProb {
+				t.Lock(globalLock)
+				t.Read(globalVar, globalVar, 3)
+				t.Write(globalVar, globalVar+1, 3)
+				t.Unlock(globalLock)
+			}
+			if t.Rand().Float64() < s.VolatileProb {
+				if t.Rand().Intn(2) == 0 {
+					t.VolWrite(sim.Volatile(c))
+				} else {
+					t.VolRead(sim.Volatile(c))
+				}
+			}
+		}
+	}
+}
+
+// Program builds the per-trial simulated program. The seed fixes the
+// trial's race-occurrence plan; the simulator's own seed independently
+// fixes the schedule.
+func (s *Spec) Program(seed int64) sim.Program {
+	p := s.makePlan(seed)
+	return sim.Program{
+		Name: s.Name,
+		Main: func(t *sim.Thread) {
+			w := 0
+			for w < s.Workers {
+				var wave []vclock.Thread
+				for len(wave) < s.WaveSize && w < s.Workers {
+					wave = append(wave, t.Fork(s.worker(w, p)))
+					w++
+				}
+				for _, id := range wave {
+					t.Join(id)
+				}
+			}
+		},
+	}
+}
+
+// Occurs reports whether race id was planned to execute in the trial built
+// from seed.
+func (s *Spec) Occurs(seed int64, id int) bool {
+	return s.makePlan(seed).occurs[id]
+}

@@ -1,0 +1,207 @@
+package workload_test
+
+import (
+	"testing"
+
+	"pacer/internal/core"
+	"pacer/internal/detector"
+	"pacer/internal/event"
+	"pacer/internal/fasttrack"
+	"pacer/internal/sim"
+	"pacer/internal/workload"
+)
+
+func TestSpecThreadCountsMatchTable2(t *testing.T) {
+	want := map[string][2]int{
+		"eclipse":   {16, 8},
+		"hsqldb":    {403, 102},
+		"xalan":     {9, 9},
+		"pseudojbb": {37, 9},
+	}
+	for _, s := range workload.All() {
+		w := want[s.Name]
+		if s.TotalThreads() != w[0] {
+			t.Errorf("%s: total threads = %d, want %d", s.Name, s.TotalThreads(), w[0])
+		}
+		if s.MaxLiveThreads() != w[1] {
+			t.Errorf("%s: max live = %d, want %d", s.Name, s.MaxLiveThreads(), w[1])
+		}
+	}
+}
+
+func TestSpecRaceCountsMatchTable2(t *testing.T) {
+	want := map[string]int{"eclipse": 77, "hsqldb": 28, "xalan": 73, "pseudojbb": 14}
+	for _, s := range workload.All() {
+		if len(s.Races) != want[s.Name] {
+			t.Errorf("%s: %d planted races, want %d", s.Name, len(s.Races), want[s.Name])
+		}
+	}
+}
+
+func TestRacePairsValid(t *testing.T) {
+	for _, s := range workload.All() {
+		for _, r := range s.Races {
+			if r.WA == r.WB {
+				t.Errorf("%s race %d: self race", s.Name, r.ID)
+			}
+			if r.WA/s.WaveSize != r.WB/s.WaveSize {
+				t.Errorf("%s race %d: ends %d,%d in different waves", s.Name, r.ID, r.WA, r.WB)
+			}
+			if r.WA%s.Cliques == r.WB%s.Cliques {
+				t.Errorf("%s race %d: ends share a clique", s.Name, r.ID)
+			}
+			if r.WA >= s.Workers || r.WB >= s.Workers {
+				t.Errorf("%s race %d: worker out of range", s.Name, r.ID)
+			}
+		}
+	}
+}
+
+func runTrial(t *testing.T, s *workload.Spec, seed int64, d detector.Detector, target float64) (*sim.Result, *detector.Collector) {
+	t.Helper()
+	col := detector.NewCollector()
+	cfg := sim.Config{
+		Seed:               seed,
+		InstrumentAccesses: true,
+		SampleTarget:       target,
+		NurseryWords:       8192,
+	}
+	if d != nil {
+		cfg.Detector = d
+	}
+	res, err := sim.Run(s.Program(seed), cfg)
+	if err != nil {
+		t.Fatalf("%s seed %d: %v", s.Name, seed, err)
+	}
+	return res, col
+}
+
+func TestMiniThreadCountsObserved(t *testing.T) {
+	s := workload.Mini()
+	res, err := sim.Run(s.Program(1), sim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThreadsTotal != s.TotalThreads() {
+		t.Errorf("observed %d threads, want %d", res.ThreadsTotal, s.TotalThreads())
+	}
+	if res.MaxLiveThreads > s.MaxLiveThreads() {
+		t.Errorf("observed %d live threads, want ≤ %d", res.MaxLiveThreads, s.MaxLiveThreads())
+	}
+}
+
+// Under full tracking, certain races (occurrence 1.0) are detected in
+// nearly every schedule, and all reports land on race variables —
+// background state is properly synchronized.
+func TestMiniRacesDetectedAndPrecise(t *testing.T) {
+	s := workload.Mini()
+	detectedTrials := 0
+	const trials = 10
+	for seed := int64(0); seed < trials; seed++ {
+		col := detector.NewCollector()
+		_, err := sim.Run(s.Program(seed), sim.Config{
+			Seed:               seed,
+			Detector:           fasttrack.New(col.Report),
+			InstrumentAccesses: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perRace := map[int]bool{}
+		for _, r := range col.Dynamic {
+			id, ok := s.RaceOf(r.Var)
+			if !ok {
+				t.Fatalf("seed %d: report on non-race variable: %v", seed, r)
+			}
+			perRace[id] = true
+		}
+		if len(perRace) >= 4 {
+			detectedTrials++
+		}
+	}
+	if detectedTrials < trials*7/10 {
+		t.Errorf("certain races detected in only %d/%d trials", detectedTrials, trials)
+	}
+}
+
+// The full benchmarks run cleanly under PACER with sampling and only ever
+// report race variables.
+func TestBenchmarksRunCleanUnderPacer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark trials are slow")
+	}
+	for _, s := range workload.All() {
+		col := detector.NewCollector()
+		_, err := sim.Run(s.Program(7), sim.Config{
+			Seed:               7,
+			Detector:           core.New(col.Report),
+			InstrumentAccesses: true,
+			SampleTarget:       0.25,
+			NurseryWords:       8192,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, r := range col.Dynamic {
+			if _, ok := s.RaceOf(r.Var); !ok {
+				t.Fatalf("%s: report on non-race variable %v", s.Name, r)
+			}
+		}
+	}
+}
+
+// Occurrence gating: with occurrence 1.0 the plan always schedules the
+// race; rare races almost never occur.
+func TestOccurrencePlans(t *testing.T) {
+	s := workload.Hsqldb()
+	certain, rare := 0, 0
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		if s.Occurs(seed, 0) { // tier 1: occurrence 1.0
+			certain++
+		}
+		if s.Occurs(seed, 27) { // tier 2: occurrence 0.003
+			rare++
+		}
+	}
+	if certain != trials {
+		t.Errorf("certain race occurred in %d/%d plans", certain, trials)
+	}
+	if rare > trials/4 {
+		t.Errorf("rare race occurred in %d/%d plans", rare, trials)
+	}
+}
+
+func TestRaceOfMapping(t *testing.T) {
+	s := workload.Eclipse()
+	if id, ok := s.RaceOf(event.Var(workload.RaceVarBase + 5)); !ok || id != 5 {
+		t.Errorf("RaceOf(base+5) = %d, %v", id, ok)
+	}
+	if _, ok := s.RaceOf(100); ok {
+		t.Error("background variable mapped to a race")
+	}
+	if _, ok := s.RaceOf(event.Var(workload.RaceVarBase + len(s.Races))); ok {
+		t.Error("out-of-range race variable mapped")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if workload.ByName("xalan") == nil {
+		t.Error("xalan not found")
+	}
+	if workload.ByName("nope") != nil {
+		t.Error("unknown benchmark found")
+	}
+}
+
+func TestHotRacesPresent(t *testing.T) {
+	hot := 0
+	for _, r := range workload.Eclipse().Races {
+		if r.Hot {
+			hot++
+		}
+	}
+	if hot != 4 {
+		t.Errorf("eclipse hot races = %d, want 4", hot)
+	}
+}

@@ -1,0 +1,365 @@
+// Package pacer is a sampling data-race detector for concurrent programs,
+// implementing Bond, Coons, and McKinley's PACER algorithm (PLDI 2010).
+//
+// PACER tracks the happens-before relationship with the FastTrack
+// algorithm during global sampling periods and almost no work outside
+// them, giving a proportionality guarantee: every race is detected with
+// probability equal to the sampling rate, at time and space overheads that
+// also scale with the sampling rate. It is precise — every report is a
+// true race.
+//
+// Applications register threads and synchronization objects and notify the
+// detector at reads, writes, lock operations, volatile accesses, forks,
+// and joins:
+//
+//	d := pacer.New(pacer.Options{SamplingRate: 0.03, OnRace: report})
+//	t := d.NewThread()
+//	u := d.Fork(t)
+//	d.Write(t, account, siteDeposit)
+//	d.Read(u, account, siteAudit) // 3% chance this race is reported
+//
+// The convenience wrappers Mutex and Shared instrument common patterns
+// automatically. For simulation-based evaluation and the paper's
+// experiments, see cmd/pacerbench and the internal packages.
+package pacer
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"pacer/internal/core"
+	"pacer/internal/detector"
+	"pacer/internal/event"
+	"pacer/internal/vclock"
+)
+
+// ThreadID identifies a registered thread.
+type ThreadID = vclock.Thread
+
+// VarID identifies a shared data variable.
+type VarID = event.Var
+
+// LockID identifies a lock.
+type LockID = event.Lock
+
+// VolatileID identifies a volatile variable.
+type VolatileID = event.Volatile
+
+// SiteID identifies a static program location; races are reported as site
+// pairs.
+type SiteID = event.Site
+
+// RaceKind classifies a race by its two accesses, first access first.
+type RaceKind = detector.RaceKind
+
+// Race kinds.
+const (
+	WriteWrite = detector.WriteWrite
+	WriteRead  = detector.WriteRead
+	ReadWrite  = detector.ReadWrite
+)
+
+// Race is a detected data race. The first access is the earlier one (the
+// one whose metadata was recorded during a sampling period).
+type Race = detector.Race
+
+// Options configure a Detector.
+type Options struct {
+	// SamplingRate is the global sampling rate r in [0, 1]. Every race is
+	// detected with probability r; time and space overheads scale with r.
+	// 0.01-0.03 is the paper's deployment recommendation.
+	SamplingRate float64
+	// PeriodOps is the number of observed operations per sampling-decision
+	// period. The paper toggles sampling at garbage collections; without a
+	// GC to hook, this library uses fixed-length operation periods, which
+	// need no bias correction. Defaults to 4096.
+	PeriodOps int
+	// OnRace receives race reports. It is called with the detector's
+	// internal lock held; keep it fast (e.g. enqueue the report).
+	OnRace func(Race)
+	// Seed makes period selection deterministic; 0 seeds from 1.
+	Seed int64
+	// Core tunes the underlying algorithm; the zero value is the full
+	// published algorithm. Mainly for ablation studies.
+	Core core.Options
+	// Budget, when TargetOverhead is nonzero, replaces the fixed
+	// SamplingRate with an adaptive controller that keeps the measured
+	// analysis overhead near the target (see BudgetOptions).
+	Budget BudgetOptions
+	// ReuseThreadIDs recycles the identifiers of dead, joined threads
+	// whose metadata has been fully discarded, keeping vector clocks
+	// bounded by the peak live thread count instead of the total thread
+	// count — the accordion-clocks improvement the paper recommends for
+	// production use.
+	ReuseThreadIDs bool
+}
+
+// Stats summarizes the detector's work, mirroring the operation classes of
+// the paper's Table 3.
+type Stats struct {
+	// Races is the number of reports.
+	Races uint64
+	// Reads and Writes count observed data accesses.
+	Reads, Writes uint64
+	// SyncOps counts observed synchronization operations.
+	SyncOps uint64
+	// FastPathReads/Writes count accesses dismissed by the O(1) no-metadata
+	// fast path.
+	FastPathReads, FastPathWrites uint64
+	// SlowJoins and FastJoins count O(n) versus version-skipped joins.
+	SlowJoins, FastJoins uint64
+	// DeepCopies and ShallowCopies count vector clock copies.
+	DeepCopies, ShallowCopies uint64
+	// VarsTracked is the number of variables currently holding metadata.
+	VarsTracked int
+	// MetadataWords approximates live metadata in 8-byte words.
+	MetadataWords int
+}
+
+// Detector is a thread-safe PACER race detector. All methods may be called
+// from any goroutine; the analysis itself is serialized internally, which
+// preserves a valid interleaving of the observed operations.
+type Detector struct {
+	mu      sync.Mutex
+	d       *core.Detector
+	opts    Options
+	rng     *rand.Rand
+	budget  *budgetState
+	ops     int
+	periods uint64
+
+	nextThread ThreadID
+	nextLock   LockID
+	nextVol    VolatileID
+	nextVar    VarID
+
+	siteLabels map[SiteID]string
+	varLabels  map[VarID]string
+}
+
+// New returns a detector with the given options.
+func New(opts Options) *Detector {
+	if opts.PeriodOps <= 0 {
+		opts.PeriodOps = 4096
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.SamplingRate < 0 {
+		opts.SamplingRate = 0
+	}
+	if opts.SamplingRate > 1 {
+		opts.SamplingRate = 1
+	}
+	det := &Detector{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	if opts.Budget.TargetOverhead > 0 {
+		det.budget = newBudgetState(opts.Budget, opts.SamplingRate)
+	}
+	det.d = core.NewWithOptions(func(r detector.Race) {
+		if opts.OnRace != nil {
+			opts.OnRace(r)
+		}
+	}, opts.Core)
+	det.rollPeriod()
+	return det
+}
+
+// rollPeriod decides whether the next period samples. Callers hold mu (or
+// are the constructor).
+func (p *Detector) rollPeriod() {
+	p.ops = 0
+	p.periods++
+	rate := p.opts.SamplingRate
+	if p.budget != nil {
+		p.budget.adjust()
+		rate = p.budget.rate
+	}
+	sample := p.rng.Float64() < rate
+	if sample && !p.d.Sampling() {
+		p.d.SampleBegin()
+	} else if !sample && p.d.Sampling() {
+		p.d.SampleEnd()
+	}
+}
+
+// enter and exit bracket analysis work for the budget controller; callers
+// hold mu.
+func (p *Detector) enter() time.Time {
+	if p.budget == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (p *Detector) exit(t0 time.Time) {
+	if p.budget != nil {
+		p.budget.inside += time.Since(t0)
+	}
+}
+
+// tick advances the period clock; callers hold mu.
+func (p *Detector) tick() {
+	p.ops++
+	if p.ops >= p.opts.PeriodOps {
+		p.rollPeriod()
+	}
+}
+
+// NewThread registers a new root thread (one not forked from a registered
+// thread, e.g. main). Threads forked by registered threads should use
+// Fork so the happens-before edge is recorded.
+func (p *Detector) NewThread() ThreadID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextThread
+	p.nextThread++
+	return id
+}
+
+// Fork registers a new thread forked by parent and records the
+// happens-before edge fork(parent, child). With Options.ReuseThreadIDs,
+// the identifier of a fully retired thread may be recycled.
+func (p *Detector) Fork(parent ThreadID) ThreadID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id, reused := ThreadID(0), false
+	if p.opts.ReuseThreadIDs {
+		id, reused = p.d.ReusableThread()
+	}
+	if !reused {
+		id = p.nextThread
+		p.nextThread++
+	}
+	p.d.Fork(parent, id)
+	p.tick()
+	return id
+}
+
+// Join records join(t, u): t blocked until u terminated. It also marks u
+// terminated, which (with Options.ReuseThreadIDs) makes its identifier a
+// recycling candidate once no metadata names it.
+func (p *Detector) Join(t, u ThreadID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.d.Join(t, u)
+	p.d.ThreadExit(u)
+	p.tick()
+}
+
+// NewLockID allocates a lock identifier.
+func (p *Detector) NewLockID() LockID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextLock
+	p.nextLock++
+	return id
+}
+
+// NewVolatileID allocates a volatile identifier.
+func (p *Detector) NewVolatileID() VolatileID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextVol
+	p.nextVol++
+	return id
+}
+
+// NewVarID allocates a data-variable identifier.
+func (p *Detector) NewVarID() VarID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextVar
+	p.nextVar++
+	return id
+}
+
+// Read observes thread t reading variable v at site s.
+func (p *Detector) Read(t ThreadID, v VarID, s SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t0 := p.enter()
+	p.d.Read(t, v, s, 0)
+	p.exit(t0)
+	p.tick()
+}
+
+// Write observes thread t writing variable v at site s.
+func (p *Detector) Write(t ThreadID, v VarID, s SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t0 := p.enter()
+	p.d.Write(t, v, s, 0)
+	p.exit(t0)
+	p.tick()
+}
+
+// Acquire observes thread t acquiring lock m. Call it after the real lock
+// is acquired.
+func (p *Detector) Acquire(t ThreadID, m LockID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t0 := p.enter()
+	p.d.Acquire(t, m)
+	p.exit(t0)
+	p.tick()
+}
+
+// Release observes thread t releasing lock m. Call it before the real lock
+// is released.
+func (p *Detector) Release(t ThreadID, m LockID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t0 := p.enter()
+	p.d.Release(t, m)
+	p.exit(t0)
+	p.tick()
+}
+
+// VolRead observes thread t reading volatile vx (e.g. an atomic load).
+func (p *Detector) VolRead(t ThreadID, vx VolatileID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t0 := p.enter()
+	p.d.VolRead(t, vx)
+	p.exit(t0)
+	p.tick()
+}
+
+// VolWrite observes thread t writing volatile vx (e.g. an atomic store).
+func (p *Detector) VolWrite(t ThreadID, vx VolatileID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t0 := p.enter()
+	p.d.VolWrite(t, vx)
+	p.exit(t0)
+	p.tick()
+}
+
+// Sampling reports whether the detector is currently in a sampling period.
+func (p *Detector) Sampling() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.d.Sampling()
+}
+
+// Stats returns a snapshot of the detector's work counters.
+func (p *Detector) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.d.Stats()
+	return Stats{
+		Races:          c.Races,
+		Reads:          c.TotalReads(),
+		Writes:         c.TotalWrites(),
+		SyncOps:        c.TotalSyncOps(),
+		FastPathReads:  c.ReadFast[0] + c.ReadFast[1],
+		FastPathWrites: c.WriteFast[0] + c.WriteFast[1],
+		SlowJoins:      c.SlowJoins[0] + c.SlowJoins[1],
+		FastJoins:      c.FastJoins[0] + c.FastJoins[1],
+		DeepCopies:     c.DeepCopies[0] + c.DeepCopies[1],
+		ShallowCopies:  c.ShallowCopies[0] + c.ShallowCopies[1],
+		VarsTracked:    p.d.VarsTracked(),
+		MetadataWords:  p.d.MetadataWords(),
+	}
+}

@@ -1,0 +1,56 @@
+package pacer
+
+import "fmt"
+
+// SiteLabel associates a human-readable label with a program site, so race
+// reports can be rendered in terms of source locations or logical
+// operation names instead of numeric identifiers.
+func (p *Detector) SiteLabel(s SiteID, label string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.siteLabels == nil {
+		p.siteLabels = make(map[SiteID]string)
+	}
+	p.siteLabels[s] = label
+}
+
+// VarLabel associates a human-readable label with a variable.
+func (p *Detector) VarLabel(v VarID, label string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.varLabels == nil {
+		p.varLabels = make(map[VarID]string)
+	}
+	p.varLabels[v] = label
+}
+
+func (p *Detector) siteName(s SiteID) string {
+	if l, ok := p.siteLabels[s]; ok {
+		return l
+	}
+	return fmt.Sprintf("site %d", s)
+}
+
+// Describe renders a race using any registered site and variable labels:
+//
+//	data race on `account.balance`: write at deposit() vs read at audit()
+func (p *Detector) Describe(r Race) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	varName := fmt.Sprintf("var %d", r.Var)
+	if l, ok := p.varLabels[r.Var]; ok {
+		varName = l
+	}
+	var first, second string
+	switch r.Kind {
+	case WriteWrite:
+		first, second = "write", "write"
+	case WriteRead:
+		first, second = "write", "read"
+	case ReadWrite:
+		first, second = "read", "write"
+	}
+	return fmt.Sprintf("data race on %s: %s at %s (thread %d) vs %s at %s (thread %d)",
+		varName, first, p.siteName(r.FirstSite), r.FirstThread,
+		second, p.siteName(r.SecondSite), r.SecondThread)
+}

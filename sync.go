@@ -1,0 +1,86 @@
+package pacer
+
+import "sync"
+
+// WaitGroup is a sync.WaitGroup whose completion edges are reported to the
+// detector: every Done happens before the return of any Wait that observed
+// it, exactly like the real primitive. Internally each Done publishes
+// through a volatile and Wait consumes it, so a worker's writes before
+// Done never race with the waiter's reads after Wait.
+type WaitGroup struct {
+	d  *Detector
+	vx VolatileID
+	wg sync.WaitGroup
+}
+
+// NewWaitGroup returns an instrumented wait group.
+func (p *Detector) NewWaitGroup() *WaitGroup {
+	return &WaitGroup{d: p, vx: p.NewVolatileID()}
+}
+
+// Add adds delta to the counter.
+func (w *WaitGroup) Add(delta int) { w.wg.Add(delta) }
+
+// Done decrements the counter on behalf of thread t, publishing t's work.
+func (w *WaitGroup) Done(t ThreadID) {
+	w.d.VolWrite(t, w.vx)
+	w.wg.Done()
+}
+
+// Wait blocks until the counter is zero, then receives every Done-er's
+// published work on behalf of thread t.
+func (w *WaitGroup) Wait(t ThreadID) {
+	w.wg.Wait()
+	w.d.VolRead(t, w.vx)
+}
+
+// RWMutex is a sync.RWMutex with the real primitive's happens-before
+// semantics reported to the detector:
+//
+//   - an Unlock happens before any later RLock or Lock;
+//   - an RUnlock happens before any later Lock;
+//   - readers are not ordered with each other.
+//
+// The model uses a lock for writer mutual exclusion plus two volatiles:
+// writers publish through one (consumed by readers and writers), readers
+// publish through the other (consumed by writers, whose volatile write
+// accumulates every reader's history).
+type RWMutex struct {
+	d    *Detector
+	m    LockID
+	wPub VolatileID // writers publish, readers+writers consume
+	rPub VolatileID // readers publish, writers consume
+	mu   sync.RWMutex
+}
+
+// NewRWMutex returns an instrumented reader/writer mutex.
+func (p *Detector) NewRWMutex() *RWMutex {
+	return &RWMutex{d: p, m: p.NewLockID(), wPub: p.NewVolatileID(), rPub: p.NewVolatileID()}
+}
+
+// Lock acquires the write lock on behalf of thread t.
+func (r *RWMutex) Lock(t ThreadID) {
+	r.mu.Lock()
+	r.d.Acquire(t, r.m)
+	r.d.VolRead(t, r.rPub) // receive every reader's history
+	r.d.VolRead(t, r.wPub) // and the previous writer's
+}
+
+// Unlock releases the write lock on behalf of thread t.
+func (r *RWMutex) Unlock(t ThreadID) {
+	r.d.VolWrite(t, r.wPub) // publish to later readers and writers
+	r.d.Release(t, r.m)
+	r.mu.Unlock()
+}
+
+// RLock acquires the read lock on behalf of thread t.
+func (r *RWMutex) RLock(t ThreadID) {
+	r.mu.RLock()
+	r.d.VolRead(t, r.wPub) // receive the last writer's publication
+}
+
+// RUnlock releases the read lock on behalf of thread t.
+func (r *RWMutex) RUnlock(t ThreadID) {
+	r.d.VolWrite(t, r.rPub) // publish to the next writer
+	r.mu.RUnlock()
+}
