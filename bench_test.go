@@ -321,6 +321,37 @@ func BenchmarkPublicAPI(b *testing.B) {
 	}
 }
 
+// benchFrontendParallel measures aggregate facade throughput under
+// GOMAXPROCS-parallel load: each goroutine gets its own registered thread
+// and mostly touches its own variables, the fast-path-dominant pattern the
+// concurrent front-end is built for. Run with -cpu to sweep parallelism.
+func benchFrontendParallel(b *testing.B, serialized bool) {
+	b.Helper()
+	d := pacer.New(pacer.Options{SamplingRate: 0.01, PeriodOps: 4096, Serialized: serialized})
+	main := d.NewThread()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tid := d.Fork(main)
+		v := d.NewVarID()
+		i := 0
+		for pb.Next() {
+			if i&7 == 0 {
+				d.Write(tid, v, 1)
+			} else {
+				d.Read(tid, v, 2)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkFrontendParallel is the concurrent sharded front-end;
+// BenchmarkFrontendParallelSerialized is the single-mutex baseline the
+// speedup claims are measured against (see pacerbench -experiment
+// frontend for the aggregate table).
+func BenchmarkFrontendParallel(b *testing.B)           { benchFrontendParallel(b, false) }
+func BenchmarkFrontendParallelSerialized(b *testing.B) { benchFrontendParallel(b, true) }
+
 // BenchmarkSimulatorOverhead measures the bare simulator (no detector).
 func BenchmarkSimulatorOverhead(b *testing.B) {
 	spec := workload.Eclipse()

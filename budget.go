@@ -1,6 +1,9 @@
 package pacer
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // BudgetOptions enable adaptive sampling in the spirit of QVM (Arnold,
 // Vechev, and Yahav), which the paper cites as the kindred "stay within a
@@ -26,13 +29,14 @@ type BudgetOptions struct {
 	MinRate float64
 }
 
-// budgetState tracks the controller's measurements. All fields are guarded
-// by the Detector's mutex.
+// budgetState tracks the controller's measurements. inside is accumulated
+// atomically (slow-path accesses run concurrently under shard locks); the
+// remaining fields are guarded by the Detector's epoch lock.
 type budgetState struct {
 	opts      BudgetOptions
 	rate      float64
 	started   time.Time
-	inside    time.Duration
+	inside    atomic.Int64  // nanoseconds spent in analysis, across goroutines
 	lastTotal time.Duration // total elapsed at the last adjustment
 	lastIn    time.Duration
 }
@@ -56,9 +60,10 @@ func newBudgetState(o BudgetOptions, start float64) *budgetState {
 // that halves aggressively when over budget and recovers gently.
 func (b *budgetState) adjust() {
 	total := time.Since(b.started)
+	inside := time.Duration(b.inside.Load())
 	dTotal := total - b.lastTotal
-	dIn := b.inside - b.lastIn
-	b.lastTotal, b.lastIn = total, b.inside
+	dIn := inside - b.lastIn
+	b.lastTotal, b.lastIn = total, inside
 	app := dTotal - dIn
 	if app <= 0 || dTotal <= 0 {
 		return
@@ -94,9 +99,10 @@ func (p *Detector) ObservedOverhead() float64 {
 		return 0
 	}
 	total := time.Since(p.budget.started)
-	app := total - p.budget.inside
+	inside := time.Duration(p.budget.inside.Load())
+	app := total - inside
 	if app <= 0 {
 		return 0
 	}
-	return float64(p.budget.inside) / float64(app)
+	return float64(inside) / float64(app)
 }

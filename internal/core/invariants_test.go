@@ -61,19 +61,21 @@ func checkWellFormed(d *Detector) error {
 			}
 		}
 		// 3-4: variable metadata components bounded by owners' clocks.
-		for x, m := range d.vars {
+		var bad error
+		d.forEachVar(func(x event.Var, m *varMeta) bool {
 			if !m.w.IsZero() && m.w.Thread() == t && m.w.Clock() > tm.clock.Get(t) {
-				return fmt.Errorf("W_%d = %v exceeds C_%d.vc(%d)", x, m.w, t, t)
+				bad = fmt.Errorf("W_%d = %v exceeds C_%d.vc(%d)", x, m.w, t, t)
+				return false
 			}
-			var bad error
 			m.r.ForEach(func(e vclock.ReadEntry) {
 				if e.T == t && e.C > tm.clock.Get(t) {
 					bad = fmt.Errorf("R_%d(%d)=%d exceeds C_%d.vc(%d)=%d", x, t, e.C, t, t, tm.clock.Get(t))
 				}
 			})
-			if bad != nil {
-				return bad
-			}
+			return bad == nil
+		})
+		if bad != nil {
+			return bad
 		}
 		// Lemma 7: versions imply vector clock ordering.
 		checkVE := func(name string, s *syncMeta) error {

@@ -22,6 +22,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"pacer/internal/detector"
 	"pacer/internal/event"
 	"pacer/internal/vclock"
@@ -43,6 +45,29 @@ type Options struct {
 	// detector loses its space proportionality and may report additional
 	// non-shortest races.
 	DisableDiscard bool
+	// Shards is the number of independent variable-metadata shards
+	// (rounded up to a power of two, default 64). Accesses to variables in
+	// distinct shards may run concurrently under the locking contract
+	// described on Detector.
+	Shards int
+}
+
+const (
+	defaultShards = 64
+	// presenceBuckets sizes the lock-free metadata presence filter: a
+	// count of tracked variables per hash bucket, readable without any
+	// lock. A zero bucket proves the variables hashing to it hold no
+	// metadata; a nonzero bucket only sends the caller to the slow path.
+	presenceBuckets = 1 << 12
+)
+
+// varShard is one slice of the variable-metadata table together with the
+// access-path counters accumulated for it. The trailing pad keeps shards
+// on distinct cache lines so parallel accesses do not false-share.
+type varShard struct {
+	vars  map[event.Var]*varMeta
+	stats detector.Counters
+	_     [64]byte
 }
 
 // threadMeta is the per-thread analysis state: the thread's vector clock
@@ -70,18 +95,48 @@ type varMeta struct {
 	r     vclock.ReadMap
 }
 
-// Detector is the PACER analysis. It is not safe for concurrent use; wrap
-// it (as the public pacer package does) to serialize events.
+// Detector is the PACER analysis. It is not safe for unrestricted
+// concurrent use, but it admits a sharded reader-writer discipline that
+// the public pacer package exploits:
+//
+//   - Synchronization operations (Acquire, Release, Fork, Join, VolRead,
+//     VolWrite), sampling transitions (SampleBegin, SampleEnd), thread
+//     lifecycle calls, Stats, VarsTracked, and MetadataWords require
+//     exclusive access (no other call in flight).
+//   - Read and Write may run concurrently with each other provided (a)
+//     calls whose variables share a shard (ShardOf) are serialized by the
+//     caller, (b) no exclusive-class call is in flight, and (c) every
+//     thread identifier was announced via EnsureThreadSlots (or a prior
+//     exclusive call) before its first shared-mode access, and a single
+//     thread's operations are never issued concurrently with each other.
+//
+// Under that contract accesses only read thread clocks (stable between
+// synchronization operations) and mutate per-shard state, so any
+// interleaving is equivalent to some serialized execution of the same
+// operations.
+//
+// StateWord and MetaPossible may be called lock-free at any time; they
+// are the probes behind the public front-end's non-sampling fast path.
 type Detector struct {
 	sampling bool
-	threads  []*threadMeta
-	dead     map[vclock.Thread]bool
-	joined   map[vclock.Thread]bool
-	locks    map[event.Lock]*syncMeta
-	vols     map[event.Volatile]*syncMeta
-	vars     map[event.Var]*varMeta
+	// state publishes the sampling flag (bit 0) and a transition count
+	// (upper bits) so a lock-free reader can both test sampling and detect
+	// that no transition intervened between two loads.
+	state      atomic.Uint64
+	threads    []*threadMeta
+	dead       map[vclock.Thread]bool
+	joined     map[vclock.Thread]bool
+	locks      map[event.Lock]*syncMeta
+	vols       map[event.Volatile]*syncMeta
+	shards     []varShard
+	shardShift uint32 // 32 - log2(len(shards)): ShardOf keeps the hash's high bits
+	// presence counts tracked variables per hash bucket, maintained
+	// increment-before-insert / delete-before-decrement so a zero read
+	// proves absence at the instant of the load.
+	presence []atomic.Int32
 	report   detector.Reporter
-	stats    detector.Counters
+	stats    detector.Counters // sync-path counters; access counters live per shard
+	snap     detector.Counters // Stats() aggregation scratch
 	opts     Options
 }
 
@@ -100,21 +155,91 @@ func New(report detector.Reporter) *Detector {
 
 // NewWithOptions returns a PACER detector with explicit options.
 func NewWithOptions(report detector.Reporter, opts Options) *Detector {
-	return &Detector{
-		dead:   make(map[vclock.Thread]bool),
-		locks:  make(map[event.Lock]*syncMeta),
-		vols:   make(map[event.Volatile]*syncMeta),
-		vars:   make(map[event.Var]*varMeta),
-		report: report,
-		opts:   opts,
+	n := opts.Shards
+	if n <= 0 {
+		n = defaultShards
 	}
+	bits := uint32(0)
+	for 1<<bits < n {
+		bits++
+	}
+	d := &Detector{
+		dead:       make(map[vclock.Thread]bool),
+		locks:      make(map[event.Lock]*syncMeta),
+		vols:       make(map[event.Volatile]*syncMeta),
+		shards:     make([]varShard, 1<<bits),
+		shardShift: 32 - bits,
+		presence:   make([]atomic.Int32, presenceBuckets),
+		report:     report,
+		opts:       opts,
+	}
+	for i := range d.shards {
+		d.shards[i].vars = make(map[event.Var]*varMeta)
+	}
+	return d
 }
 
 // Name implements detector.Detector.
 func (d *Detector) Name() string { return "pacer" }
 
-// Stats returns the detector's operation counters.
-func (d *Detector) Stats() *detector.Counters { return &d.stats }
+// Stats returns the detector's operation counters, aggregated across the
+// variable shards. Exclusive access required; the returned pointer is to a
+// snapshot that the next Stats call overwrites.
+func (d *Detector) Stats() *detector.Counters {
+	d.snap = d.stats
+	for i := range d.shards {
+		d.snap.Add(&d.shards[i].stats)
+	}
+	return &d.snap
+}
+
+// Shards returns the number of variable-metadata shards; the caller's
+// striped locks must cover indices [0, Shards()).
+func (d *Detector) Shards() int { return len(d.shards) }
+
+// ShardOf maps a variable to its metadata shard (Fibonacci hashing on the
+// identifier's high output bits).
+func (d *Detector) ShardOf(x event.Var) int {
+	return int((uint32(x) * 2654435761) >> d.shardShift)
+}
+
+func (d *Detector) presenceOf(x event.Var) *atomic.Int32 {
+	return &d.presence[(uint32(x)*2654435761)&(presenceBuckets-1)]
+}
+
+// StateWord returns the atomically published sampling state: bit 0 is the
+// sampling flag and the upper bits count transitions, so two equal loads
+// bracketing another atomic load prove the sampling flag held throughout.
+func (d *Detector) StateWord() uint64 { return d.state.Load() }
+
+// MetaPossible reports whether variable x might currently hold metadata.
+// It is safe to call without any lock: a false result proves x held no
+// metadata at the instant of the internal load; a true result may be a
+// hash collision and only obliges the caller to take the slow path.
+func (d *Detector) MetaPossible(x event.Var) bool {
+	return d.presenceOf(x).Load() > 0
+}
+
+// EnsureThreadSlots pre-grows the thread table to hold identifiers below
+// n, so that shared-mode Read/Write calls never need to grow it. Requires
+// exclusive access.
+func (d *Detector) EnsureThreadSlots(n int) {
+	for len(d.threads) < n {
+		d.threads = append(d.threads, nil)
+	}
+}
+
+// forEachVar visits every tracked variable's metadata. Exclusive access
+// required.
+func (d *Detector) forEachVar(f func(event.Var, *varMeta) bool) {
+	for i := range d.shards {
+		for x, m := range d.shards[i].vars {
+			if !f(x, m) {
+				return
+			}
+		}
+	}
+}
 
 // Sampling reports whether the detector is inside a sampling period.
 func (d *Detector) Sampling() bool { return d.sampling }
@@ -129,6 +254,7 @@ func (d *Detector) SampleBegin() {
 		return
 	}
 	d.sampling = true
+	d.publishState()
 	for t, tm := range d.threads {
 		if tm == nil || d.dead[vclock.Thread(t)] {
 			// A terminated thread performs no further accesses, so its
@@ -147,7 +273,23 @@ func (d *Detector) ThreadExit(t vclock.Thread) { d.dead[t] = true }
 
 // SampleEnd leaves the sampling period (Table 5 Rule 2). Logical time
 // freezes until the next SampleBegin.
-func (d *Detector) SampleEnd() { d.sampling = false }
+func (d *Detector) SampleEnd() {
+	if !d.sampling {
+		return
+	}
+	d.sampling = false
+	d.publishState()
+}
+
+// publishState mirrors d.sampling into the atomic state word, bumping the
+// transition count.
+func (d *Detector) publishState() {
+	w := (d.state.Load()>>1 + 1) << 1
+	if d.sampling {
+		w |= 1
+	}
+	d.state.Store(w)
+}
 
 // thread returns thread t's metadata, creating it in the initial state of
 // Equation 7 (clock and version both incremented once) on first use.
@@ -353,8 +495,12 @@ func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) {
 	d.inc(t)
 }
 
-func (d *Detector) emit(r detector.Race) {
-	d.stats.Races++
+// emit reports a race, counting it against the shard the triggering
+// access belongs to (races are only ever emitted from access paths). The
+// reporter may therefore be invoked concurrently by accesses in distinct
+// shards.
+func (d *Detector) emit(sh *varShard, r detector.Race) {
+	sh.stats.Races++
 	if d.report != nil {
 		d.report(r)
 	}
@@ -362,14 +508,15 @@ func (d *Detector) emit(r detector.Race) {
 
 // Read implements rd(t, x) (Algorithm 12; Table 4 Rules 1-4).
 func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
-	m, exists := d.vars[x]
+	sh := &d.shards[d.ShardOf(x)]
+	m, exists := sh.vars[x]
 	if !d.sampling && !exists {
 		// Inline fast path: no metadata and not sampling → no action.
-		d.stats.ReadFast[detector.NonSampling]++
+		sh.stats.ReadFast[detector.NonSampling]++
 		return
 	}
 	p := d.period()
-	d.stats.ReadSlow[p]++
+	sh.stats.ReadSlow[p]++
 	tm := d.thread(t)
 	ct := tm.clock
 
@@ -382,7 +529,7 @@ func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32)
 		}
 		// Race check: W_x ≼ C_t.
 		if !m.w.Leq(ct) {
-			d.emit(detector.Race{
+			d.emit(sh, detector.Race{
 				Var: x, Kind: detector.WriteRead,
 				FirstThread: m.w.Thread(), SecondThread: t,
 				FirstSite: m.wSite, SecondSite: site,
@@ -394,7 +541,8 @@ func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32)
 		// Rules 2-4, sampling column: exactly FASTTRACK's update.
 		if m == nil {
 			m = &varMeta{}
-			d.vars[x] = m
+			d.presenceOf(x).Add(1) // before insert: zero presence proves absence
+			sh.vars[x] = m
 		}
 		if m.r.Size() <= 1 && m.r.Leq(ct) {
 			m.r.SetEpoch(vclock.ReadEntry{T: t, C: ct.Get(t), Site: uint32(site)})
@@ -417,18 +565,19 @@ func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32)
 		// Rule 3: discard t's own entry only.
 		m.r.Remove(t)
 	}
-	d.maybeDiscard(x, m)
+	d.maybeDiscard(sh, x, m)
 }
 
 // Write implements wr(t, x) (Algorithm 13; Table 4 Rules 5-7).
 func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
-	m, exists := d.vars[x]
+	sh := &d.shards[d.ShardOf(x)]
+	m, exists := sh.vars[x]
 	if !d.sampling && !exists {
-		d.stats.WriteFast[detector.NonSampling]++
+		sh.stats.WriteFast[detector.NonSampling]++
 		return
 	}
 	p := d.period()
-	d.stats.WriteSlow[p]++
+	sh.stats.WriteSlow[p]++
 	tm := d.thread(t)
 	ct := tm.clock
 
@@ -439,14 +588,14 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 		}
 		// Race checks: W_x ≼ C_t and R_x ⊑ C_t.
 		if !m.w.Leq(ct) {
-			d.emit(detector.Race{
+			d.emit(sh, detector.Race{
 				Var: x, Kind: detector.WriteWrite,
 				FirstThread: m.w.Thread(), SecondThread: t,
 				FirstSite: m.wSite, SecondSite: site,
 			})
 		}
 		m.r.Racing(ct, func(e vclock.ReadEntry) {
-			d.emit(detector.Race{
+			d.emit(sh, detector.Race{
 				Var: x, Kind: detector.ReadWrite,
 				FirstThread: e.T, SecondThread: t,
 				FirstSite: event.Site(e.Site), SecondSite: site,
@@ -458,7 +607,8 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 		// Rules 6-7, sampling column: W_x ← epoch(t), R_x cleared.
 		if m == nil {
 			m = &varMeta{}
-			d.vars[x] = m
+			d.presenceOf(x).Add(1) // before insert: zero presence proves absence
+			sh.vars[x] = m
 		}
 		m.r.Clear()
 		m.w = vclock.MakeEpoch(t, ct.Get(t))
@@ -470,20 +620,30 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	if d.opts.DisableDiscard {
 		return
 	}
-	delete(d.vars, x)
+	if exists {
+		delete(sh.vars, x)
+		d.presenceOf(x).Add(-1) // after delete: presence covers the metadata's lifetime
+	}
 }
 
 // maybeDiscard removes x's table entry once it carries no information,
 // reclaiming space (Section 4's null metadata header word).
-func (d *Detector) maybeDiscard(x event.Var, m *varMeta) {
+func (d *Detector) maybeDiscard(sh *varShard, x event.Var, m *varMeta) {
 	if m.w.IsZero() && m.r.IsEmpty() {
-		delete(d.vars, x)
+		delete(sh.vars, x)
+		d.presenceOf(x).Add(-1)
 	}
 }
 
 // VarsTracked returns the number of variables currently holding metadata
 // (used by tests and the space accountant).
-func (d *Detector) VarsTracked() int { return len(d.vars) }
+func (d *Detector) VarsTracked() int {
+	n := 0
+	for i := range d.shards {
+		n += len(d.shards[i].vars)
+	}
+	return n
+}
 
 // MetadataWords implements detector.MemoryAccounted. Shared vector clocks
 // are counted once, reflecting the space saving of shallow copies.
@@ -512,8 +672,9 @@ func (d *Detector) MetadataWords() int {
 		count(s.clock)
 		w += 1
 	}
-	for _, m := range d.vars {
+	d.forEachVar(func(_ event.Var, m *varMeta) bool {
 		w += 2 + m.r.MemoryWords()
-	}
+		return true
+	})
 	return w
 }

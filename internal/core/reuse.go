@@ -1,6 +1,9 @@
 package core
 
-import "pacer/internal/vclock"
+import (
+	"pacer/internal/event"
+	"pacer/internal/vclock"
+)
 
 // Thread identifier reuse, in the spirit of the accordion clocks the paper
 // cites as the fix for its prototype's unbounded vector clock growth
@@ -37,13 +40,20 @@ func (d *Detector) markJoined(u vclock.Thread) {
 
 // referenced reports whether any live metadata names thread u.
 func (d *Detector) referenced(u vclock.Thread) bool {
-	for _, m := range d.vars {
+	found := false
+	d.forEachVar(func(_ event.Var, m *varMeta) bool {
 		if !m.w.IsZero() && m.w.Thread() == u {
-			return true
+			found = true
+			return false
 		}
 		if _, ok := m.r.Get(u); ok {
-			return true
+			found = true
+			return false
 		}
+		return true
+	})
+	if found {
+		return true
 	}
 	for _, s := range d.locks {
 		if !s.vepoch.IsTop() && s.vepoch != vclock.VEBottom && s.vepoch.Thread() == u {

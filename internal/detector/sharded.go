@@ -1,0 +1,54 @@
+package detector
+
+import "sync/atomic"
+
+// counterCell is a cache-line-padded atomic counter, so that cells in a
+// ShardedCount can be bumped by different cores without false sharing.
+type counterCell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// ShardedCount is a monotone counter striped across cache-line-padded
+// cells. Concurrent writers pick (any) cell index — typically a shard or
+// thread hash — and never contend when their indices differ. Sum folds
+// the cells; it is safe to call concurrently with writers and returns a
+// value at least as large as every count that happened-before the call.
+type ShardedCount struct {
+	cells []counterCell
+}
+
+// NewShardedCount returns a counter with n cells (minimum 1).
+func NewShardedCount(n int) *ShardedCount {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedCount{cells: make([]counterCell, n)}
+}
+
+// Inc adds 1 to cell i (mod the cell count).
+func (c *ShardedCount) Inc(i int) {
+	c.cells[i%len(c.cells)].n.Add(1)
+}
+
+// Add adds delta to cell i (mod the cell count).
+func (c *ShardedCount) Add(i int, delta uint64) {
+	c.cells[i%len(c.cells)].n.Add(delta)
+}
+
+// Sum returns the total across all cells.
+func (c *ShardedCount) Sum() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
+}
+
+// PaddedCell is a cache-line-padded atomic counter for callers that manage
+// their own cell placement (e.g. one cell per registered thread). The zero
+// value is ready to use.
+type PaddedCell struct {
+	N atomic.Uint64
+	_ [56]byte
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"pacer"
+)
+
+// Frontend measures the real (wall-clock, this machine) ingestion
+// throughput of the public pacer.Detector facade under parallel load:
+// goroutines issuing Read/Write through the API with occasional
+// instrumented lock operations, at a deployment-style sampling rate. Each
+// goroutine count is run twice — once in Options.Serialized mode (the
+// classic single-mutex front-end, the baseline) and once with the
+// concurrent sharded front-end — and the speedup column is the headline:
+// with the lock-free non-sampling fast path, aggregate throughput should
+// scale with cores instead of collapsing on the global mutex.
+//
+// Unlike the simulator experiments this one measures this process on this
+// hardware; numbers vary across machines, the shape (speedup > 1, growing
+// with goroutines) should not.
+
+// FrontendConfig configures the front-end scaling measurement.
+type FrontendConfig struct {
+	// Goroutines lists the parallelism levels to measure (default 1,2,4,8).
+	Goroutines []int
+	// Rate is the sampling rate (default 0.01, the paper's deployment
+	// recommendation).
+	Rate float64
+	// Ops is the per-goroutine operation count (default 200_000).
+	Ops int
+	// SharedEvery makes one in N accesses touch a variable shared by all
+	// goroutines (default 16).
+	SharedEvery int
+}
+
+func (c *FrontendConfig) fill() {
+	if c.Goroutines == nil {
+		c.Goroutines = []int{1, 2, 4, 8}
+	}
+	if c.Rate == 0 {
+		c.Rate = 0.01
+	}
+	if c.Ops <= 0 {
+		c.Ops = 200_000
+	}
+	if c.SharedEvery <= 0 {
+		c.SharedEvery = 16
+	}
+}
+
+// FrontendRow is one parallelism level's measurement.
+type FrontendRow struct {
+	Goroutines int
+	// BaseOps and ConcOps are aggregate operations per second through the
+	// serialized and concurrent front-ends.
+	BaseOps, ConcOps float64
+	// Speedup is ConcOps / BaseOps.
+	Speedup float64
+}
+
+// FrontendResult holds the front-end scaling table.
+type FrontendResult struct {
+	Rate float64
+	Ops  int
+	Rows []FrontendRow
+}
+
+// frontendRun drives one configuration and returns aggregate ops/sec.
+func frontendRun(cfg FrontendConfig, goroutines int, serialized bool) float64 {
+	d := pacer.New(pacer.Options{
+		SamplingRate: cfg.Rate,
+		PeriodOps:    4096,
+		Seed:         11,
+		Serialized:   serialized,
+	})
+	main := d.NewThread()
+	shared := make([]pacer.VarID, 4)
+	for i := range shared {
+		shared[i] = d.NewVarID()
+	}
+	m := d.NewMutex()
+	workers := make([]pacer.ThreadID, goroutines)
+	for g := range workers {
+		workers[g] = d.Fork(main)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g, tid := range workers {
+		wg.Add(1)
+		go func(tid pacer.ThreadID, g int) {
+			defer wg.Done()
+			private := make([]pacer.VarID, 8)
+			for i := range private {
+				private[i] = d.NewVarID()
+			}
+			site := pacer.SiteID(g * 1000)
+			for i := 0; i < cfg.Ops; i++ {
+				switch {
+				case i%512 == 511: // occasional lock-guarded shared update
+					m.Lock(tid)
+					d.Write(tid, shared[g%len(shared)], site)
+					m.Unlock(tid)
+				case i%cfg.SharedEvery == 0:
+					d.Read(tid, shared[i%len(shared)], site)
+				case i%4 == 0:
+					d.Write(tid, private[i%len(private)], site)
+				default:
+					d.Read(tid, private[i%len(private)], site)
+				}
+			}
+		}(tid, g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(goroutines) * float64(cfg.Ops) / elapsed
+}
+
+// Frontend runs the front-end scaling measurement.
+func Frontend(cfg FrontendConfig) *FrontendResult {
+	cfg.fill()
+	res := &FrontendResult{Rate: cfg.Rate, Ops: cfg.Ops}
+	for _, g := range cfg.Goroutines {
+		// Baseline and concurrent interleaved per level so thermal/load
+		// drift hits both sides roughly equally.
+		base := frontendRun(cfg, g, true)
+		conc := frontendRun(cfg, g, false)
+		res.Rows = append(res.Rows, FrontendRow{
+			Goroutines: g, BaseOps: base, ConcOps: conc, Speedup: conc / base,
+		})
+	}
+	return res
+}
+
+// Render prints the scaling table.
+func (f *FrontendResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Front-end ingestion throughput (real wall clock, r = %.2f, %d ops/goroutine)\n", f.Rate, f.Ops)
+	fmt.Fprintf(w, "%-11s  %15s  %15s  %8s\n", "goroutines", "serialized op/s", "concurrent op/s", "speedup")
+	rule(w, 56)
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "%-11d  %15.3e  %15.3e  %7.2fx\n", r.Goroutines, r.BaseOps, r.ConcOps, r.Speedup)
+	}
+}

@@ -330,3 +330,22 @@ func TestLineage(t *testing.T) {
 		t.Error("render broken")
 	}
 }
+
+func TestFrontendScalingRuns(t *testing.T) {
+	res := harness.Frontend(harness.FrontendConfig{
+		Goroutines: []int{1, 2}, Ops: 5_000,
+	})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.BaseOps <= 0 || r.ConcOps <= 0 {
+			t.Errorf("non-positive throughput: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("render broken")
+	}
+}

@@ -21,11 +21,38 @@
 // The convenience wrappers Mutex and Shared instrument common patterns
 // automatically. For simulation-based evaluation and the paper's
 // experiments, see cmd/pacerbench and the internal packages.
+//
+// # Concurrency
+//
+// All methods may be called from any goroutine, with one inherent rule:
+// operations for a single ThreadID must not be issued concurrently with
+// each other (a logical thread is sequential by definition).
+//
+// The front-end is built so the cost of ingestion scales with the
+// sampling rate, matching the algorithm it feeds:
+//
+//   - Outside sampling periods, a Read or Write of a variable holding no
+//     metadata returns on a lock-free fast path: two atomic loads (the
+//     published sampling-state word and a metadata presence filter) plus
+//     sharded atomic counters. No mutex is touched.
+//   - During sampling periods, variable metadata is striped across shards
+//     (hash of VarID); accesses to variables in distinct shards proceed in
+//     parallel, each under its shard lock plus a shared (reader) hold on
+//     the epoch lock.
+//   - Synchronization operations and sampling-period transitions take the
+//     epoch lock exclusively, freezing all accesses, so every execution is
+//     equivalent to some serialized interleaving of the observed
+//     operations — the detector never reports a race that a fully
+//     serialized detector could not report.
+//   - Each registered thread owns a cache-line-padded operation counter;
+//     counts are flushed to the period roller in batches, so the sampling
+//     clock advances without a shared contended word.
 package pacer
 
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pacer/internal/core"
@@ -50,6 +77,12 @@ type VolatileID = event.Volatile
 // pairs.
 type SiteID = event.Site
 
+// Event is one observed operation, as recorded by Options.TraceSink. The
+// sequence of events delivered to a sink is a faithful linearization:
+// replaying it through a serialized detector reproduces the analysis this
+// detector performed.
+type Event = event.Event
+
 // RaceKind classifies a race by its two accesses, first access first.
 type RaceKind = detector.RaceKind
 
@@ -73,12 +106,20 @@ type Options struct {
 	// PeriodOps is the number of observed operations per sampling-decision
 	// period. The paper toggles sampling at garbage collections; without a
 	// GC to hook, this library uses fixed-length operation periods, which
-	// need no bias correction. Defaults to 4096.
+	// need no bias correction. Defaults to 4096. Under concurrent use,
+	// period boundaries are approximate: per-thread operation counts are
+	// flushed to the roller in small batches, so a period may run over by
+	// up to one batch per active thread.
 	PeriodOps int
-	// OnRace receives race reports. It is called with the detector's
-	// internal lock held; keep it fast (e.g. enqueue the report).
+	// OnRace receives race reports. Accesses to variables in distinct
+	// shards analyze in parallel, so OnRace may be invoked from multiple
+	// goroutines concurrently; synchronize inside the callback (or use an
+	// Aggregator, which is already safe). Keep it fast — it runs with the
+	// reporting variable's shard lock held.
 	OnRace func(Race)
-	// Seed makes period selection deterministic; 0 seeds from 1.
+	// Seed makes period selection deterministic; 0 seeds from 1. (With
+	// concurrent callers the roll sequence is still deterministic, but
+	// which operations land in which period depends on scheduling.)
 	Seed int64
 	// Core tunes the underlying algorithm; the zero value is the full
 	// published algorithm. Mainly for ablation studies.
@@ -93,6 +134,25 @@ type Options struct {
 	// count — the accordion-clocks improvement the paper recommends for
 	// production use.
 	ReuseThreadIDs bool
+	// Shards is the number of variable-metadata shards (rounded up to a
+	// power of two; default 64). More shards admit more parallelism during
+	// sampling periods and a finer-grained fast-path presence filter, at a
+	// small fixed memory cost per detector. Overrides Core.Shards when
+	// nonzero.
+	Shards int
+	// Serialized disables the concurrent front-end: every operation takes
+	// the epoch lock exclusively and the lock-free fast path is off,
+	// reproducing the classic single-mutex behavior. Useful as a
+	// differential-testing reference and as a benchmark baseline.
+	Serialized bool
+	// TraceSink, when set, receives every observed operation (including
+	// sampling-period transitions as SampleBegin/SampleEnd events) in a
+	// faithful linearization order: replaying the recorded trace through a
+	// serialized detector reproduces this detector's analysis exactly.
+	// Recording adds a global serialization point (the sink lock), so it
+	// is meant for differential testing and replay debugging, not
+	// production.
+	TraceSink func(Event)
 }
 
 // Stats summarizes the detector's work, mirroring the operation classes of
@@ -105,7 +165,7 @@ type Stats struct {
 	// SyncOps counts observed synchronization operations.
 	SyncOps uint64
 	// FastPathReads/Writes count accesses dismissed by the O(1) no-metadata
-	// fast path.
+	// fast path (including the front-end's lock-free dismissals).
 	FastPathReads, FastPathWrites uint64
 	// SlowJoins and FastJoins count O(n) versus version-skipped joins.
 	SlowJoins, FastJoins uint64
@@ -117,17 +177,44 @@ type Stats struct {
 	MetadataWords int
 }
 
-// Detector is a thread-safe PACER race detector. All methods may be called
-// from any goroutine; the analysis itself is serialized internally, which
-// preserves a valid interleaving of the observed operations.
+// shardLock is a cache-line-padded mutex striping the variable shards.
+type shardLock struct {
+	sync.Mutex
+	_ [48]byte
+}
+
+// Detector is a thread-safe PACER race detector. See the package comment
+// for the concurrency architecture; the one caller obligation is that a
+// single ThreadID's operations are issued sequentially.
 type Detector struct {
-	mu      sync.Mutex
-	d       *core.Detector
-	opts    Options
-	rng     *rand.Rand
+	d    *core.Detector
+	opts Options
+
+	// mu is the epoch lock. Exclusive: synchronization operations, period
+	// rolls, registration, stats. Shared: data-access slow paths, which
+	// additionally hold their variable's shard lock. The lock-free fast
+	// path holds neither.
+	mu    sync.RWMutex
+	varMu []shardLock
+
+	rng     *rand.Rand // guarded by mu (exclusive)
 	budget  *budgetState
-	ops     int
-	periods uint64
+	periods uint64 // guarded by mu (exclusive)
+
+	// pending counts operations flushed toward the next period roll;
+	// rolling gates the roll so only one goroutine performs it.
+	pending atomic.Int64
+	rolling atomic.Bool
+	batch   uint64
+
+	// opCells holds one padded operation counter per registered thread,
+	// indexed by ThreadID. The slice is replaced (never mutated) under mu.
+	opCells atomic.Pointer[[]*detector.PaddedCell]
+
+	// fastReads/fastWrites count lock-free fast-path dismissals, sharded
+	// by the variable's metadata shard.
+	fastReads  *detector.ShardedCount
+	fastWrites *detector.ShardedCount
 
 	nextThread ThreadID
 	nextLock   LockID
@@ -136,6 +223,9 @@ type Detector struct {
 
 	siteLabels map[SiteID]string
 	varLabels  map[VarID]string
+
+	// sinkMu serializes TraceSink appends; it is the innermost lock.
+	sinkMu sync.Mutex
 }
 
 // New returns a detector with the given options.
@@ -156,35 +246,66 @@ func New(opts Options) *Detector {
 	if opts.Budget.TargetOverhead > 0 {
 		det.budget = newBudgetState(opts.Budget, opts.SamplingRate)
 	}
+	copts := opts.Core
+	if opts.Shards > 0 {
+		copts.Shards = opts.Shards
+	}
 	det.d = core.NewWithOptions(func(r detector.Race) {
 		if opts.OnRace != nil {
 			opts.OnRace(r)
 		}
-	}, opts.Core)
-	det.rollPeriod()
+	}, copts)
+	det.varMu = make([]shardLock, det.d.Shards())
+	det.fastReads = detector.NewShardedCount(det.d.Shards())
+	det.fastWrites = detector.NewShardedCount(det.d.Shards())
+	cells := make([]*detector.PaddedCell, 0)
+	det.opCells.Store(&cells)
+	det.batch = uint64(opts.PeriodOps / 64)
+	if det.batch < 1 {
+		det.batch = 1
+	}
+	if det.batch > 64 {
+		det.batch = 64
+	}
+	det.rollPeriodLocked()
 	return det
 }
 
-// rollPeriod decides whether the next period samples. Callers hold mu (or
-// are the constructor).
-func (p *Detector) rollPeriod() {
-	p.ops = 0
+// rollPeriodLocked decides whether the next period samples. Callers hold
+// mu exclusively (or are the constructor).
+func (p *Detector) rollPeriodLocked() {
+	p.pending.Store(0)
 	p.periods++
 	rate := p.opts.SamplingRate
 	if p.budget != nil {
 		p.budget.adjust()
 		rate = p.budget.rate
 	}
+	// Trace-sink ordering: sbegin is recorded after the state flip and send
+	// before it, so the window where lock-free probes still read "not
+	// sampling" lies outside the recorded sampling region — a fast-path
+	// no-op can never land inside it in the log.
 	sample := p.rng.Float64() < rate
 	if sample && !p.d.Sampling() {
 		p.d.SampleBegin()
+		p.record(Event{Kind: event.SampleBegin})
 	} else if !sample && p.d.Sampling() {
+		p.record(Event{Kind: event.SampleEnd})
 		p.d.SampleEnd()
 	}
 }
 
-// enter and exit bracket analysis work for the budget controller; callers
-// hold mu.
+// record appends an event to the trace sink, if one is configured.
+func (p *Detector) record(e Event) {
+	if p.opts.TraceSink == nil {
+		return
+	}
+	p.sinkMu.Lock()
+	p.opts.TraceSink(e)
+	p.sinkMu.Unlock()
+}
+
+// enter and exit bracket analysis work for the budget controller.
 func (p *Detector) enter() time.Time {
 	if p.budget == nil {
 		return time.Time{}
@@ -194,16 +315,78 @@ func (p *Detector) enter() time.Time {
 
 func (p *Detector) exit(t0 time.Time) {
 	if p.budget != nil {
-		p.budget.inside += time.Since(t0)
+		p.budget.inside.Add(int64(time.Since(t0)))
 	}
 }
 
-// tick advances the period clock; callers hold mu.
-func (p *Detector) tick() {
-	p.ops++
-	if p.ops >= p.opts.PeriodOps {
-		p.rollPeriod()
+// tickLocked advances the period clock by one operation. Callers hold mu
+// exclusively.
+func (p *Detector) tickLocked() {
+	if p.pending.Add(1) >= int64(p.opts.PeriodOps) {
+		p.rollPeriodLocked()
 	}
+}
+
+// countOp advances the period clock from outside the epoch lock: the
+// thread's padded counter absorbs the increment, and every batch-th count
+// is flushed to the shared pending total. The goroutine that pushes the
+// total past PeriodOps performs the roll itself.
+func (p *Detector) countOp(t ThreadID) {
+	add := int64(1)
+	cells := *p.opCells.Load()
+	if int(t) < len(cells) {
+		if c := cells[t]; c != nil {
+			if c.N.Add(1)%p.batch != 0 {
+				return
+			}
+			add = int64(p.batch)
+		}
+	}
+	if p.pending.Add(add) >= int64(p.opts.PeriodOps) {
+		p.maybeRoll()
+	}
+}
+
+// maybeRoll performs a period roll if one is still due once the epoch lock
+// is held. The CAS gate keeps the other threads that observed the same
+// threshold crossing from queueing up behind the lock.
+func (p *Detector) maybeRoll() {
+	if !p.rolling.CompareAndSwap(false, true) {
+		return
+	}
+	p.mu.Lock()
+	if p.pending.Load() >= int64(p.opts.PeriodOps) {
+		p.rollPeriodLocked()
+	}
+	p.mu.Unlock()
+	p.rolling.Store(false)
+}
+
+// growLocked extends the thread registry (core slots and op-counter cells)
+// to hold identifiers below n. Callers hold mu exclusively.
+func (p *Detector) growLocked(n int) {
+	p.d.EnsureThreadSlots(n)
+	cells := *p.opCells.Load()
+	if len(cells) >= n {
+		return
+	}
+	grown := make([]*detector.PaddedCell, n)
+	copy(grown, cells)
+	for i := len(cells); i < n; i++ {
+		grown[i] = &detector.PaddedCell{}
+	}
+	p.opCells.Store(&grown)
+}
+
+// ensureThread registers a thread identifier that did not come from
+// NewThread or Fork, so shared-mode accesses never grow core state.
+func (p *Detector) ensureThread(t ThreadID) {
+	if int(t) < len(*p.opCells.Load()) {
+		return
+	}
+	p.mu.Lock()
+	p.growLocked(int(t) + 1)
+	p.mu.Unlock()
 }
 
 // NewThread registers a new root thread (one not forked from a registered
@@ -214,6 +397,7 @@ func (p *Detector) NewThread() ThreadID {
 	defer p.mu.Unlock()
 	id := p.nextThread
 	p.nextThread++
+	p.growLocked(int(id) + 1)
 	return id
 }
 
@@ -231,8 +415,10 @@ func (p *Detector) Fork(parent ThreadID) ThreadID {
 		id = p.nextThread
 		p.nextThread++
 	}
+	p.growLocked(int(id) + 1)
 	p.d.Fork(parent, id)
-	p.tick()
+	p.record(Event{Kind: event.Fork, Thread: parent, Target: uint32(id)})
+	p.tickLocked()
 	return id
 }
 
@@ -244,7 +430,8 @@ func (p *Detector) Join(t, u ThreadID) {
 	defer p.mu.Unlock()
 	p.d.Join(t, u)
 	p.d.ThreadExit(u)
-	p.tick()
+	p.record(Event{Kind: event.Join, Thread: t, Target: uint32(u)})
+	p.tickLocked()
 }
 
 // NewLockID allocates a lock identifier.
@@ -274,87 +461,159 @@ func (p *Detector) NewVarID() VarID {
 	return id
 }
 
+// tryFast attempts the lock-free non-sampling dismissal of an access: if
+// the sampling-state word reads "not sampling" both before and after the
+// metadata presence filter reads "no metadata", then at the instant of the
+// presence load the serialized detector would have done nothing for this
+// operation, so it is dismissed having only bumped sharded counters.
+// When a TraceSink is configured the probe runs under the sink lock, so
+// the recorded position is exactly that linearization instant.
+func (p *Detector) tryFast(t ThreadID, v VarID, s SiteID, write bool) bool {
+	if p.opts.TraceSink != nil {
+		p.sinkMu.Lock()
+		st := p.d.StateWord()
+		if st&1 != 0 || p.d.MetaPossible(v) || p.d.StateWord() != st {
+			p.sinkMu.Unlock()
+			return false
+		}
+		p.opts.TraceSink(accessEvent(t, v, s, write))
+		p.sinkMu.Unlock()
+	} else {
+		st := p.d.StateWord()
+		if st&1 != 0 || p.d.MetaPossible(v) || p.d.StateWord() != st {
+			return false
+		}
+	}
+	shard := p.d.ShardOf(v)
+	if write {
+		p.fastWrites.Inc(shard)
+	} else {
+		p.fastReads.Inc(shard)
+	}
+	p.countOp(t)
+	return true
+}
+
+func accessEvent(t ThreadID, v VarID, s SiteID, write bool) Event {
+	k := event.Read
+	if write {
+		k = event.Write
+	}
+	return Event{Kind: k, Thread: t, Target: uint32(v), Site: s}
+}
+
+// access funnels Read and Write: lock-free fast path first, then the
+// sharded slow path under a shared epoch-lock hold plus the variable's
+// shard lock. Trace-sink appends for non-sampling operations happen before
+// the analysis (they can only discard metadata) and for sampling
+// operations after it (they can only create metadata), which keeps the
+// recorded order consistent with the lock-free probes.
+func (p *Detector) access(t ThreadID, v VarID, s SiteID, write bool) {
+	if !p.opts.Serialized && p.tryFast(t, v, s, write) {
+		return
+	}
+	p.ensureThread(t)
+	if p.opts.Serialized {
+		p.mu.Lock()
+	} else {
+		p.mu.RLock()
+	}
+	sh := p.d.ShardOf(v)
+	p.varMu[sh].Lock()
+	sampling := p.d.Sampling()
+	if !sampling {
+		p.record(accessEvent(t, v, s, write))
+	}
+	t0 := p.enter()
+	if write {
+		p.d.Write(t, v, s, 0)
+	} else {
+		p.d.Read(t, v, s, 0)
+	}
+	p.exit(t0)
+	if sampling {
+		p.record(accessEvent(t, v, s, write))
+	}
+	p.varMu[sh].Unlock()
+	if p.opts.Serialized {
+		p.tickLocked()
+		p.mu.Unlock()
+		return
+	}
+	p.mu.RUnlock()
+	p.countOp(t)
+}
+
 // Read observes thread t reading variable v at site s.
 func (p *Detector) Read(t ThreadID, v VarID, s SiteID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t0 := p.enter()
-	p.d.Read(t, v, s, 0)
-	p.exit(t0)
-	p.tick()
+	p.access(t, v, s, false)
 }
 
 // Write observes thread t writing variable v at site s.
 func (p *Detector) Write(t ThreadID, v VarID, s SiteID) {
+	p.access(t, v, s, true)
+}
+
+// syncOp funnels the four lock/volatile operations, which serialize on the
+// epoch lock (they mutate thread clocks, which accesses read in parallel).
+func (p *Detector) syncOp(run func(), e Event) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	t0 := p.enter()
-	p.d.Write(t, v, s, 0)
+	run()
 	p.exit(t0)
-	p.tick()
+	p.record(e)
+	p.tickLocked()
 }
 
 // Acquire observes thread t acquiring lock m. Call it after the real lock
 // is acquired.
 func (p *Detector) Acquire(t ThreadID, m LockID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t0 := p.enter()
-	p.d.Acquire(t, m)
-	p.exit(t0)
-	p.tick()
+	p.syncOp(func() { p.d.Acquire(t, m) }, Event{Kind: event.Acquire, Thread: t, Target: uint32(m)})
 }
 
 // Release observes thread t releasing lock m. Call it before the real lock
 // is released.
 func (p *Detector) Release(t ThreadID, m LockID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t0 := p.enter()
-	p.d.Release(t, m)
-	p.exit(t0)
-	p.tick()
+	p.syncOp(func() { p.d.Release(t, m) }, Event{Kind: event.Release, Thread: t, Target: uint32(m)})
 }
 
 // VolRead observes thread t reading volatile vx (e.g. an atomic load).
 func (p *Detector) VolRead(t ThreadID, vx VolatileID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t0 := p.enter()
-	p.d.VolRead(t, vx)
-	p.exit(t0)
-	p.tick()
+	p.syncOp(func() { p.d.VolRead(t, vx) }, Event{Kind: event.VolRead, Thread: t, Target: uint32(vx)})
 }
 
 // VolWrite observes thread t writing volatile vx (e.g. an atomic store).
 func (p *Detector) VolWrite(t ThreadID, vx VolatileID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t0 := p.enter()
-	p.d.VolWrite(t, vx)
-	p.exit(t0)
-	p.tick()
+	p.syncOp(func() { p.d.VolWrite(t, vx) }, Event{Kind: event.VolWrite, Thread: t, Target: uint32(vx)})
 }
 
 // Sampling reports whether the detector is currently in a sampling period.
+// It is lock-free.
 func (p *Detector) Sampling() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.d.Sampling()
+	return p.d.StateWord()&1 == 1
 }
 
-// Stats returns a snapshot of the detector's work counters.
+// ShardCount returns the number of variable-metadata shards in use (the
+// Options.Shards knob after rounding).
+func (p *Detector) ShardCount() int { return p.d.Shards() }
+
+// Stats returns a snapshot of the detector's work counters. It takes the
+// epoch lock exclusively, so in-flight slow-path operations complete
+// first; lock-free fast-path dismissals that have not yet happened-before
+// this call may be missing from the snapshot.
 func (p *Detector) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	c := p.d.Stats()
+	fr, fw := p.fastReads.Sum(), p.fastWrites.Sum()
 	return Stats{
 		Races:          c.Races,
-		Reads:          c.TotalReads(),
-		Writes:         c.TotalWrites(),
+		Reads:          c.TotalReads() + fr,
+		Writes:         c.TotalWrites() + fw,
 		SyncOps:        c.TotalSyncOps(),
-		FastPathReads:  c.ReadFast[0] + c.ReadFast[1],
-		FastPathWrites: c.WriteFast[0] + c.WriteFast[1],
+		FastPathReads:  c.ReadFast[0] + c.ReadFast[1] + fr,
+		FastPathWrites: c.WriteFast[0] + c.WriteFast[1] + fw,
 		SlowJoins:      c.SlowJoins[0] + c.SlowJoins[1],
 		FastJoins:      c.FastJoins[0] + c.FastJoins[1],
 		DeepCopies:     c.DeepCopies[0] + c.DeepCopies[1],

@@ -1,0 +1,117 @@
+// Happens-before semantics tests for the sync.go wrappers: the edges each
+// primitive must create, and — just as important — the edges it must NOT
+// create. All run at rate 1.0 so every access is tracked and any missing
+// or spurious edge shows up deterministically.
+package pacer_test
+
+import (
+	"sync"
+	"testing"
+
+	"pacer"
+)
+
+// TestRWMutexReadersUnorderedWithEachOther: holding the read lock must not
+// order readers with one another — a write slipped in under RLock races
+// with another reader's access, exactly as with the real primitive.
+func TestRWMutexReadersUnorderedWithEachOther(t *testing.T) {
+	races := 0
+	d := pacer.New(pacer.Options{SamplingRate: 1.0, OnRace: func(pacer.Race) { races++ }})
+	main := d.NewThread()
+	r1 := d.Fork(main)
+	r2 := d.Fork(main)
+	rw := d.NewRWMutex()
+	data := d.NewVarID()
+
+	rw.RLock(r1)
+	d.Write(r1, data, 1) // a write under the read lock: a bug RLock must not hide
+	rw.RUnlock(r1)
+	rw.RLock(r2)
+	d.Read(r2, data, 2)
+	rw.RUnlock(r2)
+	if races != 1 {
+		t.Fatalf("reader-reader conflict: races = %d, want 1 (RLock must not order readers)", races)
+	}
+}
+
+// TestRWMutexReadersOrderedAgainstWriters: the same reader-side write IS
+// ordered against a subsequent writer (RUnlock publishes to the next
+// Lock), and a writer's write is ordered against subsequent readers.
+func TestRWMutexReadersOrderedAgainstWriters(t *testing.T) {
+	d := pacer.New(pacer.Options{SamplingRate: 1.0, OnRace: func(r pacer.Race) {
+		t.Errorf("false positive %v", r)
+	}})
+	main := d.NewThread()
+	r1 := d.Fork(main)
+	r2 := d.Fork(main)
+	rw := d.NewRWMutex()
+	data := d.NewVarID()
+
+	rw.RLock(r1)
+	d.Write(r1, data, 1)
+	rw.RUnlock(r1)
+	// Writer after the reader: ordered by rPub.
+	rw.Lock(main)
+	d.Write(main, data, 2)
+	rw.Unlock(main)
+	// Reader after the writer: ordered by wPub.
+	rw.RLock(r2)
+	d.Read(r2, data, 3)
+	rw.RUnlock(r2)
+}
+
+// TestWaitGroupDoneWaitSuppressesFalseRaces: with real goroutines and full
+// sampling, every worker write published through Done is ordered before
+// the waiter's reads — zero reports.
+func TestWaitGroupDoneWaitSuppressesFalseRaces(t *testing.T) {
+	d := pacer.New(pacer.Options{SamplingRate: 1.0, OnRace: func(r pacer.Race) {
+		t.Errorf("false positive %v", r)
+	}})
+	main := d.NewThread()
+	wg := d.NewWaitGroup()
+	vars := make([]pacer.VarID, 6)
+	for i := range vars {
+		vars[i] = d.NewVarID()
+	}
+	var hwg sync.WaitGroup
+	for i, v := range vars {
+		tid := d.Fork(main)
+		wg.Add(1)
+		hwg.Add(1)
+		go func(tid pacer.ThreadID, v pacer.VarID, i int) {
+			defer hwg.Done()
+			d.Write(tid, v, pacer.SiteID(i))
+			wg.Done(tid)
+		}(tid, v, i)
+	}
+	hwg.Wait()
+	wg.Wait(main)
+	for _, v := range vars {
+		d.Read(main, v, 99)
+	}
+}
+
+// TestWaitGroupEdgeIsOnlyThroughWait: the Done edge must flow only to
+// threads that Wait — a bystander that never waits still races with the
+// workers' writes.
+func TestWaitGroupEdgeIsOnlyThroughWait(t *testing.T) {
+	races := 0
+	d := pacer.New(pacer.Options{SamplingRate: 1.0, OnRace: func(pacer.Race) { races++ }})
+	main := d.NewThread()
+	bystander := d.Fork(main)
+	worker := d.Fork(main)
+	wg := d.NewWaitGroup()
+	v := d.NewVarID()
+	wg.Add(1)
+	d.Write(worker, v, 1)
+	wg.Done(worker)
+	wg.Wait(main)
+	d.Read(main, v, 2) // ordered: no race
+	if races != 0 {
+		t.Fatalf("waiter read raced (%d) despite Done→Wait edge", races)
+	}
+	d.Read(bystander, v, 3) // never waited: races
+	if races != 1 {
+		t.Fatalf("bystander read: races = %d, want 1", races)
+	}
+}
