@@ -1,6 +1,7 @@
 package pacer
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -108,4 +109,87 @@ func (a *Aggregator) Races() []AggregatedRace {
 func (r AggregatedRace) String() string {
 	return fmt.Sprintf("%v — %d report(s) from %d instance(s), first seen on %s",
 		r.Example, r.Count, r.Instances, r.FirstInstance)
+}
+
+// Merge folds every race aggregated by o into a: counts add, instance sets
+// union, and a race first seen only by o keeps o's first reporter. Use it
+// to combine per-region (or per-process) aggregators into one fleet-wide
+// triage list. Merging two aggregators into each other concurrently can
+// deadlock; merge in one direction at a time.
+func (a *Aggregator) Merge(o *Aggregator) {
+	if o == a || o == nil {
+		return
+	}
+	// Snapshot o first so a's lock is never held while waiting on o's.
+	o.mu.Lock()
+	snap := make(map[aggKey]*AggregatedRace, len(o.races))
+	for k, ar := range o.races {
+		cp := *ar
+		cp.seen = make(map[string]bool, len(ar.seen))
+		for inst := range ar.seen {
+			cp.seen[inst] = true
+		}
+		snap[k] = &cp
+	}
+	o.mu.Unlock()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for k, src := range snap {
+		dst, ok := a.races[k]
+		if !ok {
+			a.races[k] = src
+			continue
+		}
+		dst.Count += src.Count
+		for inst := range src.seen {
+			if !dst.seen[inst] {
+				dst.seen[inst] = true
+				dst.Instances++
+			}
+		}
+	}
+}
+
+// exportedRace is the persistence schema of one aggregated race: flat,
+// versionable fields rather than internal identifier types, so triage
+// tooling in any language can consume the export.
+type exportedRace struct {
+	Var           uint32 `json:"var"`
+	Kind          string `json:"kind"`
+	FirstSite     uint32 `json:"first_site"`
+	SecondSite    uint32 `json:"second_site"`
+	FirstThread   uint32 `json:"first_thread"`
+	SecondThread  uint32 `json:"second_thread"`
+	Count         int    `json:"count"`
+	Instances     int    `json:"instances"`
+	FirstInstance string `json:"first_instance"`
+}
+
+// Export returns the aggregated triage list, most-reported first — the
+// same ordering as Races, as a snapshot safe to persist or ship to
+// another process.
+func (a *Aggregator) Export() []AggregatedRace { return a.Races() }
+
+// MarshalJSON renders the triage list as a JSON array, most-reported
+// first, in a flat schema (numeric ids plus a human-readable race kind)
+// suitable for persistence and cross-fleet merging. An empty aggregator
+// marshals to [].
+func (a *Aggregator) MarshalJSON() ([]byte, error) {
+	races := a.Races()
+	out := make([]exportedRace, len(races))
+	for i, ar := range races {
+		out[i] = exportedRace{
+			Var:           uint32(ar.Example.Var),
+			Kind:          ar.Example.Kind.String(),
+			FirstSite:     uint32(ar.Example.FirstSite),
+			SecondSite:    uint32(ar.Example.SecondSite),
+			FirstThread:   uint32(ar.Example.FirstThread),
+			SecondThread:  uint32(ar.Example.SecondThread),
+			Count:         ar.Count,
+			Instances:     ar.Instances,
+			FirstInstance: ar.FirstInstance,
+		}
+	}
+	return json.Marshal(out)
 }

@@ -1,0 +1,104 @@
+package pacer_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pacer"
+)
+
+func mkRace(v pacer.VarID, a, b pacer.SiteID) pacer.Race {
+	return pacer.Race{
+		Var: v, Kind: pacer.WriteRead,
+		FirstThread: 0, SecondThread: 1,
+		FirstSite: a, SecondSite: b,
+	}
+}
+
+// TestAggregatorMerge folds two regional aggregators into one and checks
+// that counts add, instance sets union (no double counting of an instance
+// seen by both), and races unique to the source survive with their first
+// reporter intact.
+func TestAggregatorMerge(t *testing.T) {
+	east, west := pacer.NewAggregator(), pacer.NewAggregator()
+	shared, eastOnly, westOnly := mkRace(1, 10, 20), mkRace(2, 30, 40), mkRace(3, 50, 60)
+
+	east.Reporter("host-a")(shared)
+	east.Reporter("host-b")(shared)
+	east.Reporter("host-a")(eastOnly)
+	west.Reporter("host-b")(shared) // host-b reports to both regions
+	west.Reporter("host-c")(shared)
+	west.Reporter("host-c")(westOnly)
+
+	east.Merge(west)
+	if got := east.Distinct(); got != 3 {
+		t.Fatalf("merged aggregator has %d distinct races, want 3", got)
+	}
+	byVar := map[pacer.VarID]pacer.AggregatedRace{}
+	for _, ar := range east.Export() {
+		byVar[ar.Example.Var] = ar
+	}
+	if ar := byVar[1]; ar.Count != 4 || ar.Instances != 3 {
+		t.Errorf("shared race: count %d instances %d, want 4 and 3 (host-b must not double count)",
+			ar.Count, ar.Instances)
+	}
+	if ar := byVar[2]; ar.Count != 1 || ar.Instances != 1 || ar.FirstInstance != "host-a" {
+		t.Errorf("east-only race mangled by merge: %+v", ar)
+	}
+	if ar := byVar[3]; ar.Count != 1 || ar.FirstInstance != "host-c" {
+		t.Errorf("west-only race lost its origin: %+v", ar)
+	}
+	// The merge must have deep-copied: further reports to west stay local.
+	west.Reporter("host-z")(westOnly)
+	for _, ar := range east.Export() {
+		if ar.Example.Var == 3 && ar.Count != 1 {
+			t.Errorf("merge aliased source state: count became %d", ar.Count)
+		}
+	}
+}
+
+// TestAggregatorMarshalJSON round-trips the triage list through the flat
+// persistence schema and checks ordering (most-reported first) and the
+// human-readable race kind.
+func TestAggregatorMarshalJSON(t *testing.T) {
+	agg := pacer.NewAggregator()
+	hot, cold := mkRace(7, 100, 200), mkRace(8, 300, 400)
+	for i := 0; i < 3; i++ {
+		agg.Reporter("host-a")(hot)
+	}
+	agg.Reporter("host-b")(cold)
+
+	raw, err := json.Marshal(agg)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got []struct {
+		Var           uint32 `json:"var"`
+		Kind          string `json:"kind"`
+		FirstSite     uint32 `json:"first_site"`
+		SecondSite    uint32 `json:"second_site"`
+		Count         int    `json:"count"`
+		Instances     int    `json:"instances"`
+		FirstInstance string `json:"first_instance"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", raw, err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("exported %d races, want 2", len(got))
+	}
+	if got[0].Var != 7 || got[0].Count != 3 {
+		t.Errorf("most-reported race must come first, got %+v", got[0])
+	}
+	if got[0].Kind != "write-read" {
+		t.Errorf("kind rendered as %q, want write-read", got[0].Kind)
+	}
+	if got[1].FirstInstance != "host-b" || got[1].Instances != 1 {
+		t.Errorf("cold race exported wrong: %+v", got[1])
+	}
+
+	empty, err := json.Marshal(pacer.NewAggregator())
+	if err != nil || string(empty) != "[]" {
+		t.Errorf("empty aggregator marshals to %s (%v), want []", empty, err)
+	}
+}

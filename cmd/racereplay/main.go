@@ -3,25 +3,31 @@
 // once and replaying under several detectors or sampling rates gives an
 // apples-to-apples comparison on an identical interleaving.
 //
+// Replay mounts the chosen backend behind the public pacer front-end —
+// the exact ingestion code a live application exercises — so replayed
+// numbers are comparable with production behavior. Sampling periods are
+// rolled by the front-end from -seed, -rate, and -period: replaying the
+// same trace with the same three flags samples identical operation
+// windows, making runs reproducible (vary -seed to sample different
+// windows of the same recording).
+//
 // Usage:
 //
 //	racereplay record -bench eclipse -seed 3 -o eclipse.trace
-//	racereplay replay -detector pacer -rate 0.03 eclipse.trace
+//	racereplay replay -detector pacer -rate 0.03 -seed 7 eclipse.trace
 //	racereplay stat eclipse.trace
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"strings"
 
-	"pacer/internal/core"
+	"pacer"
+	"pacer/internal/backends"
 	"pacer/internal/detector"
 	"pacer/internal/event"
-	"pacer/internal/fasttrack"
-	"pacer/internal/generic"
-	"pacer/internal/literace"
 	"pacer/internal/sim"
 	"pacer/internal/vclock"
 	"pacer/internal/workload"
@@ -44,10 +50,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+	fmt.Fprintf(os.Stderr, `usage:
   racereplay record -bench <name> [-seed N] -o <file>
-  racereplay replay -detector <pacer|fasttrack|generic|literace> [-rate R] [-seed N] <file>
-  racereplay stat <file>`)
+  racereplay replay -detector <name> [-rate R] [-seed N] [-period P] [-serialized] <file>
+  racereplay stat <file>
+
+replay detectors: %s
+replay is reproducible: the same -detector, -rate, -period, and -seed
+sample identical operation windows of the trace on every run.
+`, strings.Join(backends.Names(), ", "))
 	os.Exit(2)
 }
 
@@ -117,47 +128,39 @@ func record(args []string) {
 
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	det := fs.String("detector", "pacer", "detector: pacer, fasttrack, generic, literace")
-	rate := fs.Float64("rate", 0.03, "PACER sampling rate")
-	seed := fs.Int64("seed", 1, "sampling/period seed")
-	period := fs.Int("period", 4096, "events per sampling period decision")
+	det := fs.String("detector", "pacer", "detector backend: "+strings.Join(backends.Names(), ", "))
+	rate := fs.Float64("rate", 0.03, "sampling rate (backends with sampling periods)")
+	seed := fs.Int64("seed", 1, "period-selection seed; fixed seed+rate+period => identical sampled windows every run")
+	period := fs.Int("period", 4096, "operations per sampling-decision period")
+	serialized := fs.Bool("serialized", false, "disable the concurrent front-end (single-mutex ingestion baseline)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
+	if !backends.Known(*det) {
+		fatal(fmt.Sprintf("replay: unknown detector %q (known: %s)", *det, strings.Join(backends.Names(), ", ")))
+	}
 	tr := readTrace(fs.Arg(0))
 
+	// Replay through the unified public front-end: the same ingestion path
+	// (fast path, shards, period roller) the live API serves, with the
+	// requested backend mounted behind it. The trace is fed from one
+	// goroutine, so the collector needs no extra locking.
 	col := detector.NewCollector()
-	var d detector.Detector
-	switch *det {
-	case "pacer":
-		d = core.New(col.Report)
-	case "fasttrack":
-		d = fasttrack.New(col.Report)
-	case "generic":
-		d = generic.New(col.Report)
-	case "literace":
-		d = literace.New(col.Report, literace.DefaultOptions())
-	default:
-		fatal(fmt.Sprintf("replay: unknown detector %q", *det))
-	}
-
-	// Drive PACER's sampling periods over the replayed trace.
-	sampler, _ := d.(detector.Sampler)
-	rng := rand.New(rand.NewSource(*seed))
-	for i, e := range tr {
-		if sampler != nil && i%*period == 0 {
-			if rng.Float64() < *rate {
-				sampler.SampleBegin()
-			} else {
-				sampler.SampleEnd()
-			}
-		}
-		detector.Apply(d, e)
+	d := pacer.New(pacer.Options{
+		Algorithm:    *det,
+		SamplingRate: *rate,
+		PeriodOps:    *period,
+		Seed:         *seed,
+		Serialized:   *serialized,
+		OnRace:       col.Report,
+	})
+	for _, e := range tr {
+		d.Apply(e)
 	}
 
 	fmt.Printf("%s over %d events: %d dynamic races, %d distinct\n",
-		d.Name(), len(tr), col.DynamicCount(), col.DistinctCount())
+		d.Algorithm(), len(tr), col.DynamicCount(), col.DistinctCount())
 	for _, k := range col.DistinctKeys() {
 		fmt.Printf("  sites (%d, %d): %d dynamic occurrence(s)\n", k.SiteA, k.SiteB, col.PerDistinct[k])
 	}

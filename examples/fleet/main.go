@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -91,12 +92,20 @@ func main() {
 	const rate = 0.02
 	const instances = 4000
 
-	// The central collector is pacer.Aggregator: reports keyed by distinct
-	// race, with counts and first-seen attribution — a triage dashboard.
-	agg := pacer.NewAggregator()
+	// Each region runs its own collector — pacer.Aggregator: reports keyed
+	// by distinct race, with counts and first-seen attribution. The regions
+	// then Merge into one fleet-wide triage dashboard.
+	east, west := pacer.NewAggregator(), pacer.NewAggregator()
 	for inst := 1; inst <= instances; inst++ {
-		session(rate, int64(inst), agg.Reporter(fmt.Sprintf("inst-%d", inst)))
+		region := east
+		if inst%2 == 0 {
+			region = west
+		}
+		session(rate, int64(inst), region.Reporter(fmt.Sprintf("inst-%d", inst)))
 	}
+	agg := pacer.NewAggregator()
+	agg.Merge(east)
+	agg.Merge(west)
 	firstSeen := map[pacer.SiteID]string{}
 	counts := map[pacer.SiteID]int{}
 	for _, ar := range agg.Races() {
@@ -121,4 +130,12 @@ func main() {
 	fmt.Printf("\n%d distinct races surfaced across the fleet; each individual\n", agg.Distinct())
 	fmt.Println("instance paid only the ~2% sampling-rate overhead. That is the")
 	fmt.Println("\"get what you pay for\" deployment model of the paper.")
+
+	// The merged triage list persists as JSON — the artifact a real
+	// deployment would ship to a dashboard or bug tracker.
+	blob, err := json.MarshalIndent(agg, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ntriage list as persisted JSON (%d bytes):\n%s\n", len(blob), blob)
 }

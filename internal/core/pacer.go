@@ -145,6 +145,9 @@ var (
 	_ detector.Sampler         = (*Detector)(nil)
 	_ detector.Counted         = (*Detector)(nil)
 	_ detector.MemoryAccounted = (*Detector)(nil)
+	_ detector.Sharded         = (*Detector)(nil)
+	_ detector.ThreadReuser    = (*Detector)(nil)
+	_ detector.VarAccounted    = (*Detector)(nil)
 )
 
 // New returns a PACER detector with default options, initially in a

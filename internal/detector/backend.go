@@ -1,0 +1,66 @@
+package detector
+
+import (
+	"pacer/internal/event"
+	"pacer/internal/vclock"
+)
+
+// This file defines the optional capability interfaces a backend may
+// implement beyond Detector. The public front-end mounts any Detector and
+// discovers capabilities by type assertion: a backend that implements
+// Sharded gets the concurrent sharded ingestion path and the lock-free
+// non-sampling fast path; one that does not is driven fully serialized
+// under the front-end's exclusive lock, which is always correct because
+// the base Detector contract is single-threaded. Sampler, Counted,
+// MemoryAccounted, VarAccounted, ThreadLifecycle, and ThreadReuser degrade
+// the same way: absent the capability, the front-end substitutes the
+// conservative behavior (always-sample semantics, zeroed counters, no
+// identifier reuse).
+
+// Sharded is implemented by detectors whose Read/Write paths admit the
+// concurrent front-end's sharded reader-writer discipline:
+//
+//   - Read and Write calls for variables in distinct shards (ShardOf) may
+//     run concurrently, provided same-shard calls are serialized by the
+//     caller, no other Detector method is in flight, and every thread
+//     identifier was announced via EnsureThreadSlots before its first
+//     shared-mode access.
+//   - StateWord and MetaPossible may be called lock-free at any time; they
+//     are the probes behind the non-sampling fast path. StateWord's bit 0
+//     is the sampling flag and its upper bits count sampling transitions,
+//     so two equal loads bracketing a MetaPossible load prove the flag
+//     held throughout; a false MetaPossible proves the variable held no
+//     metadata at the instant of the load.
+//
+// All other Detector methods retain their exclusive-access requirement.
+type Sharded interface {
+	Detector
+	// Shards returns the number of variable-metadata shards; the caller's
+	// striped locks must cover indices [0, Shards()).
+	Shards() int
+	// ShardOf maps a variable to its metadata shard.
+	ShardOf(x event.Var) int
+	// StateWord returns the atomically published sampling state.
+	StateWord() uint64
+	// MetaPossible reports whether x might currently hold metadata.
+	MetaPossible(x event.Var) bool
+	// EnsureThreadSlots pre-grows the thread table to hold identifiers
+	// below n. Requires exclusive access.
+	EnsureThreadSlots(n int)
+}
+
+// ThreadReuser is implemented by detectors that can soundly recycle the
+// identifiers of dead, joined threads whose metadata has been discarded
+// (the accordion-clocks direction the paper recommends for production).
+type ThreadReuser interface {
+	// ReusableThread returns a revived thread slot for a brand-new thread,
+	// or reports false when none is safely recyclable.
+	ReusableThread() (vclock.Thread, bool)
+}
+
+// VarAccounted is implemented by detectors that can report how many
+// variables currently hold metadata, for space accounting (Figure 10's
+// companion to MemoryAccounted).
+type VarAccounted interface {
+	VarsTracked() int
+}

@@ -41,6 +41,7 @@ var (
 	_ detector.Detector        = (*Detector)(nil)
 	_ detector.Counted         = (*Detector)(nil)
 	_ detector.MemoryAccounted = (*Detector)(nil)
+	_ detector.VarAccounted    = (*Detector)(nil)
 )
 
 // New returns a DJIT+ detector.
@@ -168,6 +169,9 @@ func (d *Detector) VolRead(t vclock.Thread, vx event.Volatile) { d.sync.VolRead(
 
 // VolWrite implements Algorithm 15.
 func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) { d.sync.VolWrite(t, vx) }
+
+// VarsTracked implements detector.VarAccounted.
+func (d *Detector) VarsTracked() int { return len(d.vars) }
 
 // MetadataWords implements detector.MemoryAccounted.
 func (d *Detector) MetadataWords() int {

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"pacer"
+	"pacer/internal/backends"
 	"pacer/internal/core"
 	"pacer/internal/detector"
 	"pacer/internal/dtest"
@@ -26,6 +27,13 @@ import (
 // access carries a globally unique site, so a race report identifies a
 // dynamic access pair and the HB oracle can audit it.
 func recordedRun(rate float64, seed int64, goroutines, opsPer int) (event.Trace, []pacer.Race) {
+	return recordedRunAlgo("pacer", rate, seed, goroutines, opsPer)
+}
+
+// recordedRunAlgo is recordedRun with the backend chosen by name — the
+// same workload through the identical unified front-end, whatever is
+// mounted behind it.
+func recordedRunAlgo(algo string, rate float64, seed int64, goroutines, opsPer int) (event.Trace, []pacer.Race) {
 	var (
 		trace  event.Trace // appends already serialized by the sink lock
 		raceMu sync.Mutex
@@ -33,6 +41,7 @@ func recordedRun(rate float64, seed int64, goroutines, opsPer int) (event.Trace,
 		site   atomic.Uint32
 	)
 	d := pacer.New(pacer.Options{
+		Algorithm:    algo,
 		SamplingRate: rate,
 		PeriodOps:    128,
 		Seed:         seed,
@@ -205,6 +214,48 @@ func TestSampledRacesAreSubsetOfFullTracking(t *testing.T) {
 				t.Errorf("seed %d: sampled run reported %+v, absent from full tracking", seed, r)
 			}
 		}
+	}
+}
+
+// TestDifferentialMountedBackends extends the differential property to
+// every backend mountable behind the unified front-end: record a parallel
+// run with the backend mounted via Options.Algorithm, then replay the
+// recorded linearization through a freshly constructed instance of the
+// same backend (built with the same registry config, so LITERACE's
+// sampling RNG streams line up) and demand the identical race multiset.
+// Non-sharded backends are serialized by the front-end, so the recorded
+// order is the analysis order and replay must agree report for report.
+// Lockset is included here deliberately — it is imprecise, but it must be
+// *deterministically* imprecise through the front-end.
+func TestDifferentialMountedBackends(t *testing.T) {
+	for _, algo := range []string{"fasttrack", "generic", "djit", "literace", "goldilocks", "lockset"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				trace, races := recordedRunAlgo(algo, 1.0, seed, 4, 500)
+				c := dtest.Run(trace, func(rep detector.Reporter) detector.Detector {
+					d, err := backends.New(algo, rep, backends.Config{Seed: seed})
+					if err != nil {
+						t.Fatalf("backend %q not in registry: %v", algo, err)
+					}
+					return d
+				})
+				live := make([]detector.Race, len(races))
+				copy(live, races)
+				got, want := dtest.KeySet(live), dtest.KeySet(c.Dynamic)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: live run has %d distinct keys, replay %d", seed, len(got), len(want))
+				}
+				for k, n := range got {
+					if want[k] != n {
+						t.Fatalf("seed %d: key %+v reported %d times live, %d in replay", seed, k, n, want[k])
+					}
+				}
+				if algo != "lockset" && seed == 1 && len(live) == 0 {
+					t.Errorf("always-sampling backend %q found no races on the race-prone workload", algo)
+				}
+			}
+		})
 	}
 }
 

@@ -46,6 +46,7 @@ var (
 	_ detector.Detector        = (*Detector)(nil)
 	_ detector.Counted         = (*Detector)(nil)
 	_ detector.MemoryAccounted = (*Detector)(nil)
+	_ detector.VarAccounted    = (*Detector)(nil)
 )
 
 // New returns a FASTTRACK detector with default options.
@@ -164,6 +165,10 @@ func (d *Detector) VolRead(t vclock.Thread, vx event.Volatile) { d.sync.VolRead(
 
 // VolWrite implements Algorithm 15.
 func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) { d.sync.VolWrite(t, vx) }
+
+// VarsTracked implements detector.VarAccounted. FASTTRACK never discards
+// metadata, so this is every variable ever accessed.
+func (d *Detector) VarsTracked() int { return len(d.vars) }
 
 // MetadataWords implements detector.MemoryAccounted.
 func (d *Detector) MetadataWords() int {

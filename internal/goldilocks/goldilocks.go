@@ -76,7 +76,8 @@ type Detector struct {
 
 var (
 	_ detector.Detector = (*Detector)(nil)
-	_ detector.Counted  = (*Detector)(nil)
+	_ detector.Counted      = (*Detector)(nil)
+	_ detector.VarAccounted = (*Detector)(nil)
 )
 
 // New returns a Goldilocks detector.
@@ -251,3 +252,6 @@ func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) {
 	d.stats.SyncOps[detector.Sampling]++
 	d.transfer(threadElem(t), volElem(vx))
 }
+
+// VarsTracked implements detector.VarAccounted.
+func (d *Detector) VarsTracked() int { return len(d.vars) }

@@ -12,16 +12,27 @@ import (
 // Frontend measures the real (wall-clock, this machine) ingestion
 // throughput of the public pacer.Detector facade under parallel load:
 // goroutines issuing Read/Write through the API with occasional
-// instrumented lock operations, at a deployment-style sampling rate. Each
-// goroutine count is run twice — once in Options.Serialized mode (the
-// classic single-mutex front-end, the baseline) and once with the
-// concurrent sharded front-end — and the speedup column is the headline:
-// with the lock-free non-sampling fast path, aggregate throughput should
-// scale with cores instead of collapsing on the global mutex.
+// instrumented lock operations, at a deployment-style sampling rate.
+//
+// Two comparisons come out of one run:
+//
+//   - Scaling: each goroutine count is run twice with the default PACER
+//     backend — once in Options.Serialized mode (the classic single-mutex
+//     front-end, the baseline) and once with the concurrent sharded
+//     front-end — and the speedup column is the headline: with the
+//     lock-free non-sampling fast path, aggregate throughput should scale
+//     with cores instead of collapsing on the global mutex.
+//   - Backends: every algorithm in Config.Algorithms is mounted behind
+//     the *identical* concurrent front-end (Options.Algorithm) and
+//     measured on the same workload, turning the paper's simulated-cost
+//     comparison (PACER vs FASTTRACK et al.) into real wall-clock numbers
+//     through the code path production uses. Backends without sampling
+//     analyze everything, so the gap to PACER at a deployment rate is the
+//     proportionality argument measured live.
 //
 // Unlike the simulator experiments this one measures this process on this
 // hardware; numbers vary across machines, the shape (speedup > 1, growing
-// with goroutines) should not.
+// with goroutines; PACER far ahead of always-on backends) should not.
 
 // FrontendConfig configures the front-end scaling measurement.
 type FrontendConfig struct {
@@ -35,6 +46,9 @@ type FrontendConfig struct {
 	// SharedEvery makes one in N accesses touch a variable shared by all
 	// goroutines (default 16).
 	SharedEvery int
+	// Algorithms lists the backends compared through the identical
+	// concurrent front-end (default pacer, fasttrack).
+	Algorithms []string
 }
 
 func (c *FrontendConfig) fill() {
@@ -50,6 +64,9 @@ func (c *FrontendConfig) fill() {
 	if c.SharedEvery <= 0 {
 		c.SharedEvery = 16
 	}
+	if c.Algorithms == nil {
+		c.Algorithms = []string{"pacer", "fasttrack"}
+	}
 }
 
 // FrontendRow is one parallelism level's measurement.
@@ -62,16 +79,26 @@ type FrontendRow struct {
 	Speedup float64
 }
 
-// FrontendResult holds the front-end scaling table.
+// BackendRow is one parallelism level's backend comparison: aggregate
+// operations per second per algorithm, indexed like Algorithms.
+type BackendRow struct {
+	Goroutines int
+	Ops        []float64
+}
+
+// FrontendResult holds the front-end scaling and backend tables.
 type FrontendResult struct {
-	Rate float64
-	Ops  int
-	Rows []FrontendRow
+	Rate       float64
+	Ops        int
+	Rows       []FrontendRow
+	Algorithms []string
+	Backends   []BackendRow
 }
 
 // frontendRun drives one configuration and returns aggregate ops/sec.
-func frontendRun(cfg FrontendConfig, goroutines int, serialized bool) float64 {
+func frontendRun(cfg FrontendConfig, goroutines int, algorithm string, serialized bool) float64 {
 	d := pacer.New(pacer.Options{
+		Algorithm:    algorithm,
 		SamplingRate: cfg.Rate,
 		PeriodOps:    4096,
 		Seed:         11,
@@ -119,28 +146,52 @@ func frontendRun(cfg FrontendConfig, goroutines int, serialized bool) float64 {
 	return float64(goroutines) * float64(cfg.Ops) / elapsed
 }
 
-// Frontend runs the front-end scaling measurement.
+// Frontend runs the front-end scaling and backend measurements.
 func Frontend(cfg FrontendConfig) *FrontendResult {
 	cfg.fill()
-	res := &FrontendResult{Rate: cfg.Rate, Ops: cfg.Ops}
+	res := &FrontendResult{Rate: cfg.Rate, Ops: cfg.Ops, Algorithms: cfg.Algorithms}
 	for _, g := range cfg.Goroutines {
 		// Baseline and concurrent interleaved per level so thermal/load
 		// drift hits both sides roughly equally.
-		base := frontendRun(cfg, g, true)
-		conc := frontendRun(cfg, g, false)
+		base := frontendRun(cfg, g, "pacer", true)
+		conc := frontendRun(cfg, g, "pacer", false)
 		res.Rows = append(res.Rows, FrontendRow{
 			Goroutines: g, BaseOps: base, ConcOps: conc, Speedup: conc / base,
 		})
 	}
+	for _, g := range cfg.Goroutines {
+		row := BackendRow{Goroutines: g}
+		for _, algo := range cfg.Algorithms {
+			row.Ops = append(row.Ops, frontendRun(cfg, g, algo, false))
+		}
+		res.Backends = append(res.Backends, row)
+	}
 	return res
 }
 
-// Render prints the scaling table.
+// Render prints the scaling and backend tables.
 func (f *FrontendResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Front-end ingestion throughput (real wall clock, r = %.2f, %d ops/goroutine)\n", f.Rate, f.Ops)
 	fmt.Fprintf(w, "%-11s  %15s  %15s  %8s\n", "goroutines", "serialized op/s", "concurrent op/s", "speedup")
 	rule(w, 56)
 	for _, r := range f.Rows {
 		fmt.Fprintf(w, "%-11d  %15.3e  %15.3e  %7.2fx\n", r.Goroutines, r.BaseOps, r.ConcOps, r.Speedup)
+	}
+	if len(f.Backends) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nBackend wall-clock comparison through the identical concurrent front-end (op/s)\n")
+	fmt.Fprintf(w, "%-11s", "goroutines")
+	for _, a := range f.Algorithms {
+		fmt.Fprintf(w, "  %15s", a)
+	}
+	fmt.Fprintln(w)
+	rule(w, 11+17*len(f.Algorithms))
+	for _, r := range f.Backends {
+		fmt.Fprintf(w, "%-11d", r.Goroutines)
+		for _, ops := range r.Ops {
+			fmt.Fprintf(w, "  %15.3e", ops)
+		}
+		fmt.Fprintln(w)
 	}
 }

@@ -71,6 +71,7 @@ var (
 	_ detector.Detector        = (*Detector)(nil)
 	_ detector.Counted         = (*Detector)(nil)
 	_ detector.MemoryAccounted = (*Detector)(nil)
+	_ detector.VarAccounted    = (*Detector)(nil)
 )
 
 // New returns an online LITERACE detector.
@@ -178,6 +179,10 @@ func (d *Detector) VolRead(t vclock.Thread, vx event.Volatile) { d.ft.VolRead(t,
 
 // VolWrite is fully instrumented.
 func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) { d.ft.VolWrite(t, vx) }
+
+// VarsTracked implements detector.VarAccounted, delegating to the
+// underlying FASTTRACK metadata table.
+func (d *Detector) VarsTracked() int { return d.ft.VarsTracked() }
 
 // MetadataWords implements detector.MemoryAccounted. LITERACE never
 // discards metadata, so this grows with the data the program touches, not

@@ -22,14 +22,29 @@
 // automatically. For simulation-based evaluation and the paper's
 // experiments, see cmd/pacerbench and the internal packages.
 //
+// # Backends
+//
+// The ingestion front-end is backend-agnostic: Options.Algorithm mounts
+// any registered race-detection backend ("pacer" by default, or
+// "fasttrack", "literace", "generic", "djit", "goldilocks", "lockset")
+// behind the identical public API, so competing analyses can be compared
+// on real wall-clock workloads through the exact code path production
+// uses. Backends advertise capabilities via interfaces (sampling periods,
+// sharded concurrency, memory accounting); the front-end degrades
+// gracefully where a capability is absent — in particular, backends
+// without sampling periods run with always-sample semantics (every
+// operation is analyzed) and backends without sharding support are driven
+// fully serialized under the epoch lock.
+//
 // # Concurrency
 //
 // All methods may be called from any goroutine, with one inherent rule:
 // operations for a single ThreadID must not be issued concurrently with
 // each other (a logical thread is sequential by definition).
 //
-// The front-end is built so the cost of ingestion scales with the
-// sampling rate, matching the algorithm it feeds:
+// With the default PACER backend the front-end is built so the cost of
+// ingestion scales with the sampling rate, matching the algorithm it
+// feeds:
 //
 //   - Outside sampling periods, a Read or Write of a variable holding no
 //     metadata returns on a lock-free fast path: two atomic loads (the
@@ -55,6 +70,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pacer/internal/backends"
 	"pacer/internal/core"
 	"pacer/internal/detector"
 	"pacer/internal/event"
@@ -99,6 +115,14 @@ type Race = detector.Race
 
 // Options configure a Detector.
 type Options struct {
+	// Algorithm selects the detection backend mounted behind the
+	// front-end: "pacer" (the default), "fasttrack", "literace",
+	// "generic", "djit", "goldilocks", or "lockset" — see Algorithms.
+	// Backends without sampling periods analyze every operation
+	// (SamplingRate is ignored and Sampling reports true); backends
+	// without sharded-concurrency support are driven serialized under the
+	// epoch lock, which preserves correctness at the cost of parallelism.
+	Algorithm string
 	// SamplingRate is the global sampling rate r in [0, 1]. Every race is
 	// detected with probability r; time and space overheads scale with r.
 	// 0.01-0.03 is the paper's deployment recommendation.
@@ -117,22 +141,25 @@ type Options struct {
 	// Aggregator, which is already safe). Keep it fast — it runs with the
 	// reporting variable's shard lock held.
 	OnRace func(Race)
-	// Seed makes period selection deterministic; 0 seeds from 1. (With
+	// Seed makes period selection (and any backend-internal randomness,
+	// e.g. LITERACE's burst resets) deterministic; 0 seeds from 1. (With
 	// concurrent callers the roll sequence is still deterministic, but
 	// which operations land in which period depends on scheduling.)
 	Seed int64
-	// Core tunes the underlying algorithm; the zero value is the full
-	// published algorithm. Mainly for ablation studies.
+	// Core tunes the underlying PACER algorithm; the zero value is the
+	// full published algorithm. Mainly for ablation studies. Ignored by
+	// other backends.
 	Core core.Options
 	// Budget, when TargetOverhead is nonzero, replaces the fixed
 	// SamplingRate with an adaptive controller that keeps the measured
-	// analysis overhead near the target (see BudgetOptions).
+	// analysis overhead near the target (see BudgetOptions). Only
+	// meaningful for backends with sampling periods.
 	Budget BudgetOptions
 	// ReuseThreadIDs recycles the identifiers of dead, joined threads
 	// whose metadata has been fully discarded, keeping vector clocks
 	// bounded by the peak live thread count instead of the total thread
 	// count — the accordion-clocks improvement the paper recommends for
-	// production use.
+	// production use. Ignored by backends that cannot recycle soundly.
 	ReuseThreadIDs bool
 	// Shards is the number of variable-metadata shards (rounded up to a
 	// power of two; default 64). More shards admit more parallelism during
@@ -143,7 +170,8 @@ type Options struct {
 	// Serialized disables the concurrent front-end: every operation takes
 	// the epoch lock exclusively and the lock-free fast path is off,
 	// reproducing the classic single-mutex behavior. Useful as a
-	// differential-testing reference and as a benchmark baseline.
+	// differential-testing reference and as a benchmark baseline. Implied
+	// for backends that do not support sharded concurrency.
 	Serialized bool
 	// TraceSink, when set, receives every observed operation (including
 	// sampling-period transitions as SampleBegin/SampleEnd events) in a
@@ -156,7 +184,7 @@ type Options struct {
 }
 
 // Stats summarizes the detector's work, mirroring the operation classes of
-// the paper's Table 3.
+// the paper's Table 3. Counters a backend does not expose are zero.
 type Stats struct {
 	// Races is the number of reports.
 	Races uint64
@@ -183,12 +211,28 @@ type shardLock struct {
 	_ [48]byte
 }
 
-// Detector is a thread-safe PACER race detector. See the package comment
-// for the concurrency architecture; the one caller obligation is that a
-// single ThreadID's operations are issued sequentially.
+// Detector is a thread-safe race detector front-end. The mounted backend
+// is PACER unless Options.Algorithm says otherwise. See the package
+// comment for the concurrency architecture; the one caller obligation is
+// that a single ThreadID's operations are issued sequentially.
 type Detector struct {
-	d    *core.Detector
-	opts Options
+	// back is the mounted backend; the remaining interface fields are its
+	// discovered capabilities, nil when unsupported.
+	back      detector.Detector
+	sharded   detector.Sharded
+	sampler   detector.Sampler
+	counted   detector.Counted
+	memory    detector.MemoryAccounted
+	varsAcct  detector.VarAccounted
+	lifecycle detector.ThreadLifecycle
+	reuser    detector.ThreadReuser
+
+	// serialized is Options.Serialized, or forced when the backend lacks
+	// sharded-concurrency support: every operation then takes the epoch
+	// lock exclusively.
+	serialized bool
+	nshards    int
+	opts       Options
 
 	// mu is the epoch lock. Exclusive: synchronization operations, period
 	// rolls, registration, stats. Shared: data-access slow paths, which
@@ -200,6 +244,11 @@ type Detector struct {
 	rng     *rand.Rand // guarded by mu (exclusive)
 	budget  *budgetState
 	periods uint64 // guarded by mu (exclusive)
+
+	// extSampling is set once Apply ingests an explicit sampling
+	// transition; the period roller then stops making its own decisions
+	// (the replayed trace is authoritative). Guarded by mu (exclusive).
+	extSampling bool
 
 	// pending counts operations flushed toward the next period roll;
 	// rolling gates the roll so only one goroutine performs it.
@@ -221,6 +270,9 @@ type Detector struct {
 	nextVol    VolatileID
 	nextVar    VarID
 
+	// labelMu guards the human-readable label tables (sites.go) on their
+	// own small lock, so SiteLabel/Describe never contend with ingestion.
+	labelMu    sync.RWMutex
 	siteLabels map[SiteID]string
 	varLabels  map[VarID]string
 
@@ -228,8 +280,16 @@ type Detector struct {
 	sinkMu sync.Mutex
 }
 
-// New returns a detector with the given options.
+// Algorithms returns the mountable backend names, sorted.
+func Algorithms() []string { return backends.Names() }
+
+// New returns a detector with the given options. It panics if
+// Options.Algorithm names an unregistered backend (a programming error;
+// validate user input against Algorithms first).
 func New(opts Options) *Detector {
+	if opts.Algorithm == "" {
+		opts.Algorithm = "pacer"
+	}
 	if opts.PeriodOps <= 0 {
 		opts.PeriodOps = 4096
 	}
@@ -250,14 +310,30 @@ func New(opts Options) *Detector {
 	if opts.Shards > 0 {
 		copts.Shards = opts.Shards
 	}
-	det.d = core.NewWithOptions(func(r detector.Race) {
+	back, err := backends.New(opts.Algorithm, func(r detector.Race) {
 		if opts.OnRace != nil {
 			opts.OnRace(r)
 		}
-	}, copts)
-	det.varMu = make([]shardLock, det.d.Shards())
-	det.fastReads = detector.NewShardedCount(det.d.Shards())
-	det.fastWrites = detector.NewShardedCount(det.d.Shards())
+	}, backends.Config{Seed: opts.Seed, Core: copts})
+	if err != nil {
+		panic("pacer: " + err.Error())
+	}
+	det.back = back
+	det.sharded, _ = back.(detector.Sharded)
+	det.sampler, _ = back.(detector.Sampler)
+	det.counted, _ = back.(detector.Counted)
+	det.memory, _ = back.(detector.MemoryAccounted)
+	det.varsAcct, _ = back.(detector.VarAccounted)
+	det.lifecycle, _ = back.(detector.ThreadLifecycle)
+	det.reuser, _ = back.(detector.ThreadReuser)
+	det.serialized = opts.Serialized || det.sharded == nil
+	det.nshards = 1
+	if det.sharded != nil {
+		det.nshards = det.sharded.Shards()
+	}
+	det.varMu = make([]shardLock, det.nshards)
+	det.fastReads = detector.NewShardedCount(det.nshards)
+	det.fastWrites = detector.NewShardedCount(det.nshards)
 	cells := make([]*detector.PaddedCell, 0)
 	det.opCells.Store(&cells)
 	det.batch = uint64(opts.PeriodOps / 64)
@@ -271,11 +347,19 @@ func New(opts Options) *Detector {
 	return det
 }
 
+// Algorithm returns the mounted backend's name.
+func (p *Detector) Algorithm() string { return p.back.Name() }
+
 // rollPeriodLocked decides whether the next period samples. Callers hold
-// mu exclusively (or are the constructor).
+// mu exclusively (or are the constructor). For backends without sampling
+// periods, and once Apply has taken external control of sampling, only the
+// period counter is reset.
 func (p *Detector) rollPeriodLocked() {
 	p.pending.Store(0)
 	p.periods++
+	if p.sampler == nil || p.extSampling {
+		return
+	}
 	rate := p.opts.SamplingRate
 	if p.budget != nil {
 		p.budget.adjust()
@@ -286,12 +370,12 @@ func (p *Detector) rollPeriodLocked() {
 	// sampling" lies outside the recorded sampling region — a fast-path
 	// no-op can never land inside it in the log.
 	sample := p.rng.Float64() < rate
-	if sample && !p.d.Sampling() {
-		p.d.SampleBegin()
+	if sample && !p.sampler.Sampling() {
+		p.sampler.SampleBegin()
 		p.record(Event{Kind: event.SampleBegin})
-	} else if !sample && p.d.Sampling() {
+	} else if !sample && p.sampler.Sampling() {
 		p.record(Event{Kind: event.SampleEnd})
-		p.d.SampleEnd()
+		p.sampler.SampleEnd()
 	}
 }
 
@@ -362,10 +446,13 @@ func (p *Detector) maybeRoll() {
 	p.rolling.Store(false)
 }
 
-// growLocked extends the thread registry (core slots and op-counter cells)
-// to hold identifiers below n. Callers hold mu exclusively.
+// growLocked extends the thread registry (backend slots where supported,
+// and op-counter cells) to hold identifiers below n. Callers hold mu
+// exclusively.
 func (p *Detector) growLocked(n int) {
-	p.d.EnsureThreadSlots(n)
+	if p.sharded != nil {
+		p.sharded.EnsureThreadSlots(n)
+	}
 	cells := *p.opCells.Load()
 	if len(cells) >= n {
 		return
@@ -379,13 +466,16 @@ func (p *Detector) growLocked(n int) {
 }
 
 // ensureThread registers a thread identifier that did not come from
-// NewThread or Fork, so shared-mode accesses never grow core state.
+// NewThread or Fork, so shared-mode accesses never grow backend state.
 func (p *Detector) ensureThread(t ThreadID) {
 	if int(t) < len(*p.opCells.Load()) {
 		return
 	}
 	p.mu.Lock()
 	p.growLocked(int(t) + 1)
+	if t >= p.nextThread {
+		p.nextThread = t + 1
+	}
 	p.mu.Unlock()
 }
 
@@ -402,24 +492,39 @@ func (p *Detector) NewThread() ThreadID {
 }
 
 // Fork registers a new thread forked by parent and records the
-// happens-before edge fork(parent, child). With Options.ReuseThreadIDs,
-// the identifier of a fully retired thread may be recycled.
+// happens-before edge fork(parent, child). With Options.ReuseThreadIDs
+// (and a backend that supports sound recycling), the identifier of a fully
+// retired thread may be reused.
 func (p *Detector) Fork(parent ThreadID) ThreadID {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	id, reused := ThreadID(0), false
-	if p.opts.ReuseThreadIDs {
-		id, reused = p.d.ReusableThread()
+	if p.opts.ReuseThreadIDs && p.reuser != nil {
+		id, reused = p.reuser.ReusableThread()
 	}
 	if !reused {
 		id = p.nextThread
 		p.nextThread++
 	}
 	p.growLocked(int(id) + 1)
-	p.d.Fork(parent, id)
+	p.back.Fork(parent, id)
 	p.record(Event{Kind: event.Fork, Thread: parent, Target: uint32(id)})
 	p.tickLocked()
 	return id
+}
+
+// forkTo records fork(t, u) with an explicit child identifier, for trace
+// replay through Apply: recorded traces fix their thread numbering.
+func (p *Detector) forkTo(t, u ThreadID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.growLocked(int(u) + 1)
+	if u >= p.nextThread {
+		p.nextThread = u + 1
+	}
+	p.back.Fork(t, u)
+	p.record(Event{Kind: event.Fork, Thread: t, Target: uint32(u)})
+	p.tickLocked()
 }
 
 // Join records join(t, u): t blocked until u terminated. It also marks u
@@ -428,8 +533,10 @@ func (p *Detector) Fork(parent ThreadID) ThreadID {
 func (p *Detector) Join(t, u ThreadID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.d.Join(t, u)
-	p.d.ThreadExit(u)
+	p.back.Join(t, u)
+	if p.lifecycle != nil {
+		p.lifecycle.ThreadExit(u)
+	}
 	p.record(Event{Kind: event.Join, Thread: t, Target: uint32(u)})
 	p.tickLocked()
 }
@@ -467,24 +574,26 @@ func (p *Detector) NewVarID() VarID {
 // presence load the serialized detector would have done nothing for this
 // operation, so it is dismissed having only bumped sharded counters.
 // When a TraceSink is configured the probe runs under the sink lock, so
-// the recorded position is exactly that linearization instant.
-func (p *Detector) tryFast(t ThreadID, v VarID, s SiteID, write bool) bool {
+// the recorded position is exactly that linearization instant. Callers
+// have already established that the backend is sharded (p.serialized is
+// false only then).
+func (p *Detector) tryFast(t ThreadID, v VarID, s SiteID, method uint32, write bool) bool {
 	if p.opts.TraceSink != nil {
 		p.sinkMu.Lock()
-		st := p.d.StateWord()
-		if st&1 != 0 || p.d.MetaPossible(v) || p.d.StateWord() != st {
+		st := p.sharded.StateWord()
+		if st&1 != 0 || p.sharded.MetaPossible(v) || p.sharded.StateWord() != st {
 			p.sinkMu.Unlock()
 			return false
 		}
-		p.opts.TraceSink(accessEvent(t, v, s, write))
+		p.opts.TraceSink(accessEvent(t, v, s, method, write))
 		p.sinkMu.Unlock()
 	} else {
-		st := p.d.StateWord()
-		if st&1 != 0 || p.d.MetaPossible(v) || p.d.StateWord() != st {
+		st := p.sharded.StateWord()
+		if st&1 != 0 || p.sharded.MetaPossible(v) || p.sharded.StateWord() != st {
 			return false
 		}
 	}
-	shard := p.d.ShardOf(v)
+	shard := p.sharded.ShardOf(v)
 	if write {
 		p.fastWrites.Inc(shard)
 	} else {
@@ -494,48 +603,59 @@ func (p *Detector) tryFast(t ThreadID, v VarID, s SiteID, write bool) bool {
 	return true
 }
 
-func accessEvent(t ThreadID, v VarID, s SiteID, write bool) Event {
+func accessEvent(t ThreadID, v VarID, s SiteID, method uint32, write bool) Event {
 	k := event.Read
 	if write {
 		k = event.Write
 	}
-	return Event{Kind: k, Thread: t, Target: uint32(v), Site: s}
+	return Event{Kind: k, Thread: t, Target: uint32(v), Site: s, Method: method}
+}
+
+// samplingLocked reports the backend's sampling state under at least a
+// shared hold of mu (transitions take mu exclusively). Backends without
+// sampling periods analyze everything, i.e. behave as always sampling.
+func (p *Detector) samplingLocked() bool {
+	return p.sampler == nil || p.sampler.Sampling()
 }
 
 // access funnels Read and Write: lock-free fast path first, then the
 // sharded slow path under a shared epoch-lock hold plus the variable's
-// shard lock. Trace-sink appends for non-sampling operations happen before
-// the analysis (they can only discard metadata) and for sampling
-// operations after it (they can only create metadata), which keeps the
-// recorded order consistent with the lock-free probes.
-func (p *Detector) access(t ThreadID, v VarID, s SiteID, write bool) {
-	if !p.opts.Serialized && p.tryFast(t, v, s, write) {
+// shard lock (or the exclusive epoch lock when serialized). Trace-sink
+// appends for non-sampling operations happen before the analysis (they can
+// only discard metadata) and for sampling operations after it (they can
+// only create metadata), which keeps the recorded order consistent with
+// the lock-free probes.
+func (p *Detector) access(t ThreadID, v VarID, s SiteID, method uint32, write bool) {
+	if !p.serialized && p.tryFast(t, v, s, method, write) {
 		return
 	}
 	p.ensureThread(t)
-	if p.opts.Serialized {
+	if p.serialized {
 		p.mu.Lock()
 	} else {
 		p.mu.RLock()
 	}
-	sh := p.d.ShardOf(v)
+	sh := 0
+	if p.sharded != nil {
+		sh = p.sharded.ShardOf(v)
+	}
 	p.varMu[sh].Lock()
-	sampling := p.d.Sampling()
+	sampling := p.samplingLocked()
 	if !sampling {
-		p.record(accessEvent(t, v, s, write))
+		p.record(accessEvent(t, v, s, method, write))
 	}
 	t0 := p.enter()
 	if write {
-		p.d.Write(t, v, s, 0)
+		p.back.Write(t, v, s, method)
 	} else {
-		p.d.Read(t, v, s, 0)
+		p.back.Read(t, v, s, method)
 	}
 	p.exit(t0)
 	if sampling {
-		p.record(accessEvent(t, v, s, write))
+		p.record(accessEvent(t, v, s, method, write))
 	}
 	p.varMu[sh].Unlock()
-	if p.opts.Serialized {
+	if p.serialized {
 		p.tickLocked()
 		p.mu.Unlock()
 		return
@@ -546,12 +666,12 @@ func (p *Detector) access(t ThreadID, v VarID, s SiteID, write bool) {
 
 // Read observes thread t reading variable v at site s.
 func (p *Detector) Read(t ThreadID, v VarID, s SiteID) {
-	p.access(t, v, s, false)
+	p.access(t, v, s, 0, false)
 }
 
 // Write observes thread t writing variable v at site s.
 func (p *Detector) Write(t ThreadID, v VarID, s SiteID) {
-	p.access(t, v, s, true)
+	p.access(t, v, s, 0, true)
 }
 
 // syncOp funnels the four lock/volatile operations, which serialize on the
@@ -569,56 +689,129 @@ func (p *Detector) syncOp(run func(), e Event) {
 // Acquire observes thread t acquiring lock m. Call it after the real lock
 // is acquired.
 func (p *Detector) Acquire(t ThreadID, m LockID) {
-	p.syncOp(func() { p.d.Acquire(t, m) }, Event{Kind: event.Acquire, Thread: t, Target: uint32(m)})
+	p.syncOp(func() { p.back.Acquire(t, m) }, Event{Kind: event.Acquire, Thread: t, Target: uint32(m)})
 }
 
 // Release observes thread t releasing lock m. Call it before the real lock
 // is released.
 func (p *Detector) Release(t ThreadID, m LockID) {
-	p.syncOp(func() { p.d.Release(t, m) }, Event{Kind: event.Release, Thread: t, Target: uint32(m)})
+	p.syncOp(func() { p.back.Release(t, m) }, Event{Kind: event.Release, Thread: t, Target: uint32(m)})
 }
 
 // VolRead observes thread t reading volatile vx (e.g. an atomic load).
 func (p *Detector) VolRead(t ThreadID, vx VolatileID) {
-	p.syncOp(func() { p.d.VolRead(t, vx) }, Event{Kind: event.VolRead, Thread: t, Target: uint32(vx)})
+	p.syncOp(func() { p.back.VolRead(t, vx) }, Event{Kind: event.VolRead, Thread: t, Target: uint32(vx)})
 }
 
 // VolWrite observes thread t writing volatile vx (e.g. an atomic store).
 func (p *Detector) VolWrite(t ThreadID, vx VolatileID) {
-	p.syncOp(func() { p.d.VolWrite(t, vx) }, Event{Kind: event.VolWrite, Thread: t, Target: uint32(vx)})
+	p.syncOp(func() { p.back.VolWrite(t, vx) }, Event{Kind: event.VolWrite, Thread: t, Target: uint32(vx)})
+}
+
+// applySampling forces the backend's sampling state from a replayed
+// transition and hands sampling control to the trace: the period roller
+// stops making its own decisions for the rest of this detector's life.
+func (p *Detector) applySampling(begin bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.extSampling = true
+	if p.sampler == nil {
+		return
+	}
+	if begin {
+		p.sampler.SampleBegin()
+		p.record(Event{Kind: event.SampleBegin})
+	} else {
+		p.record(Event{Kind: event.SampleEnd})
+		p.sampler.SampleEnd()
+	}
+}
+
+// Apply ingests one recorded event through the same front-end paths the
+// direct methods use, so replaying a trace exercises exactly the code a
+// live application exercises. Thread identifiers are taken from the event
+// (registered on first use — Fork events keep their recorded child id),
+// and access events carry their recorded Method through to backends that
+// sample per method (LITERACE). SampleBegin/SampleEnd events force the
+// backend's sampling state and switch the detector to external sampling
+// control; traces without them (e.g. racereplay recordings) are sampled by
+// the detector's own seeded period roller, so replays are reproducible
+// run-to-run for a fixed Options.Seed.
+func (p *Detector) Apply(e Event) {
+	switch e.Kind {
+	case event.Read:
+		p.access(e.Thread, VarID(e.Target), e.Site, e.Method, false)
+	case event.Write:
+		p.access(e.Thread, VarID(e.Target), e.Site, e.Method, true)
+	case event.Acquire:
+		p.Acquire(e.Thread, LockID(e.Target))
+	case event.Release:
+		p.Release(e.Thread, LockID(e.Target))
+	case event.Fork:
+		p.forkTo(e.Thread, ThreadID(e.Target))
+	case event.Join:
+		p.Join(e.Thread, ThreadID(e.Target))
+	case event.VolRead:
+		p.VolRead(e.Thread, VolatileID(e.Target))
+	case event.VolWrite:
+		p.VolWrite(e.Thread, VolatileID(e.Target))
+	case event.SampleBegin:
+		p.applySampling(true)
+	case event.SampleEnd:
+		p.applySampling(false)
+	}
 }
 
 // Sampling reports whether the detector is currently in a sampling period.
-// It is lock-free.
+// It is lock-free for the default backend. Backends without sampling
+// periods analyze every operation, so Sampling reports true for them.
 func (p *Detector) Sampling() bool {
-	return p.d.StateWord()&1 == 1
+	if p.sampler == nil {
+		return true
+	}
+	if p.sharded != nil {
+		return p.sharded.StateWord()&1 == 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sampler.Sampling()
 }
 
 // ShardCount returns the number of variable-metadata shards in use (the
-// Options.Shards knob after rounding).
-func (p *Detector) ShardCount() int { return p.d.Shards() }
+// Options.Shards knob after rounding), or 1 for backends driven
+// serialized.
+func (p *Detector) ShardCount() int { return p.nshards }
 
 // Stats returns a snapshot of the detector's work counters. It takes the
 // epoch lock exclusively, so in-flight slow-path operations complete
 // first; lock-free fast-path dismissals that have not yet happened-before
-// this call may be missing from the snapshot.
+// this call may be missing from the snapshot. Counters the mounted backend
+// does not expose are zero.
 func (p *Detector) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	c := p.d.Stats()
-	fr, fw := p.fastReads.Sum(), p.fastWrites.Sum()
-	return Stats{
-		Races:          c.Races,
-		Reads:          c.TotalReads() + fr,
-		Writes:         c.TotalWrites() + fw,
-		SyncOps:        c.TotalSyncOps(),
-		FastPathReads:  c.ReadFast[0] + c.ReadFast[1] + fr,
-		FastPathWrites: c.WriteFast[0] + c.WriteFast[1] + fw,
-		SlowJoins:      c.SlowJoins[0] + c.SlowJoins[1],
-		FastJoins:      c.FastJoins[0] + c.FastJoins[1],
-		DeepCopies:     c.DeepCopies[0] + c.DeepCopies[1],
-		ShallowCopies:  c.ShallowCopies[0] + c.ShallowCopies[1],
-		VarsTracked:    p.d.VarsTracked(),
-		MetadataWords:  p.d.MetadataWords(),
+	var s Stats
+	if p.counted != nil {
+		c := p.counted.Stats()
+		fr, fw := p.fastReads.Sum(), p.fastWrites.Sum()
+		s = Stats{
+			Races:          c.Races,
+			Reads:          c.TotalReads() + fr,
+			Writes:         c.TotalWrites() + fw,
+			SyncOps:        c.TotalSyncOps(),
+			FastPathReads:  c.ReadFast[0] + c.ReadFast[1] + fr,
+			FastPathWrites: c.WriteFast[0] + c.WriteFast[1] + fw,
+			SlowJoins:      c.SlowJoins[0] + c.SlowJoins[1],
+			FastJoins:      c.FastJoins[0] + c.FastJoins[1],
+			DeepCopies:     c.DeepCopies[0] + c.DeepCopies[1],
+			ShallowCopies:  c.ShallowCopies[0] + c.ShallowCopies[1],
+		}
 	}
+	if p.varsAcct != nil {
+		s.VarsTracked = p.varsAcct.VarsTracked()
+	}
+	if p.memory != nil {
+		s.MetadataWords = p.memory.MetadataWords()
+	}
+	return s
 }

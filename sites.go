@@ -2,12 +2,17 @@ package pacer
 
 import "fmt"
 
+// The label tables live behind their own small lock (labelMu), not the
+// epoch lock: labeling and report rendering must never contend with the
+// sharded ingestion hot path, and Describe is safe to call from an OnRace
+// callback (which runs with a shard lock held).
+
 // SiteLabel associates a human-readable label with a program site, so race
 // reports can be rendered in terms of source locations or logical
 // operation names instead of numeric identifiers.
 func (p *Detector) SiteLabel(s SiteID, label string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.labelMu.Lock()
+	defer p.labelMu.Unlock()
 	if p.siteLabels == nil {
 		p.siteLabels = make(map[SiteID]string)
 	}
@@ -16,14 +21,15 @@ func (p *Detector) SiteLabel(s SiteID, label string) {
 
 // VarLabel associates a human-readable label with a variable.
 func (p *Detector) VarLabel(v VarID, label string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.labelMu.Lock()
+	defer p.labelMu.Unlock()
 	if p.varLabels == nil {
 		p.varLabels = make(map[VarID]string)
 	}
 	p.varLabels[v] = label
 }
 
+// siteName returns s's label; callers hold labelMu (shared).
 func (p *Detector) siteName(s SiteID) string {
 	if l, ok := p.siteLabels[s]; ok {
 		return l
@@ -35,8 +41,8 @@ func (p *Detector) siteName(s SiteID) string {
 //
 //	data race on `account.balance`: write at deposit() vs read at audit()
 func (p *Detector) Describe(r Race) string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.labelMu.RLock()
+	defer p.labelMu.RUnlock()
 	varName := fmt.Sprintf("var %d", r.Var)
 	if l, ok := p.varLabels[r.Var]; ok {
 		varName = l
