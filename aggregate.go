@@ -11,7 +11,9 @@ import (
 // fleet side of the distributed-debugging deployment the paper envisions
 // (Section 1): each deployed instance samples at a low rate, and the
 // aggregator deduplicates their reports into a triage list. Reports are
-// keyed by the unordered site pair, the paper's notion of a distinct race.
+// keyed by the unordered site pair — the paper's notion of a distinct
+// race — refined by the access kinds, so a write–write and a read–write
+// race between the same two sites triage separately.
 //
 // An Aggregator is safe for concurrent use by many instances.
 type Aggregator struct {
@@ -21,6 +23,7 @@ type Aggregator struct {
 
 type aggKey struct {
 	v    VarID
+	kind RaceKind
 	a, b SiteID
 }
 
@@ -38,12 +41,26 @@ type AggregatedRace struct {
 	seen map[string]bool
 }
 
+// keyOf normalizes a report to its distinct-race key: variable, unordered
+// site pair, and the kinds of the two accesses. The kind participates so a
+// write–write and a read–write race on the same (var, site pair) stay
+// separate triage entries. When the sites swap into canonical order the
+// access-kind pair swaps with them (a write-read observed as s2-then-s1 is
+// the read-write on (s1, s2)), so the two temporal orderings of one static
+// race still collapse into a single entry.
 func keyOf(r Race) aggKey {
 	a, b := r.FirstSite, r.SecondSite
+	k := r.Kind
 	if a > b {
 		a, b = b, a
+		switch k {
+		case WriteRead:
+			k = ReadWrite
+		case ReadWrite:
+			k = WriteRead
+		}
 	}
-	return aggKey{v: r.Var, a: a, b: b}
+	return aggKey{v: r.Var, kind: k, a: a, b: b}
 }
 
 // NewAggregator returns an empty aggregator.
@@ -100,7 +117,10 @@ func (a *Aggregator) Races() []AggregatedRace {
 		if ki.a != kj.a {
 			return ki.a < kj.a
 		}
-		return ki.b < kj.b
+		if ki.b != kj.b {
+			return ki.b < kj.b
+		}
+		return ki.kind < kj.kind
 	})
 	return out
 }
@@ -132,9 +152,20 @@ func (a *Aggregator) Merge(o *Aggregator) {
 		snap[k] = &cp
 	}
 	o.mu.Unlock()
+	a.mergeSnapshot(snap)
+}
 
+// mergeSnapshot folds a private snapshot (the caller relinquishes
+// ownership) into a: counts add, attributed instance sets union, and
+// instance counts beyond the attributed set — possible only for imported
+// entries, whose flat schema names just the first reporter — add through
+// conservatively.
+func (a *Aggregator) mergeSnapshot(snap map[aggKey]*AggregatedRace) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.races == nil {
+		a.races = make(map[aggKey]*AggregatedRace, len(snap))
+	}
 	for k, src := range snap {
 		dst, ok := a.races[k]
 		if !ok {
@@ -142,11 +173,15 @@ func (a *Aggregator) Merge(o *Aggregator) {
 			continue
 		}
 		dst.Count += src.Count
+		extra := src.Instances - len(src.seen)
 		for inst := range src.seen {
 			if !dst.seen[inst] {
 				dst.seen[inst] = true
 				dst.Instances++
 			}
+		}
+		if extra > 0 {
+			dst.Instances += extra
 		}
 	}
 }
@@ -192,4 +227,86 @@ func (a *Aggregator) MarshalJSON() ([]byte, error) {
 		}
 	}
 	return json.Marshal(out)
+}
+
+// kindFromString inverts RaceKind.String for the persistence schema.
+func kindFromString(s string) (RaceKind, error) {
+	switch s {
+	case "write-write":
+		return WriteWrite, nil
+	case "write-read":
+		return WriteRead, nil
+	case "read-write":
+		return ReadWrite, nil
+	}
+	return 0, fmt.Errorf("pacer: unknown race kind %q", s)
+}
+
+// ImportJSON parses a triage list previously produced by MarshalJSON and
+// merges it into a, the counterpart a collector needs to reconstruct
+// remote aggregators from their wire exports. Counts add and an entry new
+// to a keeps its exported first reporter. The flat schema attributes only
+// the first reporting instance by name, so for an imported entry that a
+// already holds, instances beyond the first add through by count; importing
+// lists whose unattributed instance sets overlap can therefore overcount
+// Instances. The fleet transport avoids this by keying pushes by instance
+// (each instance's export names only itself).
+//
+// A round trip is exact: importing an export into a fresh aggregator
+// reproduces the original Races() output.
+func (a *Aggregator) ImportJSON(data []byte) error {
+	var in []exportedRace
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("pacer: parsing triage list: %w", err)
+	}
+	snap := make(map[aggKey]*AggregatedRace, len(in))
+	for i, er := range in {
+		kind, err := kindFromString(er.Kind)
+		if err != nil {
+			return fmt.Errorf("pacer: triage entry %d: %w", i, err)
+		}
+		if er.Count < 1 || er.Instances < 1 || er.Instances > er.Count {
+			return fmt.Errorf("pacer: triage entry %d has implausible count %d / instances %d",
+				i, er.Count, er.Instances)
+		}
+		r := Race{
+			Var:          VarID(er.Var),
+			Kind:         kind,
+			FirstThread:  ThreadID(er.FirstThread),
+			SecondThread: ThreadID(er.SecondThread),
+			FirstSite:    SiteID(er.FirstSite),
+			SecondSite:   SiteID(er.SecondSite),
+		}
+		k := keyOf(r)
+		dst, ok := snap[k]
+		if !ok {
+			dst = &AggregatedRace{
+				Example:       r,
+				FirstInstance: er.FirstInstance,
+				seen:          map[string]bool{er.FirstInstance: true},
+			}
+			snap[k] = dst
+			dst.Count = er.Count
+			dst.Instances = er.Instances
+			continue
+		}
+		// Duplicate keys cannot come from MarshalJSON but a hand-edited
+		// list may carry them; fold rather than reject.
+		dst.Count += er.Count
+		dst.Instances += er.Instances
+		if dst.seen[er.FirstInstance] {
+			dst.Instances-- // its first reporter was already counted
+		} else {
+			dst.seen[er.FirstInstance] = true
+		}
+	}
+	a.mergeSnapshot(snap)
+	return nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler as ImportJSON: the parsed
+// triage list merges into the receiver's existing state (on a fresh
+// aggregator that is a plain load).
+func (a *Aggregator) UnmarshalJSON(data []byte) error {
+	return a.ImportJSON(data)
 }

@@ -2,6 +2,7 @@ package pacer_test
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"pacer"
@@ -100,5 +101,101 @@ func TestAggregatorMarshalJSON(t *testing.T) {
 	empty, err := json.Marshal(pacer.NewAggregator())
 	if err != nil || string(empty) != "[]" {
 		t.Errorf("empty aggregator marshals to %s (%v), want []", empty, err)
+	}
+}
+
+// TestAggregatorKindDistinct pins the dedup key's treatment of the race
+// kind: a write–write and a read–write race on the same (var, site pair)
+// are distinct triage entries, while the two temporal orderings of one
+// static race (write-read seen as s1-then-s2 versus read-write seen as
+// s2-then-s1) still collapse into one.
+func TestAggregatorKindDistinct(t *testing.T) {
+	agg := pacer.NewAggregator()
+	ww := pacer.Race{Var: 1, Kind: pacer.WriteWrite, FirstSite: 10, SecondSite: 20}
+	rw := pacer.Race{Var: 1, Kind: pacer.ReadWrite, FirstSite: 10, SecondSite: 20}
+	agg.Reporter("host-a")(ww)
+	agg.Reporter("host-a")(rw)
+	if got := agg.Distinct(); got != 2 {
+		t.Errorf("write-write and read-write on the same site pair collapsed: %d distinct, want 2", got)
+	}
+
+	agg2 := pacer.NewAggregator()
+	wr := pacer.Race{Var: 2, Kind: pacer.WriteRead,
+		FirstThread: 0, SecondThread: 1, FirstSite: 30, SecondSite: 40}
+	mirror := pacer.Race{Var: 2, Kind: pacer.ReadWrite,
+		FirstThread: 1, SecondThread: 0, FirstSite: 40, SecondSite: 30}
+	agg2.Reporter("host-a")(wr)
+	agg2.Reporter("host-b")(mirror)
+	if got := agg2.Distinct(); got != 1 {
+		t.Errorf("temporal mirror orderings of one static race split: %d distinct, want 1", got)
+	}
+	if ar := agg2.Races()[0]; ar.Count != 2 || ar.Instances != 2 {
+		t.Errorf("mirrored reports aggregated as %+v, want count 2 instances 2", ar)
+	}
+}
+
+// TestAggregatorImportJSONRoundTrip exports a triage list, imports it into
+// a fresh aggregator, and requires identical Races() output — the property
+// the fleet collector relies on to reconstruct remote aggregators.
+func TestAggregatorImportJSONRoundTrip(t *testing.T) {
+	src := pacer.NewAggregator()
+	hot, cold := mkRace(7, 100, 200), mkRace(8, 300, 400)
+	ww := pacer.Race{Var: 7, Kind: pacer.WriteWrite, FirstThread: 2, SecondThread: 3,
+		FirstSite: 100, SecondSite: 200}
+	for i := 0; i < 3; i++ {
+		src.Reporter("inst-a")(hot)
+	}
+	src.Reporter("inst-a")(cold)
+	src.Reporter("inst-a")(ww)
+
+	blob, err := json.Marshal(src)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	dst := pacer.NewAggregator()
+	if err := dst.ImportJSON(blob); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	got, want := dst.Races(), src.Races()
+	if len(got) != len(want) {
+		t.Fatalf("round trip changed length: got %d races, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("race %d round-tripped as %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// And the re-export is byte-identical.
+	blob2, err := json.Marshal(dst)
+	if err != nil {
+		t.Fatalf("re-export: %v", err)
+	}
+	if string(blob2) != string(blob) {
+		t.Errorf("re-export differs:\n got %s\nwant %s", blob2, blob)
+	}
+
+	// Importing merges rather than replaces: a second import doubles counts
+	// without inventing new distinct races or new instances.
+	if err := dst.ImportJSON(blob); err != nil {
+		t.Fatalf("second import: %v", err)
+	}
+	if dst.Distinct() != src.Distinct() {
+		t.Errorf("second import changed distinct count to %d", dst.Distinct())
+	}
+	for i, ar := range dst.Races() {
+		if ar.Count != 2*want[i].Count {
+			t.Errorf("race %d count after re-import = %d, want %d", i, ar.Count, 2*want[i].Count)
+		}
+		if ar.Instances != want[i].Instances {
+			t.Errorf("race %d instances after re-import = %d, want %d", i, ar.Instances, want[i].Instances)
+		}
+	}
+
+	// Garbage is rejected with state intact.
+	if err := dst.ImportJSON([]byte(`[{"kind":"nonsense","count":1,"instances":1}]`)); err == nil {
+		t.Error("importing an unknown race kind succeeded")
+	}
+	if err := dst.ImportJSON([]byte(`{"not":"a list"}`)); err == nil {
+		t.Error("importing a non-list succeeded")
 	}
 }

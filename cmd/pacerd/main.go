@@ -1,0 +1,90 @@
+// Command pacerd is the fleet race-report collector: the daemon side of
+// the paper's deployment story (Section 1), where many production
+// instances each sample at a low rate and their reports combine into a
+// fleet-wide triage list.
+//
+// Instances run a fleet.Reporter pointed at this daemon; pacerd keeps the
+// latest snapshot per instance and serves:
+//
+//	POST /v1/push  — accept one gzip JSON snapshot (see docs/fleet.md)
+//	GET  /races    — the merged fleet-wide triage list as JSON
+//	GET  /healthz  — liveness
+//	GET  /metrics  — Prometheus text metrics (pushes accepted/rejected,
+//	                 instances, distinct races, per-instance last-seen)
+//
+// pacerd shuts down gracefully on SIGTERM/SIGINT: in-flight requests get
+// -shutdown-timeout to complete before the listener is torn down.
+//
+// Usage:
+//
+//	pacerd -listen :9120
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pacer/internal/fleet"
+)
+
+func main() {
+	listen := flag.String("listen", ":9120", "address to listen on")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
+		"grace period for in-flight requests on SIGTERM/SIGINT")
+	maxBody := flag.Int64("max-push-bytes", 8<<20,
+		"largest accepted compressed push body, in bytes")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: pacerd [-listen addr] [-shutdown-timeout d] [-max-push-bytes n]\n")
+		os.Exit(2)
+	}
+	log.SetPrefix("pacerd: ")
+	log.SetFlags(log.LstdFlags | log.LUTC)
+
+	col := fleet.NewCollector(fleet.CollectorOptions{MaxBodyBytes: *maxBody})
+	srv := &http.Server{
+		Handler:           col.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("collecting race reports on http://%s (push %s, triage /races)",
+		ln.Addr(), fleet.PushPath)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v, draining for up to %v", sig, *shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		if agg, err := col.Merged(); err == nil {
+			log.Printf("shut down cleanly with %d distinct race(s) on file", agg.Distinct())
+		} else {
+			log.Printf("shut down cleanly")
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -51,13 +51,17 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  racereplay record -bench <name> [-seed N] -o <file>
+  racereplay record -bench <name> [-seed N] [-stream] -o <file>
   racereplay replay -detector <name> [-rate R] [-seed N] [-period P] [-serialized] <file>
   racereplay stat <file>
 
 replay detectors: %s
 replay is reproducible: the same -detector, -rate, -period, and -seed
 sample identical operation windows of the trace on every run.
+
+replay and stat read both trace formats: the block format (the record
+default) and the streaming format that -stream and pacer.StreamSink
+produce (incremental, bounded-memory recording).
 `, strings.Join(backends.Names(), ", "))
 	os.Exit(2)
 }
@@ -101,6 +105,7 @@ func record(args []string) {
 	bench := fs.String("bench", "eclipse", "benchmark to record")
 	seed := fs.Int64("seed", 1, "trial seed")
 	out := fs.String("o", "", "output trace file")
+	stream := fs.Bool("stream", false, "write the streaming trace format (what pacer.StreamSink emits)")
 	fs.Parse(args)
 	if *out == "" {
 		fatal("record: -o is required")
@@ -120,10 +125,26 @@ func record(args []string) {
 		fatal(err.Error())
 	}
 	defer f.Close()
-	if err := event.WriteTrace(f, rec.tr); err != nil {
+	format := "block"
+	if *stream {
+		format = "streaming"
+		sw, err := event.NewStreamWriter(f)
+		if err != nil {
+			fatal(err.Error())
+		}
+		for _, e := range rec.tr {
+			if err := sw.Write(e); err != nil {
+				fatal(err.Error())
+			}
+		}
+		if err := sw.Close(); err != nil {
+			fatal(err.Error())
+		}
+	} else if err := event.WriteTrace(f, rec.tr); err != nil {
 		fatal(err.Error())
 	}
-	fmt.Printf("recorded %d events from %s (seed %d) to %s\n", len(rec.tr), *bench, *seed, *out)
+	fmt.Printf("recorded %d events from %s (seed %d) to %s (%s format)\n",
+		len(rec.tr), *bench, *seed, *out, format)
 }
 
 func replay(args []string) {
@@ -186,7 +207,7 @@ func readTrace(path string) event.Trace {
 		fatal(err.Error())
 	}
 	defer f.Close()
-	tr, err := event.ReadTrace(f)
+	tr, err := event.ReadAnyTrace(f)
 	if err != nil {
 		fatal(err.Error())
 	}

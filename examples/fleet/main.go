@@ -9,15 +9,28 @@
 // PACER detects each race with probability (occurrence × sampling rate),
 // the fleet as a whole finds every race with probability approaching
 // 1 - (1 - o·r)^instances.
+//
+// Unlike the in-process sketch this example used to be, the reports here
+// really leave the box: each host wraps its aggregator in a
+// fleet.Reporter that pushes gzip JSON snapshots over loopback HTTP to a
+// collector (the same internal/fleet.Collector that cmd/pacerd mounts as
+// a daemon), and the triage table below is read back from the collector's
+// /races endpoint.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
 
 	"pacer"
+	"pacer/internal/fleet"
 )
 
 // bug describes one planted race: the session executes its racy pair with
@@ -90,22 +103,69 @@ func session(rate float64, seed int64, report func(pacer.Race)) {
 
 func main() {
 	const rate = 0.02
-	const instances = 4000
+	const hosts = 8
+	const sessionsPerHost = 500
+	const instances = hosts * sessionsPerHost
 
-	// Each region runs its own collector — pacer.Aggregator: reports keyed
-	// by distinct race, with counts and first-seen attribution. The regions
-	// then Merge into one fleet-wide triage dashboard.
-	east, west := pacer.NewAggregator(), pacer.NewAggregator()
-	for inst := 1; inst <= instances; inst++ {
-		region := east
-		if inst%2 == 0 {
-			region = west
-		}
-		session(rate, int64(inst), region.Reporter(fmt.Sprintf("inst-%d", inst)))
+	// The collector — the exact handler cmd/pacerd serves — listens on a
+	// loopback socket, standing in for a central race-triage service.
+	col := fleet.NewCollector(fleet.CollectorOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := &http.Server{Handler: col.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// Each host runs its share of the sessions, funneling reports into a
+	// host-local aggregator whose fleet.Reporter pushes snapshots to the
+	// collector in the background. Hosts run concurrently, like a fleet.
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			host := fmt.Sprintf("host-%02d", h)
+			agg := pacer.NewAggregator()
+			rep, err := fleet.NewReporter(agg, fleet.ReporterOptions{
+				Collector: base,
+				Instance:  host,
+				Interval:  20 * time.Millisecond,
+				Seed:      int64(h) + 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < sessionsPerHost; i++ {
+				inst := h*sessionsPerHost + i + 1
+				session(rate, int64(inst), agg.Reporter(fmt.Sprintf("%s/inst-%d", host, inst)))
+			}
+			// Flush the final snapshot before the host "shuts down".
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := rep.Close(ctx); err != nil {
+				panic(err)
+			}
+		}(h)
+	}
+	wg.Wait()
+
+	// The triage dashboard reads the merged fleet view back off the wire.
+	resp, err := http.Get(base + "/races")
+	if err != nil {
+		panic(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		panic(err)
 	}
 	agg := pacer.NewAggregator()
-	agg.Merge(east)
-	agg.Merge(west)
+	if err := agg.ImportJSON(blob); err != nil {
+		panic(err)
+	}
+
 	firstSeen := map[pacer.SiteID]string{}
 	counts := map[pacer.SiteID]int{}
 	for _, ar := range agg.Races() {
@@ -114,8 +174,9 @@ func main() {
 		counts[site] += ar.Count
 	}
 
-	fmt.Printf("fleet of %d instances, each sampling at r = %.0f%%\n\n", instances, rate*100)
-	fmt.Printf("%-22s %10s %12s %12s %14s\n", "race", "occurrence", "reports", "first seen", "expect≥1 @fleet")
+	fmt.Printf("fleet of %d instances on %d hosts, each sampling at r = %.0f%%\n\n",
+		instances, hosts, rate*100)
+	fmt.Printf("%-22s %10s %12s %22s %16s\n", "race", "occurrence", "reports", "first seen", "expect≥1 @fleet")
 	for i := len(bugs) - 1; i >= 0; i-- {
 		bg := bugs[i]
 		pAll := 1 - math.Pow(1-bg.occur*rate, instances)
@@ -123,7 +184,7 @@ func main() {
 		if f, ok := firstSeen[bg.site]; ok {
 			first = f
 		}
-		fmt.Printf("%-22s %9.0f%% %12d %12s %13.1f%%\n",
+		fmt.Printf("%-22s %9.0f%% %12d %22s %15.1f%%\n",
 			bg.name, bg.occur*100, counts[bg.site], first, pAll*100)
 	}
 
@@ -131,11 +192,19 @@ func main() {
 	fmt.Println("instance paid only the ~2% sampling-rate overhead. That is the")
 	fmt.Println("\"get what you pay for\" deployment model of the paper.")
 
-	// The merged triage list persists as JSON — the artifact a real
-	// deployment would ship to a dashboard or bug tracker.
-	blob, err := json.MarshalIndent(agg, "", "  ")
+	// The collector's metrics endpoint is what a dashboard would scrape.
+	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\ntriage list as persisted JSON (%d bytes):\n%s\n", len(blob), blob)
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ncollector metrics (%s/metrics):\n%s", base, metrics)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
 }

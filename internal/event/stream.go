@@ -79,6 +79,37 @@ func (s *StreamWriter) Close() error {
 	return s.bw.Flush()
 }
 
+// ReadAnyTrace reads a complete trace in either on-disk format, sniffing
+// the magic: the block format of WriteTrace or the streaming format of
+// StreamWriter. Tools that accept trace files (cmd/racereplay) use it so
+// recordings from Options.TraceSink streaming adapters and block-written
+// traces are interchangeable.
+func ReadAnyTrace(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(streamMagic))
+	if err != nil {
+		return nil, fmt.Errorf("event: reading magic: %w", err)
+	}
+	if string(magic) != streamMagic {
+		return ReadTrace(br)
+	}
+	sr, err := NewStreamReader(br)
+	if err != nil {
+		return nil, err
+	}
+	var tr Trace
+	for {
+		e, err := sr.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr = append(tr, e)
+	}
+}
+
 // StreamReader reads a streaming trace event by event.
 type StreamReader struct {
 	br   *bufio.Reader

@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pacer"
+)
+
+// CollectorOptions configure a Collector.
+type CollectorOptions struct {
+	// MaxBodyBytes bounds the compressed size of one push. Default 8 MiB.
+	MaxBodyBytes int64
+	// Clock supplies last-seen timestamps; tests inject a fake. Default
+	// time.Now.
+	Clock func() time.Time
+}
+
+// instanceState is the collector's memory of one instance: its latest
+// snapshot, verbatim, plus envelope bookkeeping.
+type instanceState struct {
+	seq      uint64
+	dropped  uint64
+	lastSeen time.Time
+	races    []byte
+}
+
+// Collector is the fleet-side half of the transport: an http.Handler that
+// accepts Push snapshots, keeps the latest one per instance, and merges
+// them on demand into a fleet-wide triage list. cmd/pacerd wraps it in a
+// daemon; tests mount it on a loopback listener.
+//
+// Because each push replaces its instance's previous snapshot, the merged
+// view is a pure function of per-instance state: retries, duplicates, and
+// re-deliveries cannot double-count, and a crashed-and-restarted reporter
+// simply resumes overwriting its slot. Merging happens in sorted instance
+// order, so the merged output — including which instance gets first-seen
+// attribution for a race several instances reported — is deterministic
+// for a given set of snapshots.
+type Collector struct {
+	opts CollectorOptions
+
+	mu        sync.Mutex
+	instances map[string]*instanceState
+	pushes    uint64 // accepted pushes (including idempotently ignored ones)
+	badPushes uint64 // rejected pushes (decode/validation failures)
+	stale     uint64 // accepted-but-ignored pushes (seq not newer)
+}
+
+// NewCollector returns an empty collector.
+func NewCollector(opts CollectorOptions) *Collector {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Collector{opts: opts, instances: make(map[string]*instanceState)}
+}
+
+// Handler returns the collector's HTTP surface:
+//
+//	POST {PushPath}  — accept one snapshot
+//	GET  /races      — the merged fleet-wide triage list as JSON
+//	GET  /healthz    — liveness
+//	GET  /metrics    — Prometheus text metrics
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PushPath, c.handlePush)
+	mux.HandleFunc("/races", c.handleRaces)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	return mux
+}
+
+func (c *Collector) handlePush(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "push must POST", http.StatusMethodNotAllowed)
+		return
+	}
+	p, err := DecodePush(http.MaxBytesReader(w, req.Body, c.opts.MaxBodyBytes))
+	if err == nil {
+		// Reject triage lists the merge path could not consume, while the
+		// reporter is still around to hear about it.
+		err = pacer.NewAggregator().ImportJSON(p.Races)
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.badPushes++
+		c.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.pushes++
+	st := c.instances[p.Instance]
+	if st == nil {
+		st = &instanceState{}
+		c.instances[p.Instance] = st
+	}
+	st.lastSeen = c.opts.Clock()
+	if p.Seq <= st.seq && st.races != nil {
+		// A retry of something already absorbed, or an out-of-order
+		// delivery superseded by a newer snapshot: acknowledge without
+		// touching state, so the reporter stops re-sending.
+		c.stale++
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	st.seq = p.Seq
+	st.dropped = p.Dropped
+	st.races = p.Races
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Merged reconstructs every instance's aggregator from its latest
+// snapshot and merges them, in sorted instance order, into one fleet-wide
+// aggregator.
+func (c *Collector) Merged() (*pacer.Aggregator, error) {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.instances))
+	blobs := make(map[string][]byte, len(c.instances))
+	for name, st := range c.instances {
+		if st.races == nil {
+			continue
+		}
+		names = append(names, name)
+		blobs[name] = st.races
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	agg := pacer.NewAggregator()
+	for _, name := range names {
+		if err := agg.ImportJSON(blobs[name]); err != nil {
+			// Snapshots are validated at push time, so this means
+			// collector-side corruption; surface it rather than serve a
+			// partial fleet view.
+			return nil, fmt.Errorf("fleet: snapshot from %s: %w", name, err)
+		}
+	}
+	return agg, nil
+}
+
+func (c *Collector) handleRaces(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "races must GET", http.StatusMethodNotAllowed)
+		return
+	}
+	agg, err := c.Merged()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	blob, err := agg.MarshalJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+	w.Write([]byte("\n"))
+}
+
+func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	type instRow struct {
+		name     string
+		seq      uint64
+		dropped  uint64
+		lastSeen time.Time
+	}
+	c.mu.Lock()
+	pushes, bad, stale := c.pushes, c.badPushes, c.stale
+	rows := make([]instRow, 0, len(c.instances))
+	for name, st := range c.instances {
+		rows = append(rows, instRow{name, st.seq, st.dropped, st.lastSeen})
+	}
+	c.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	distinct := 0
+	if agg, err := c.Merged(); err == nil {
+		distinct = agg.Distinct()
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP pacer_collector_pushes_total Pushes accepted (including idempotently ignored retries).\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_pushes_total counter\n")
+	fmt.Fprintf(w, "pacer_collector_pushes_total %d\n", pushes)
+	fmt.Fprintf(w, "# HELP pacer_collector_push_errors_total Pushes rejected (bad schema, bad payload).\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_push_errors_total counter\n")
+	fmt.Fprintf(w, "pacer_collector_push_errors_total %d\n", bad)
+	fmt.Fprintf(w, "# HELP pacer_collector_stale_pushes_total Pushes acknowledged without effect (sequence not newer).\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_stale_pushes_total counter\n")
+	fmt.Fprintf(w, "pacer_collector_stale_pushes_total %d\n", stale)
+	fmt.Fprintf(w, "# HELP pacer_collector_instances Instances with a snapshot on file.\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_instances gauge\n")
+	fmt.Fprintf(w, "pacer_collector_instances %d\n", len(rows))
+	fmt.Fprintf(w, "# HELP pacer_collector_distinct_races Distinct races in the merged fleet view.\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_distinct_races gauge\n")
+	fmt.Fprintf(w, "pacer_collector_distinct_races %d\n", distinct)
+	fmt.Fprintf(w, "# HELP pacer_collector_instance_last_seen_timestamp_seconds Unix time of each instance's last push.\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_instance_last_seen_timestamp_seconds gauge\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "pacer_collector_instance_last_seen_timestamp_seconds{instance=%q} %d\n",
+			row.name, row.lastSeen.Unix())
+	}
+	fmt.Fprintf(w, "# HELP pacer_collector_reporter_dropped_total Snapshots each instance's bounded queue evicted.\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_reporter_dropped_total counter\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "pacer_collector_reporter_dropped_total{instance=%q} %d\n", row.name, row.dropped)
+	}
+}

@@ -1,0 +1,426 @@
+// Fleet transport tests: everything runs over real loopback HTTP
+// (httptest) with injected faults, so they are hermetic and safe for the
+// quick CI gate under -race.
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pacer"
+	"pacer/internal/fleet"
+)
+
+// flakyTransport fails the first failN pushes it sees (connection-level
+// errors), recording every attempt's timestamp. Non-push traffic passes
+// through untouched.
+type flakyTransport struct {
+	base http.RoundTripper
+
+	mu       sync.Mutex
+	failLeft int
+	attempts []time.Time
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Path != fleet.PushPath {
+		return f.base.RoundTrip(req)
+	}
+	f.mu.Lock()
+	f.attempts = append(f.attempts, time.Now())
+	fail := f.failLeft > 0
+	if fail {
+		f.failLeft--
+	}
+	f.mu.Unlock()
+	if fail {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errors.New("injected transport fault")
+	}
+	return f.base.RoundTrip(req)
+}
+
+func (f *flakyTransport) snapshot() []time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Time(nil), f.attempts...)
+}
+
+// runInstance drives one detector instance deterministically: an optional
+// shared racy pair every instance executes (identical ids everywhere, so
+// the reports coincide), plus nuniq unique racy pairs at instance-specific
+// sites. Sampling rate 1 makes detection certain, and all detector calls
+// are issued from this goroutine, so each instance's reports are fixed.
+func runInstance(report func(pacer.Race), uniqBase pacer.SiteID, nuniq int) {
+	d := pacer.New(pacer.Options{SamplingRate: 1, Seed: 7, OnRace: report})
+	main := d.NewThread()
+	a, b := d.Fork(main), d.Fork(main)
+
+	shared := d.NewVarID() // var 0 in every instance
+	d.Write(a, shared, 1000)
+	d.Read(b, shared, 1001)
+
+	for i := 0; i < nuniq; i++ {
+		v := d.NewVarID()
+		s := uniqBase + pacer.SiteID(2*i)
+		d.Write(a, v, s)
+		d.Read(b, v, s+1)
+	}
+	d.Join(main, a)
+	d.Join(main, b)
+}
+
+// TestFleetRoundTrip is the end-to-end acceptance test: four detector
+// instances (three of them concurrent) report through fleet.Reporters to
+// a collector on a loopback listener, with transient failures injected
+// both at the transport (per-instance connection errors) and at the
+// server (503s), and the merged /races output must be byte-identical to
+// the JSON export of a single in-process Aggregator fed the same race
+// stream — no loss and no double-counting across retries.
+func TestFleetRoundTrip(t *testing.T) {
+	col := fleet.NewCollector(fleet.CollectorOptions{})
+	handler := col.Handler()
+	var serverFaults atomic.Int64
+	serverFaults.Store(2) // the first two pushes to arrive get a 503
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == fleet.PushPath && serverFaults.Add(-1) >= 0 {
+			http.Error(w, "injected 503", http.StatusServiceUnavailable)
+			return
+		}
+		handler.ServeHTTP(w, req)
+	}))
+	defer srv.Close()
+
+	ref := pacer.NewAggregator() // the in-process ground truth
+
+	instances := []string{"inst-a", "inst-b", "inst-c", "inst-d"}
+	run := func(idx int) {
+		name := instances[idx]
+		local := pacer.NewAggregator()
+		flaky := &flakyTransport{base: http.DefaultTransport, failLeft: 2}
+		rep, err := fleet.NewReporter(local, fleet.ReporterOptions{
+			Collector:  srv.URL,
+			Instance:   name,
+			Interval:   5 * time.Millisecond,
+			Timeout:    2 * time.Second,
+			QueueLen:   3,
+			MinBackoff: 2 * time.Millisecond,
+			MaxBackoff: 20 * time.Millisecond,
+			Client:     &http.Client{Transport: flaky},
+			Seed:       int64(idx) + 1,
+		})
+		if err != nil {
+			t.Errorf("%s: reporter: %v", name, err)
+			return
+		}
+		runInstance(func(r pacer.Race) {
+			local.Reporter(name)(r)
+			ref.Reporter(name)(r)
+		}, pacer.SiteID(100*(idx+1)), idx+1)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		if err := rep.Close(ctx); err != nil {
+			t.Errorf("%s: flush: %v", name, err)
+		}
+		st := rep.Stats()
+		if st.Pushes == 0 {
+			t.Errorf("%s: no push ever succeeded: %+v", name, st)
+		}
+		if st.Failures < 2 {
+			t.Errorf("%s: expected at least the 2 injected transport faults, got %d failures", name, st.Failures)
+		}
+	}
+
+	// inst-a runs to completion first, so fleet-wide first-seen attribution
+	// for the shared race is deterministically inst-a (temporally first in
+	// the reference, alphabetically first in the collector's merge order).
+	run(0)
+	var wg sync.WaitGroup
+	for idx := 1; idx < len(instances); idx++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			run(idx)
+		}(idx)
+	}
+	wg.Wait()
+
+	want, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatalf("exporting reference: %v", err)
+	}
+	got := httpGet(t, srv.URL+"/races")
+	if !bytes.Equal(bytes.TrimSpace(got), want) {
+		t.Fatalf("merged /races differs from in-process reference:\n got %s\nwant %s", got, want)
+	}
+
+	// Sanity on the reference itself: 1 shared + 1+2+3+4 unique races.
+	if n := ref.Distinct(); n != 11 {
+		t.Fatalf("reference has %d distinct races, want 11", n)
+	}
+
+	if body := string(httpGet(t, srv.URL+"/healthz")); body != "ok\n" {
+		t.Errorf("/healthz said %q", body)
+	}
+	metrics := string(httpGet(t, srv.URL+"/metrics"))
+	for _, want := range []string{
+		"pacer_collector_instances 4",
+		"pacer_collector_distinct_races 11",
+		`pacer_collector_instance_last_seen_timestamp_seconds{instance="inst-a"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestFleetReporterCollectorDown pins the degradation story: with the
+// collector unreachable the detector's hot path still completes, the
+// bounded queue evicts oldest snapshots (counted), retries back off
+// exponentially with jitter, and Close gives up at its deadline with an
+// error naming the unsent snapshots.
+func TestFleetReporterCollectorDown(t *testing.T) {
+	local := pacer.NewAggregator()
+	flaky := &flakyTransport{base: http.DefaultTransport, failLeft: 1 << 30}
+	const minBackoff = 10 * time.Millisecond
+	rep, err := fleet.NewReporter(local, fleet.ReporterOptions{
+		Collector:  "http://127.0.0.1:0", // nothing listens; transport fails first anyway
+		Instance:   "inst-down",
+		Interval:   3 * time.Millisecond,
+		Timeout:    100 * time.Millisecond,
+		QueueLen:   2,
+		MinBackoff: minBackoff,
+		MaxBackoff: 80 * time.Millisecond,
+		Client:     &http.Client{Transport: flaky},
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatalf("reporter: %v", err)
+	}
+
+	// Detection proceeds at full speed regardless of the dead collector.
+	start := time.Now()
+	runInstance(local.Reporter("inst-down"), 100, 3)
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("detection took %v with the collector down; the hot path must not block on the network", d)
+	}
+
+	// Wait for at least 4 push attempts, then check the gaps against the
+	// deterministic lower bounds of exponential backoff with jitter in
+	// [b/2, b]: 5ms, 10ms, 20ms. (Scheduling can only lengthen gaps, so
+	// lower bounds are safe to assert even on loaded CI machines.)
+	deadline := time.Now().Add(10 * time.Second)
+	var attempts []time.Time
+	for {
+		attempts = flaky.snapshot()
+		if len(attempts) >= 4 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(attempts) < 4 {
+		t.Fatalf("only %d push attempts in 10s", len(attempts))
+	}
+	for i := 1; i < 4; i++ {
+		gap := attempts[i].Sub(attempts[i-1])
+		lower := (minBackoff << (i - 1)) / 2
+		if gap < lower {
+			t.Errorf("retry gap %d was %v, below the backoff floor %v", i, gap, lower)
+		}
+	}
+
+	// Snapshots keep being taken during the outage and the bounded queue
+	// evicts the oldest.
+	waitFor(t, 10*time.Second, func() bool { return rep.Stats().Dropped > 0 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err = rep.Close(ctx)
+	if err == nil {
+		t.Fatal("Close flushed successfully against a dead collector")
+	}
+	if !strings.Contains(err.Error(), "unsent") {
+		t.Errorf("flush error does not name unsent snapshots: %v", err)
+	}
+	st := rep.Stats()
+	if st.Pushes != 0 || st.Failures == 0 || st.Dropped == 0 {
+		t.Errorf("stats after dead-collector run: %+v", st)
+	}
+}
+
+// TestFleetCollectorIdempotent re-delivers the same snapshot and delivers
+// a stale one; neither may change the merged view.
+func TestFleetCollectorIdempotent(t *testing.T) {
+	col := fleet.NewCollector(fleet.CollectorOptions{})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	agg := pacer.NewAggregator()
+	agg.Reporter("inst-x")(pacer.Race{Var: 1, Kind: pacer.WriteRead, FirstSite: 10, SecondSite: 11})
+	agg.Reporter("inst-x")(pacer.Race{Var: 2, Kind: pacer.WriteRead, FirstSite: 20, SecondSite: 21})
+	full, _ := json.Marshal(agg)
+
+	older := pacer.NewAggregator()
+	older.Reporter("inst-x")(pacer.Race{Var: 1, Kind: pacer.WriteRead, FirstSite: 10, SecondSite: 11})
+	partial, _ := json.Marshal(older)
+
+	push := func(seq uint64, races []byte) int {
+		t.Helper()
+		var body bytes.Buffer
+		err := fleet.EncodePush(&body, &fleet.Push{
+			Version: fleet.SchemaVersion, Instance: "inst-x", Seq: seq, Races: races,
+		})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		resp, err := http.Post(srv.URL+fleet.PushPath, "application/json", &body)
+		if err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if code := push(2, full); code != http.StatusNoContent {
+		t.Fatalf("first push: status %d", code)
+	}
+	merged := httpGet(t, srv.URL+"/races")
+	if code := push(2, full); code != http.StatusNoContent {
+		t.Fatalf("duplicate push not acknowledged: status %d", code)
+	}
+	if code := push(1, partial); code != http.StatusNoContent {
+		t.Fatalf("stale push not acknowledged: status %d", code)
+	}
+	if again := httpGet(t, srv.URL+"/races"); !bytes.Equal(again, merged) {
+		t.Errorf("re-delivery changed the merged view:\n was %s\n now %s", merged, again)
+	}
+	if !strings.Contains(string(httpGet(t, srv.URL+"/metrics")), "pacer_collector_stale_pushes_total 2") {
+		t.Errorf("stale pushes not counted")
+	}
+
+	// A newer sequence replaces, never accumulates: pushing the same races
+	// under seq 3 leaves counts unchanged.
+	if code := push(3, full); code != http.StatusNoContent {
+		t.Fatalf("newer push: status %d", code)
+	}
+	if again := httpGet(t, srv.URL+"/races"); !bytes.Equal(again, merged) {
+		t.Errorf("cumulative re-push double-counted:\n was %s\n now %s", merged, again)
+	}
+}
+
+// TestFleetCollectorRejectsGarbage covers the protocol's failure modes.
+func TestFleetCollectorRejectsGarbage(t *testing.T) {
+	col := fleet.NewCollector(fleet.CollectorOptions{})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	post := func(body []byte) int {
+		resp, err := http.Post(srv.URL+fleet.PushPath, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	encode := func(p *fleet.Push) []byte {
+		var buf bytes.Buffer
+		if err := fleet.EncodePush(&buf, p); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	if code := post([]byte("not gzip")); code != http.StatusBadRequest {
+		t.Errorf("raw JSON accepted: status %d", code)
+	}
+	wrongVersion := encode(&fleet.Push{Version: 99, Instance: "i", Seq: 1, Races: []byte("[]")})
+	if code := post(wrongVersion); code != http.StatusBadRequest {
+		t.Errorf("wrong schema version accepted: status %d", code)
+	}
+	noInstance := encode(&fleet.Push{Version: fleet.SchemaVersion, Seq: 1, Races: []byte("[]")})
+	if code := post(noInstance); code != http.StatusBadRequest {
+		t.Errorf("anonymous push accepted: status %d", code)
+	}
+	badRaces := encode(&fleet.Push{Version: fleet.SchemaVersion, Instance: "i", Seq: 1,
+		Races: []byte(`[{"kind":"sideways","count":1,"instances":1}]`)})
+	if code := post(badRaces); code != http.StatusBadRequest {
+		t.Errorf("unparseable triage list accepted: status %d", code)
+	}
+	if resp, err := http.Get(srv.URL + fleet.PushPath); err != nil {
+		t.Fatalf("get push path: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET on push path: status %d", resp.StatusCode)
+		}
+	}
+	if !strings.Contains(string(httpGet(t, srv.URL+"/metrics")), "pacer_collector_push_errors_total 4") {
+		t.Errorf("rejected pushes not counted")
+	}
+}
+
+// TestFleetPushEncoding round-trips a push through the gzip wire format.
+func TestFleetPushEncoding(t *testing.T) {
+	in := &fleet.Push{
+		Version:  fleet.SchemaVersion,
+		Instance: "inst-9",
+		Seq:      41,
+		Dropped:  3,
+		Races:    json.RawMessage(`[{"var":1,"kind":"write-read","first_site":2,"second_site":3,"first_thread":0,"second_thread":1,"count":5,"instances":1,"first_instance":"inst-9"}]`),
+	}
+	var buf bytes.Buffer
+	if err := fleet.EncodePush(&buf, in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := fleet.DecodePush(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Instance != in.Instance || out.Seq != in.Seq || out.Dropped != in.Dropped ||
+		!bytes.Equal(bytes.TrimSpace(out.Races), bytes.TrimSpace(in.Races)) {
+		t.Errorf("round trip mangled push: %+v", out)
+	}
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

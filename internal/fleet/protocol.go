@@ -1,0 +1,96 @@
+// Package fleet ships race reports off the box — the transport half of
+// the deployment the paper leads with (Section 1): many production
+// instances each sample at a low rate r, and their reports combine at a
+// collector so the fleet-wide detection probability approaches 1.
+//
+// The client side is Reporter: it wraps a pacer.Aggregator, periodically
+// snapshots its exported triage list, and pushes the snapshot to a
+// collector as gzip-compressed JSON over HTTP POST. It is robust by
+// construction — a bounded in-memory queue (oldest snapshot dropped,
+// counted), a per-push timeout, exponential backoff with jitter, and a
+// deadline-bounded flush on Close — and it never touches the network from
+// the detection hot path: races land in the in-memory aggregator and the
+// network work happens on the reporter's own goroutine.
+//
+// The server side is Collector, an http.Handler that accepts pushes,
+// keeps the latest snapshot per instance, and merges them on demand into
+// one fleet-wide triage list. cmd/pacerd mounts it as a daemon.
+//
+// Pushes are cumulative snapshots, not deltas: each push carries the
+// instance's complete triage list so far, and the collector replaces that
+// instance's previous state. Retries and duplicates are therefore
+// idempotent — a lost acknowledgment or a re-sent snapshot can never
+// double-count a race.
+package fleet
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion is the wire schema version carried by every Push. A
+// collector rejects pushes whose version it does not understand (HTTP
+// 400), so mixed-version fleets fail loudly instead of merging garbage.
+const SchemaVersion = 1
+
+// PushPath is the collector endpoint reporters POST snapshots to.
+const PushPath = "/v1/push"
+
+// Push is one reporter → collector message: an instance's complete
+// current triage list.
+type Push struct {
+	// Version is the wire schema version (SchemaVersion).
+	Version int `json:"version"`
+	// Instance uniquely names the reporting instance; the collector keys
+	// its state by this name.
+	Instance string `json:"instance"`
+	// Seq increases with every snapshot an instance takes. The collector
+	// ignores a push whose Seq does not exceed the instance's last
+	// accepted one, which makes re-sent and out-of-order snapshots
+	// harmless.
+	Seq uint64 `json:"seq"`
+	// Dropped counts snapshots this instance's bounded queue has dropped
+	// so far (observability only — dropped snapshots lose no races,
+	// because every later snapshot is a superset).
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Races is the triage list in the Aggregator persistence schema (the
+	// output of pacer.Aggregator.MarshalJSON).
+	Races json.RawMessage `json:"races"`
+}
+
+// EncodePush writes p to w as gzip-compressed JSON.
+func EncodePush(w io.Writer, p *Push) error {
+	zw := gzip.NewWriter(w)
+	if err := json.NewEncoder(zw).Encode(p); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// DecodePush reads one gzip-compressed push and validates its envelope
+// (schema version, non-empty instance).
+func DecodePush(r io.Reader) (*Push, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: push is not gzip: %w", err)
+	}
+	defer zr.Close()
+	var p Push
+	if err := json.NewDecoder(zr).Decode(&p); err != nil {
+		return nil, fmt.Errorf("fleet: decoding push: %w", err)
+	}
+	if p.Version != SchemaVersion {
+		return nil, fmt.Errorf("fleet: unsupported schema version %d (this collector speaks %d)",
+			p.Version, SchemaVersion)
+	}
+	if p.Instance == "" {
+		return nil, errors.New("fleet: push names no instance")
+	}
+	if len(p.Races) == 0 {
+		return nil, errors.New("fleet: push carries no triage list")
+	}
+	return &p, nil
+}

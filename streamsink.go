@@ -1,0 +1,98 @@
+package pacer
+
+import (
+	"io"
+	"sync"
+
+	"pacer/internal/event"
+)
+
+// TraceStream adapts the binary streaming trace encoder to
+// Options.TraceSink, so production recordings stream to an io.Writer
+// (typically a file) with bounded memory instead of accumulating in a
+// slice. Wire its Record method in as the sink and Close it when the
+// recording ends:
+//
+//	ts, err := pacer.StreamSink(f)
+//	d := pacer.New(pacer.Options{TraceSink: ts.Record, ...})
+//	...
+//	err = ts.Close() // writes the end sentinel and flushes
+//
+// The resulting file is readable by event.ReadAnyTrace and by
+// cmd/racereplay (replay and stat accept both trace formats). Encoding
+// errors are sticky: the first one stops the recording and is reported by
+// Err and Close, which keeps the detector's sink callback non-blocking
+// and error-free on the hot path.
+type TraceStream struct {
+	mu     sync.Mutex
+	sw     *event.StreamWriter
+	closed bool
+	err    error
+}
+
+// StreamSink starts a streaming trace on w and returns the adapter. The
+// stream header is written immediately.
+func StreamSink(w io.Writer) (*TraceStream, error) {
+	sw, err := event.NewStreamWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceStream{sw: sw}, nil
+}
+
+// Record appends one event to the stream; it is the Options.TraceSink
+// callback. Events arriving after an error or after Close are dropped.
+// Safe for concurrent use (the adapter serializes), though the detector
+// already delivers sink events one at a time.
+func (s *TraceStream) Record(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return
+	}
+	s.err = s.sw.Write(e)
+}
+
+// Count returns the number of events recorded so far.
+func (s *TraceStream) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sw.Count()
+}
+
+// Err returns the first error the stream encountered, if any.
+func (s *TraceStream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Flush pushes buffered events to the underlying writer without ending
+// the stream, bounding data loss on a crash.
+func (s *TraceStream) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return s.err
+	}
+	s.err = s.sw.Flush()
+	return s.err
+}
+
+// Close writes the end sentinel and flushes, then reports the recording's
+// first error, if any (a recording that errored is left without its
+// sentinel, so readers detect it as truncated). Close is idempotent; the
+// underlying writer is not closed.
+func (s *TraceStream) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.sw.Close()
+	return s.err
+}
