@@ -47,7 +47,10 @@ type AggregatedRace struct {
 // separate triage entries. When the sites swap into canonical order the
 // access-kind pair swaps with them (a write-read observed as s2-then-s1 is
 // the read-write on (s1, s2)), so the two temporal orderings of one static
-// race still collapse into a single entry.
+// race still collapse into a single entry. When both accesses come from
+// the same site the swap never fires, so the mixed kinds are canonicalized
+// directly — write-read and read-write at (s, s) are the same static race
+// observed in the two temporal orders.
 func keyOf(r Race) aggKey {
 	a, b := r.FirstSite, r.SecondSite
 	k := r.Kind
@@ -59,6 +62,9 @@ func keyOf(r Race) aggKey {
 		case ReadWrite:
 			k = WriteRead
 		}
+	}
+	if a == b && k == WriteRead {
+		k = ReadWrite
 	}
 	return aggKey{v: r.Var, kind: k, a: a, b: b}
 }

@@ -132,6 +132,21 @@ func TestAggregatorKindDistinct(t *testing.T) {
 	if ar := agg2.Races()[0]; ar.Count != 2 || ar.Instances != 2 {
 		t.Errorf("mirrored reports aggregated as %+v, want count 2 instances 2", ar)
 	}
+
+	// When both accesses come from one site the swap above never fires,
+	// so the mixed kinds must canonicalize directly: write-read and
+	// read-write at (s, s) are one static race in its two temporal orders.
+	agg3 := pacer.NewAggregator()
+	agg3.Reporter("host-a")(pacer.Race{Var: 3, Kind: pacer.WriteRead,
+		FirstThread: 0, SecondThread: 1, FirstSite: 50, SecondSite: 50})
+	agg3.Reporter("host-b")(pacer.Race{Var: 3, Kind: pacer.ReadWrite,
+		FirstThread: 1, SecondThread: 0, FirstSite: 50, SecondSite: 50})
+	if got := agg3.Distinct(); got != 1 {
+		t.Errorf("temporal mirror orderings at a single site split: %d distinct, want 1", got)
+	}
+	if ar := agg3.Races()[0]; ar.Count != 2 || ar.Instances != 2 {
+		t.Errorf("single-site mirrored reports aggregated as %+v, want count 2 instances 2", ar)
+	}
 }
 
 // TestAggregatorImportJSONRoundTrip exports a triage list, imports it into

@@ -42,15 +42,20 @@ func main() {
 		"grace period for in-flight requests on SIGTERM/SIGINT")
 	maxBody := flag.Int64("max-push-bytes", 8<<20,
 		"largest accepted compressed push body, in bytes")
+	maxInflated := flag.Int64("max-push-decompressed-bytes", 0,
+		"largest accepted push after gzip inflation, in bytes (0 = 10x max-push-bytes)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintf(os.Stderr, "usage: pacerd [-listen addr] [-shutdown-timeout d] [-max-push-bytes n]\n")
+		fmt.Fprintf(os.Stderr, "usage: pacerd [-listen addr] [-shutdown-timeout d] [-max-push-bytes n] [-max-push-decompressed-bytes n]\n")
 		os.Exit(2)
 	}
 	log.SetPrefix("pacerd: ")
 	log.SetFlags(log.LstdFlags | log.LUTC)
 
-	col := fleet.NewCollector(fleet.CollectorOptions{MaxBodyBytes: *maxBody})
+	col := fleet.NewCollector(fleet.CollectorOptions{
+		MaxBodyBytes:         *maxBody,
+		MaxDecompressedBytes: *maxInflated,
+	})
 	srv := &http.Server{
 		Handler:           col.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,

@@ -14,6 +14,10 @@ import (
 type CollectorOptions struct {
 	// MaxBodyBytes bounds the compressed size of one push. Default 8 MiB.
 	MaxBodyBytes int64
+	// MaxDecompressedBytes bounds one push after gzip inflation, so a
+	// small compressed bomb cannot OOM the collector. Default
+	// 10 * MaxBodyBytes.
+	MaxDecompressedBytes int64
 	// Clock supplies last-seen timestamps; tests inject a fake. Default
 	// time.Now.
 	Clock func() time.Time
@@ -22,6 +26,7 @@ type CollectorOptions struct {
 // instanceState is the collector's memory of one instance: its latest
 // snapshot, verbatim, plus envelope bookkeeping.
 type instanceState struct {
+	epoch    uint64
 	seq      uint64
 	dropped  uint64
 	lastSeen time.Time
@@ -36,7 +41,9 @@ type instanceState struct {
 // Because each push replaces its instance's previous snapshot, the merged
 // view is a pure function of per-instance state: retries, duplicates, and
 // re-deliveries cannot double-count, and a crashed-and-restarted reporter
-// simply resumes overwriting its slot. Merging happens in sorted instance
+// simply resumes overwriting its slot — its fresh random epoch resets the
+// sequence tracking, so its restarted seq numbering is never mistaken for
+// the dead process's stale pushes. Merging happens in sorted instance
 // order, so the merged output — including which instance gets first-seen
 // attribution for a race several instances reported — is deterministic
 // for a given set of snapshots.
@@ -54,6 +61,9 @@ type Collector struct {
 func NewCollector(opts CollectorOptions) *Collector {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 8 << 20
+	}
+	if opts.MaxDecompressedBytes <= 0 {
+		opts.MaxDecompressedBytes = 10 * opts.MaxBodyBytes
 	}
 	if opts.Clock == nil {
 		opts.Clock = time.Now
@@ -84,7 +94,7 @@ func (c *Collector) handlePush(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "push must POST", http.StatusMethodNotAllowed)
 		return
 	}
-	p, err := DecodePush(http.MaxBytesReader(w, req.Body, c.opts.MaxBodyBytes))
+	p, err := DecodePush(http.MaxBytesReader(w, req.Body, c.opts.MaxBodyBytes), c.opts.MaxDecompressedBytes)
 	if err == nil {
 		// Reject triage lists the merge path could not consume, while the
 		// reporter is still around to hear about it.
@@ -105,15 +115,19 @@ func (c *Collector) handlePush(w http.ResponseWriter, req *http.Request) {
 		c.instances[p.Instance] = st
 	}
 	st.lastSeen = c.opts.Clock()
-	if p.Seq <= st.seq && st.races != nil {
-		// A retry of something already absorbed, or an out-of-order
-		// delivery superseded by a newer snapshot: acknowledge without
-		// touching state, so the reporter stops re-sending.
+	if p.Epoch == st.epoch && p.Seq <= st.seq && st.races != nil {
+		// Same process: a retry of something already absorbed, or an
+		// out-of-order delivery superseded by a newer snapshot.
+		// Acknowledge without touching state, so the reporter stops
+		// re-sending. A different epoch is a restarted (or replacement)
+		// process whose seq numbering started over — its push is fresh
+		// state, never stale, however small its seq.
 		c.stale++
 		c.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	st.epoch = p.Epoch
 	st.seq = p.Seq
 	st.dropped = p.Dropped
 	st.races = p.Races
@@ -186,9 +200,11 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	c.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 
-	distinct := 0
+	distinct, mergeFailing := 0, 0
 	if agg, err := c.Merged(); err == nil {
 		distinct = agg.Distinct()
+	} else {
+		mergeFailing = 1
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -204,9 +220,14 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintf(w, "# HELP pacer_collector_instances Instances with a snapshot on file.\n")
 	fmt.Fprintf(w, "# TYPE pacer_collector_instances gauge\n")
 	fmt.Fprintf(w, "pacer_collector_instances %d\n", len(rows))
-	fmt.Fprintf(w, "# HELP pacer_collector_distinct_races Distinct races in the merged fleet view.\n")
+	fmt.Fprintf(w, "# HELP pacer_collector_merge_failing 1 when the fleet-wide merge errors (collector-side snapshot corruption; /races is returning 500), else 0.\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_merge_failing gauge\n")
+	fmt.Fprintf(w, "pacer_collector_merge_failing %d\n", mergeFailing)
+	fmt.Fprintf(w, "# HELP pacer_collector_distinct_races Distinct races in the merged fleet view. Absent while the merge is failing, so dashboards never read a broken merge as zero races.\n")
 	fmt.Fprintf(w, "# TYPE pacer_collector_distinct_races gauge\n")
-	fmt.Fprintf(w, "pacer_collector_distinct_races %d\n", distinct)
+	if mergeFailing == 0 {
+		fmt.Fprintf(w, "pacer_collector_distinct_races %d\n", distinct)
+	}
 	fmt.Fprintf(w, "# HELP pacer_collector_instance_last_seen_timestamp_seconds Unix time of each instance's last push.\n")
 	fmt.Fprintf(w, "# TYPE pacer_collector_instance_last_seen_timestamp_seconds gauge\n")
 	for _, row := range rows {

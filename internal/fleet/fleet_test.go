@@ -5,6 +5,7 @@ package fleet_test
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -179,6 +180,7 @@ func TestFleetRoundTrip(t *testing.T) {
 	for _, want := range []string{
 		"pacer_collector_instances 4",
 		"pacer_collector_distinct_races 11",
+		"pacer_collector_merge_failing 0",
 		`pacer_collector_instance_last_seen_timestamp_seconds{instance="inst-a"}`,
 	} {
 		if !strings.Contains(metrics, want) {
@@ -322,6 +324,106 @@ func TestFleetCollectorIdempotent(t *testing.T) {
 	}
 }
 
+// TestFleetCollectorEpochRestart pins the restart semantics: a push in a
+// new epoch is fresh state however small its seq (a restarted process
+// reusing its instance name restarts its numbering at 1), while within
+// one epoch the stale-seq dedup still holds.
+func TestFleetCollectorEpochRestart(t *testing.T) {
+	col := fleet.NewCollector(fleet.CollectorOptions{})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	old := pacer.NewAggregator()
+	old.Reporter("inst-x")(pacer.Race{Var: 1, Kind: pacer.WriteRead, FirstSite: 10, SecondSite: 11})
+	oldRaces, _ := json.Marshal(old)
+	fresh := pacer.NewAggregator()
+	fresh.Reporter("inst-x")(pacer.Race{Var: 2, Kind: pacer.WriteRead, FirstSite: 20, SecondSite: 21})
+	freshRaces, _ := json.Marshal(fresh)
+
+	push := func(epoch, seq uint64, races []byte) {
+		t.Helper()
+		var body bytes.Buffer
+		err := fleet.EncodePush(&body, &fleet.Push{
+			Version: fleet.SchemaVersion, Instance: "inst-x", Epoch: epoch, Seq: seq, Races: races,
+		})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		resp, err := http.Post(srv.URL+fleet.PushPath, "application/json", &body)
+		if err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("push epoch %d seq %d: status %d", epoch, seq, resp.StatusCode)
+		}
+	}
+
+	// The dead process got as far as seq 7 in epoch 1000.
+	push(1000, 7, oldRaces)
+	// Its replacement starts over at seq 1 in epoch 2000; the collector
+	// must take the new snapshot, not discard it as stale.
+	push(2000, 1, freshRaces)
+	want, _ := json.Marshal(fresh)
+	if got := bytes.TrimSpace(httpGet(t, srv.URL+"/races")); !bytes.Equal(got, want) {
+		t.Fatalf("restarted instance's snapshot dropped as stale:\n got %s\nwant %s", got, want)
+	}
+	// Within the new epoch the usual dedup applies: a re-delivered seq-1
+	// snapshot carrying the old races must not regress the state.
+	push(2000, 1, oldRaces)
+	if got := bytes.TrimSpace(httpGet(t, srv.URL+"/races")); !bytes.Equal(got, want) {
+		t.Errorf("same-epoch stale push changed the merged view: %s", got)
+	}
+}
+
+// TestFleetReporterRestartSameInstance is the scenario from the field: a
+// containerized process (hostname+pid names collapse — pid is always 1)
+// dies after reporting, restarts under the same instance name, and finds
+// new races. Its reports must reach the collector even though its seq
+// numbering restarted below the dead process's.
+func TestFleetReporterRestartSameInstance(t *testing.T) {
+	col := fleet.NewCollector(fleet.CollectorOptions{})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	report := func(v pacer.VarID) {
+		t.Helper()
+		agg := pacer.NewAggregator()
+		rep, err := fleet.NewReporter(agg, fleet.ReporterOptions{
+			Collector: srv.URL,
+			Instance:  "app-1", // both lives of the process share this name
+			Interval:  time.Hour,
+			Timeout:   2 * time.Second,
+			Seed:      9,
+		})
+		if err != nil {
+			t.Fatalf("reporter: %v", err)
+		}
+		agg.Reporter("app-1")(pacer.Race{Var: v, Kind: pacer.WriteRead,
+			FirstSite: pacer.SiteID(10 * v), SecondSite: pacer.SiteID(10*v + 1)})
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rep.Close(ctx); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+
+	report(1) // first life: pushes var-1 race as seq 1
+	report(2) // restarted life: pushes var-2 race, also as seq 1
+
+	var merged []struct {
+		Var uint32 `json:"var"`
+	}
+	body := httpGet(t, srv.URL+"/races")
+	if err := json.Unmarshal(body, &merged); err != nil {
+		t.Fatalf("parsing /races: %v", err)
+	}
+	if len(merged) != 1 || merged[0].Var != 2 {
+		t.Fatalf("restarted reporter's races lost — /races holds %s, want the var-2 race", body)
+	}
+}
+
 // TestFleetCollectorRejectsGarbage covers the protocol's failure modes.
 func TestFleetCollectorRejectsGarbage(t *testing.T) {
 	col := fleet.NewCollector(fleet.CollectorOptions{})
@@ -379,6 +481,7 @@ func TestFleetPushEncoding(t *testing.T) {
 	in := &fleet.Push{
 		Version:  fleet.SchemaVersion,
 		Instance: "inst-9",
+		Epoch:    77,
 		Seq:      41,
 		Dropped:  3,
 		Races:    json.RawMessage(`[{"var":1,"kind":"write-read","first_site":2,"second_site":3,"first_thread":0,"second_thread":1,"count":5,"instances":1,"first_instance":"inst-9"}]`),
@@ -387,13 +490,78 @@ func TestFleetPushEncoding(t *testing.T) {
 	if err := fleet.EncodePush(&buf, in); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	out, err := fleet.DecodePush(&buf)
+	out, err := fleet.DecodePush(&buf, 0)
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if out.Instance != in.Instance || out.Seq != in.Seq || out.Dropped != in.Dropped ||
+	if out.Instance != in.Instance || out.Epoch != in.Epoch || out.Seq != in.Seq || out.Dropped != in.Dropped ||
 		!bytes.Equal(bytes.TrimSpace(out.Races), bytes.TrimSpace(in.Races)) {
 		t.Errorf("round trip mangled push: %+v", out)
+	}
+}
+
+// bombPush hand-builds a gzip push whose compressed body is tiny but
+// whose inflated size is just over 1 MiB: a megabyte of JSON whitespace
+// inside the races array compresses ~1000:1. (EncodePush cannot produce
+// this — json.Marshal compacts RawMessage — which is exactly why the
+// collector must not trust the encoder on the other end.)
+func bombPush(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	for _, part := range [][]byte{
+		[]byte(`{"version":1,"instance":"inst-bomb","seq":1,"races":[`),
+		bytes.Repeat([]byte(" "), 1<<20),
+		[]byte(`]}`),
+	} {
+		if _, err := zw.Write(part); err != nil {
+			t.Fatalf("building bomb: %v", err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatalf("building bomb: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestFleetDecodePushDecompressedCap rejects a decompression bomb: a push
+// whose compressed body is tiny but whose inflated size exceeds the cap
+// must fail with a size error, not expand in memory.
+func TestFleetDecodePushDecompressedCap(t *testing.T) {
+	bomb := bombPush(t)
+	if _, err := fleet.DecodePush(bytes.NewReader(bomb), 64<<10); err == nil {
+		t.Fatalf("%d compressed bytes inflating past the 64 KiB cap were accepted", len(bomb))
+	} else if !strings.Contains(err.Error(), "decompressed") {
+		t.Errorf("bomb rejected for the wrong reason: %v", err)
+	}
+	// The same push passes under a cap that accommodates it.
+	if _, err := fleet.DecodePush(bytes.NewReader(bomb), 2<<20); err != nil {
+		t.Errorf("push within the cap rejected: %v", err)
+	}
+}
+
+// TestFleetCollectorDecompressionBomb pins the cap end to end: the
+// collector must 400 a bomb (and count it as a bad push) even though its
+// compressed body is well under MaxBodyBytes.
+func TestFleetCollectorDecompressionBomb(t *testing.T) {
+	col := fleet.NewCollector(fleet.CollectorOptions{
+		MaxBodyBytes:         1 << 20,
+		MaxDecompressedBytes: 64 << 10,
+	})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+fleet.PushPath, "application/json", bytes.NewReader(bombPush(t)))
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bomb got status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(httpGet(t, srv.URL+"/metrics")), "pacer_collector_push_errors_total 1") {
+		t.Errorf("bomb not counted as a push error")
 	}
 }
 

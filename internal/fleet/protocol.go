@@ -47,10 +47,17 @@ type Push struct {
 	// Instance uniquely names the reporting instance; the collector keys
 	// its state by this name.
 	Instance string `json:"instance"`
+	// Epoch is a random per-process boot ID, drawn once when the reporter
+	// starts. A restarted process reuses its instance name (hostname+pid
+	// is pid 1 in every container) but never its epoch, so the collector
+	// can tell a fresh process's seq-1 push from a stale re-delivery and
+	// reset its per-instance sequence tracking instead of dropping the
+	// new process's reports.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Seq increases with every snapshot an instance takes. The collector
 	// ignores a push whose Seq does not exceed the instance's last
-	// accepted one, which makes re-sent and out-of-order snapshots
-	// harmless.
+	// accepted one within the same Epoch, which makes re-sent and
+	// out-of-order snapshots harmless.
 	Seq uint64 `json:"seq"`
 	// Dropped counts snapshots this instance's bounded queue has dropped
 	// so far (observability only — dropped snapshots lose no races,
@@ -70,17 +77,31 @@ func EncodePush(w io.Writer, p *Push) error {
 	return zw.Close()
 }
 
+// DefaultMaxDecompressedBytes caps how far DecodePush will inflate one
+// push when the caller passes no limit of its own.
+const DefaultMaxDecompressedBytes = 64 << 20
+
 // DecodePush reads one gzip-compressed push and validates its envelope
-// (schema version, non-empty instance).
-func DecodePush(r io.Reader) (*Push, error) {
+// (schema version, non-empty instance). maxDecompressed bounds the
+// inflated size — the compressed body alone is not a safe bound, since a
+// kilobyte of gzip can expand to gigabytes and OOM the collector; <= 0
+// means DefaultMaxDecompressedBytes.
+func DecodePush(r io.Reader, maxDecompressed int64) (*Push, error) {
+	if maxDecompressed <= 0 {
+		maxDecompressed = DefaultMaxDecompressedBytes
+	}
 	zr, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: push is not gzip: %w", err)
 	}
 	defer zr.Close()
+	lr := &io.LimitedReader{R: zr, N: maxDecompressed + 1}
 	var p Push
-	if err := json.NewDecoder(zr).Decode(&p); err != nil {
+	if err := json.NewDecoder(lr).Decode(&p); err != nil && lr.N > 0 {
 		return nil, fmt.Errorf("fleet: decoding push: %w", err)
+	}
+	if lr.N <= 0 {
+		return nil, fmt.Errorf("fleet: push exceeds %d bytes decompressed", maxDecompressed)
 	}
 	if p.Version != SchemaVersion {
 		return nil, fmt.Errorf("fleet: unsupported schema version %d (this collector speaks %d)",

@@ -3,6 +3,8 @@ package fleet
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand"
@@ -13,6 +15,19 @@ import (
 	"pacer"
 )
 
+// newEpoch draws the reporter's per-process boot ID. It is deliberately
+// independent of ReporterOptions.Seed: a restarted process runs with the
+// same configuration, and the epoch is the one thing that must differ
+// across restarts (see Push.Epoch). Always nonzero, so a zero epoch on
+// the wire unambiguously means a pre-epoch reporter.
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:]) | 1
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
 // ReporterOptions configure a Reporter. Only Collector and Instance are
 // required.
 type ReporterOptions struct {
@@ -20,7 +35,11 @@ type ReporterOptions struct {
 	Collector string
 	// Instance uniquely names this instance fleet-wide (hostname + pid is
 	// a reasonable choice). Two live instances sharing a name overwrite
-	// each other's snapshots at the collector.
+	// each other's snapshots at the collector. A restarted process may
+	// safely reuse its predecessor's name: each reporter stamps its
+	// pushes with a fresh random epoch, so the collector recognizes the
+	// restart instead of discarding the new process's low sequence
+	// numbers as stale.
 	Instance string
 	// Interval is how often the aggregator is snapshotted and pushed.
 	// Default 15s. Snapshots identical to the last acknowledged one are
@@ -70,6 +89,7 @@ type Reporter struct {
 	agg    *pacer.Aggregator
 	opts   ReporterOptions
 	url    string
+	epoch  uint64 // random boot ID, stamped on every push
 	client *http.Client
 	rng    *rand.Rand // sender goroutine only (then Close, after it exits)
 
@@ -124,6 +144,7 @@ func NewReporter(agg *pacer.Aggregator, opts ReporterOptions) (*Reporter, error)
 		agg:    agg,
 		opts:   opts,
 		url:    opts.Collector + PushPath,
+		epoch:  newEpoch(),
 		client: opts.Client,
 		rng:    rand.New(rand.NewSource(seed)),
 		wake:   make(chan struct{}, 1),
@@ -260,6 +281,7 @@ func (r *Reporter) snapshot() {
 	p := &Push{
 		Version:  SchemaVersion,
 		Instance: r.opts.Instance,
+		Epoch:    r.epoch,
 		Seq:      r.seq,
 		Dropped:  r.stats.Dropped,
 		Races:    races,
