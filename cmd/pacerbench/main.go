@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	pacerbench [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|frontend]
+//	pacerbench [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|frontend|arena]
 //	           [-bench eclipse|hsqldb|xalan|pseudojbb] [-scale 0.2] [-seed 0]
 //
-// The frontend experiment is different in kind: it measures the real
-// wall-clock throughput of the concurrent public API on this machine,
-// comparing the sharded lock-free front-end against the single-mutex
-// baseline across goroutine counts.
+// The frontend and arena experiments are different in kind: they measure
+// the real wall-clock behavior of the concurrent public API on this
+// machine. frontend compares the sharded lock-free front-end against the
+// single-mutex baseline across goroutine counts (with allocations/op and
+// metadata-words columns); arena compares the slab-allocated metadata
+// arena (Options.Arena) against the default heap allocator.
 //
 // -scale multiplies the paper's trial counts (1.0 reproduces the full
 // protocol: 50 fully sampled trials per benchmark, up to 500 trials per
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: all, table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, ablation, frontend")
+		"experiment to run: all, table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, ablation, frontend, arena")
 	benchName := flag.String("bench", "", "restrict to one benchmark (eclipse, hsqldb, xalan, pseudojbb)")
 	scale := flag.Float64("scale", 0.2, "trial-count scale factor (1.0 = the paper's protocol)")
 	seed := flag.Int64("seed", 0, "base seed for all trials")
@@ -194,11 +196,19 @@ func main() {
 		harness.Frontend(harness.FrontendConfig{Ops: ops}).Render(os.Stdout)
 		return nil
 	})
+	section("arena", func() error {
+		ops := int(200_000 * *scale)
+		if ops < 20_000 {
+			ops = 20_000
+		}
+		harness.Arena(harness.ArenaConfig{Ops: ops}).Render(os.Stdout)
+		return nil
+	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "pacerbench: unknown experiment %q (try: %s)\n",
 			*experiment, strings.Join([]string{"all", "table1", "table2", "table3",
-				"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "lineage", "frontend"}, ", "))
+				"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "lineage", "frontend", "arena"}, ", "))
 		os.Exit(2)
 	}
 	fmt.Printf("pacerbench: done in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)

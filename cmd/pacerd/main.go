@@ -12,6 +12,11 @@
 //	GET  /metrics  — Prometheus text metrics (pushes accepted/rejected,
 //	                 instances, distinct races, per-instance last-seen)
 //
+// With -auth-token set, /v1/push additionally requires the matching
+// "Authorization: Bearer <token>" header (reporters send it via
+// ReporterOptions.AuthToken); unauthenticated pushes get 401 and count in
+// the pacer_collector_unauthorized_total metric.
+//
 // pacerd shuts down gracefully on SIGTERM/SIGINT: in-flight requests get
 // -shutdown-timeout to complete before the listener is torn down.
 //
@@ -44,9 +49,11 @@ func main() {
 		"largest accepted compressed push body, in bytes")
 	maxInflated := flag.Int64("max-push-decompressed-bytes", 0,
 		"largest accepted push after gzip inflation, in bytes (0 = 10x max-push-bytes)")
+	authToken := flag.String("auth-token", "",
+		"when set, /v1/push requires 'Authorization: Bearer <token>' with this token (reporters set ReporterOptions.AuthToken)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintf(os.Stderr, "usage: pacerd [-listen addr] [-shutdown-timeout d] [-max-push-bytes n] [-max-push-decompressed-bytes n]\n")
+		fmt.Fprintf(os.Stderr, "usage: pacerd [-listen addr] [-shutdown-timeout d] [-max-push-bytes n] [-max-push-decompressed-bytes n] [-auth-token t]\n")
 		os.Exit(2)
 	}
 	log.SetPrefix("pacerd: ")
@@ -55,7 +62,11 @@ func main() {
 	col := fleet.NewCollector(fleet.CollectorOptions{
 		MaxBodyBytes:         *maxBody,
 		MaxDecompressedBytes: *maxInflated,
+		AuthToken:            *authToken,
 	})
+	if *authToken != "" {
+		log.Printf("push authentication enabled (bearer token)")
+	}
 	srv := &http.Server{
 		Handler:           col.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,

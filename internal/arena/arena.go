@@ -1,0 +1,337 @@
+// Package arena is a shard-aware slab allocator for race-detector
+// metadata. PACER's space proportionality comes from shallow copy-on-write
+// vector clocks and from discarding read/write metadata outside sampling
+// periods (Algorithms 9-13) — which means the analysis constantly allocates
+// and abandons small objects: clock limb arrays cloned at copy-on-write
+// boundaries, per-variable records created at sampled accesses and
+// discarded at the next non-sampled write. At production scale the Go GC
+// and the pointer chasing behind those throwaway objects, not the
+// algorithm, dominate cost. The arena turns that churn into slab reuse:
+//
+//   - Vector-clock storage comes in fixed size classes (power-of-two limb
+//     counts) drawn from per-shard free lists, so the hot path never takes
+//     a global lock.
+//   - Clocks are reference counted through vclock.Retain/Release, which
+//     understands PACER's shallow copy-on-write sharing: a slab shared by a
+//     thread and several locks is recycled only when its last holder
+//     releases it.
+//   - Per-variable state records recycle through Records, a typed free
+//     list striped the same way; a recycled record keeps its spilled
+//     read-map storage, so the map allocation amortizes across recycles.
+//   - Trim performs bulk reclamation at sampling-period boundaries,
+//     handing surplus free slabs back to the GC so arena slack tracks the
+//     sampling rate like the metadata it caches.
+//
+// The arena is purely an allocator: enabling it must not change a single
+// race report. internal/core wires it behind vclock.Allocator and proves
+// that with a differential suite.
+package arena
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pacer/internal/vclock"
+)
+
+// classLimbs are the slab size classes, in 8-byte limbs. The smallest
+// class covers the common case (locks and threads in programs with few
+// threads); the largest covers a clock naming 1024 threads, beyond which
+// allocations fall through to the heap (and their slabs are still pooled
+// by capacity floor on release).
+var classLimbs = [...]int{8, 16, 32, 64, 128, 256, 512, 1024}
+
+const numClasses = len(classLimbs)
+
+// classFor returns the smallest class whose slabs hold n limbs, or -1 when
+// n exceeds the largest class.
+func classFor(n int) int {
+	for c, limbs := range classLimbs {
+		if n <= limbs {
+			return c
+		}
+	}
+	return -1
+}
+
+// classFloor returns the largest class whose slabs fit within capacity
+// limbs, or -1 when the capacity is below the smallest class (such a slab
+// is not worth pooling).
+func classFloor(limbs int) int {
+	for c := numClasses - 1; c >= 0; c-- {
+		if classLimbs[c] <= limbs {
+			return c
+		}
+	}
+	return -1
+}
+
+// Options configure an Arena.
+type Options struct {
+	// Shards is the number of free-list stripes (rounded up to at least 1).
+	// Match the detector's variable-shard count so concurrent shard paths
+	// never contend on one free list.
+	Shards int
+	// MaxFreePerClass bounds each shard's free list per size class; a
+	// release finding a full list drops the slab to the GC. Default 64.
+	MaxFreePerClass int
+	// TrimKeepPerClass is how many free slabs per shard and class Trim
+	// retains; the surplus is handed back to the GC. Default 8.
+	TrimKeepPerClass int
+	// Debug maintains a ledger of outstanding slabs so invariant tests can
+	// prove every acquired slab is released exactly once. Not for
+	// production: the ledger serializes every acquire and release.
+	Debug bool
+}
+
+func (o *Options) fill() {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.MaxFreePerClass <= 0 {
+		o.MaxFreePerClass = 64
+	}
+	if o.TrimKeepPerClass <= 0 {
+		o.TrimKeepPerClass = 8
+	}
+}
+
+// Stats is a point-in-time snapshot of the arena's traffic and occupancy.
+// Acquires = Recycles + Misses, and Live = Acquires - Releases, across
+// clocks and records alike.
+type Stats struct {
+	// Acquires and Releases count slab acquisitions and returns.
+	Acquires, Releases uint64
+	// Recycles counts acquisitions served from a free list; Misses counts
+	// acquisitions that allocated fresh storage.
+	Recycles, Misses uint64
+	// Live is the number of slabs currently acquired; Free the number
+	// parked on free lists.
+	Live, Free uint64
+	// Trimmed counts free slabs handed back to the GC by Trim or by a
+	// release that found its free list full.
+	Trimmed uint64
+}
+
+// Arena is the allocator. Its methods are safe for concurrent use; the
+// free lists are striped per shard so concurrent callers that pass
+// distinct shard indices never contend.
+type Arena struct {
+	opts   Options
+	shards []vcShard
+	// handles[i] is shard i's vclock.Allocator. Preallocated so storing
+	// one in a clock never allocates.
+	handles []*shardAlloc
+
+	acquires atomic.Uint64
+	releases atomic.Uint64
+	recycles atomic.Uint64
+	misses   atomic.Uint64
+	trimmed  atomic.Uint64
+	free     atomic.Int64
+
+	ledger *ledger // nil unless Options.Debug
+}
+
+// vcShard is one stripe of vector-clock free lists. The trailing pad keeps
+// stripes on distinct cache lines.
+type vcShard struct {
+	mu   sync.Mutex
+	free [numClasses][]*vclock.VC
+	_    [64]byte
+}
+
+// shardAlloc is shard idx's face of the arena: the vclock.Allocator stored
+// inside every clock the shard hands out, so Release routes a slab back to
+// its home stripe without any global state.
+type shardAlloc struct {
+	a   *Arena
+	idx int
+}
+
+func (s *shardAlloc) NewVC(n int) *vclock.VC { return s.a.newVC(s, n) }
+func (s *shardAlloc) Recycle(v *vclock.VC)   { s.a.recycleVC(s, v) }
+
+// New returns an arena with the given options.
+func New(opts Options) *Arena {
+	opts.fill()
+	a := &Arena{
+		opts:    opts,
+		shards:  make([]vcShard, opts.Shards),
+		handles: make([]*shardAlloc, opts.Shards),
+	}
+	for i := range a.handles {
+		a.handles[i] = &shardAlloc{a: a, idx: i}
+	}
+	if opts.Debug {
+		a.ledger = newLedger()
+	}
+	return a
+}
+
+// Shards returns the number of free-list stripes.
+func (a *Arena) Shards() int { return len(a.shards) }
+
+// Shard returns stripe i's vclock.Allocator (i taken mod the stripe
+// count). Clocks it allocates return to stripe i when released, whichever
+// goroutine releases them.
+func (a *Arena) Shard(i int) vclock.Allocator {
+	return a.handles[i%len(a.handles)]
+}
+
+func (a *Arena) newVC(h *shardAlloc, n int) *vclock.VC {
+	a.acquires.Add(1)
+	if c := classFor(n); c >= 0 {
+		sh := &a.shards[h.idx]
+		sh.mu.Lock()
+		if l := len(sh.free[c]); l > 0 {
+			v := sh.free[c][l-1]
+			sh.free[c][l-1] = nil
+			sh.free[c] = sh.free[c][:l-1]
+			sh.mu.Unlock()
+			a.free.Add(-1)
+			a.recycles.Add(1)
+			v.Reinit(n)
+			if a.ledger != nil {
+				a.ledger.add(v)
+			}
+			return v
+		}
+		sh.mu.Unlock()
+		a.misses.Add(1)
+		v := vclock.NewManaged(make([]uint64, n, classLimbs[c]), h)
+		if a.ledger != nil {
+			a.ledger.add(v)
+		}
+		return v
+	}
+	// Wider than the largest class: exact heap storage, still arena-owned
+	// (classFloor pools it on release).
+	a.misses.Add(1)
+	v := vclock.NewManaged(make([]uint64, n), h)
+	if a.ledger != nil {
+		a.ledger.add(v)
+	}
+	return v
+}
+
+func (a *Arena) recycleVC(h *shardAlloc, v *vclock.VC) {
+	a.releases.Add(1)
+	if a.ledger != nil {
+		a.ledger.remove(v)
+	}
+	c := classFloor(v.CapLimbs())
+	if c < 0 {
+		// Below the smallest class (a CopyFrom re-backed the clock with a
+		// tiny heap slice): not worth pooling.
+		a.trimmed.Add(1)
+		return
+	}
+	v.Scrub()
+	sh := &a.shards[h.idx]
+	sh.mu.Lock()
+	if len(sh.free[c]) < a.opts.MaxFreePerClass {
+		sh.free[c] = append(sh.free[c], v)
+		sh.mu.Unlock()
+		a.free.Add(1)
+		return
+	}
+	sh.mu.Unlock()
+	a.trimmed.Add(1)
+}
+
+// Trim is the bulk-reclamation hook: it walks every stripe and hands free
+// slabs beyond Options.TrimKeepPerClass (per stripe and class) back to the
+// GC. PACER calls it at sampling-period boundaries (send), so arena slack
+// shrinks with the metadata it caches instead of ratcheting up to the
+// busiest period ever seen. It returns the number of slabs reclaimed.
+func (a *Arena) Trim() int {
+	keep := a.opts.TrimKeepPerClass
+	dropped := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for c := range sh.free {
+			if n := len(sh.free[c]); n > keep {
+				for j := keep; j < n; j++ {
+					sh.free[c][j] = nil
+				}
+				sh.free[c] = sh.free[c][:keep]
+				dropped += n - keep
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if dropped > 0 {
+		a.free.Add(int64(-dropped))
+		a.trimmed.Add(uint64(dropped))
+	}
+	return dropped
+}
+
+// Stats returns a snapshot of the arena's counters. Under concurrent use
+// the fields are each individually accurate but not mutually atomic.
+func (a *Arena) Stats() Stats {
+	acq, rel := a.acquires.Load(), a.releases.Load()
+	live := uint64(0)
+	if acq > rel {
+		live = acq - rel
+	}
+	free := a.free.Load()
+	if free < 0 {
+		free = 0
+	}
+	return Stats{
+		Acquires: acq,
+		Releases: rel,
+		Recycles: a.recycles.Load(),
+		Misses:   a.misses.Load(),
+		Live:     live,
+		Free:     uint64(free),
+		Trimmed:  a.trimmed.Load(),
+	}
+}
+
+// Outstanding returns the number of slabs currently acquired according to
+// the debug ledger, and whether the ledger is enabled. Invariant tests
+// compare it against the detector's reachable metadata.
+func (a *Arena) Outstanding() (int, bool) {
+	if a.ledger == nil {
+		return 0, false
+	}
+	return a.ledger.size(), true
+}
+
+// ledger is the debug accounting of outstanding slabs. It stores
+// identities (pointers boxed as any), so clocks and records share one
+// ledger.
+type ledger struct {
+	mu   sync.Mutex
+	live map[any]struct{}
+}
+
+func newLedger() *ledger { return &ledger{live: make(map[any]struct{})} }
+
+func (l *ledger) add(x any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.live[x]; dup {
+		panic("arena: slab acquired twice without a release (ledger corruption)")
+	}
+	l.live[x] = struct{}{}
+}
+
+func (l *ledger) remove(x any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.live[x]; !ok {
+		panic("arena: release of a slab the ledger does not hold (double free?)")
+	}
+	delete(l.live, x)
+}
+
+func (l *ledger) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.live)
+}

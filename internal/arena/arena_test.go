@@ -1,0 +1,336 @@
+package arena
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pacer/internal/vclock"
+)
+
+func TestClassSelection(t *testing.T) {
+	cases := []struct {
+		n, ceil, floor int
+	}{
+		{0, 0, -1},
+		{1, 0, -1},
+		{7, 0, -1},
+		{8, 0, 0},
+		{9, 1, 0},
+		{16, 1, 1},
+		{17, 2, 1},
+		{1000, 7, 6},
+		{1024, 7, 7},
+		{1025, -1, 7},
+		{4096, -1, 7},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.ceil {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.ceil)
+		}
+		if got := classFloor(c.n); got != c.floor {
+			t.Errorf("classFloor(%d) = %d, want %d", c.n, got, c.floor)
+		}
+	}
+}
+
+func TestAcquireRecycleRoundTrip(t *testing.T) {
+	a := New(Options{Shards: 2})
+	al := a.Shard(0)
+
+	v := al.NewVC(3)
+	if !v.Managed() {
+		t.Fatal("arena clock not managed")
+	}
+	if v.Len() != 3 || v.CapLimbs() != 8 {
+		t.Fatalf("len=%d cap=%d, want 3/8", v.Len(), v.CapLimbs())
+	}
+	v.Set(2, 42)
+	v.Release()
+
+	st := a.Stats()
+	if st.Acquires != 1 || st.Releases != 1 || st.Misses != 1 || st.Free != 1 || st.Live != 0 {
+		t.Fatalf("stats after round trip: %+v", st)
+	}
+
+	// The recycled slab comes back zeroed at the new length.
+	w := al.NewVC(5)
+	if w != v {
+		t.Fatal("expected the recycled slab back")
+	}
+	if w.Len() != 5 {
+		t.Fatalf("recycled len = %d, want 5", w.Len())
+	}
+	for i := 0; i < 8; i++ {
+		if got := w.Get(vclock.Thread(i)); got != 0 {
+			t.Fatalf("recycled slab not scrubbed: C(%d)=%d", i, got)
+		}
+	}
+	if w.Shared() {
+		t.Fatal("recycled slab still marked shared")
+	}
+	st = a.Stats()
+	if st.Recycles != 1 || st.Live != 1 {
+		t.Fatalf("stats after recycle hit: %+v", st)
+	}
+	w.Release()
+}
+
+func TestSharedRefcount(t *testing.T) {
+	a := New(Options{})
+	al := a.Shard(0)
+
+	v := al.NewVC(4)
+	v.SetShared()
+	v.Retain() // second holder (a lock sharing the thread's clock)
+	v.Retain() // third holder
+	if v.Holders() != 3 {
+		t.Fatalf("holders = %d, want 3", v.Holders())
+	}
+	v.Release()
+	v.Release()
+	if a.Stats().Free != 0 {
+		t.Fatal("slab recycled while a holder remained")
+	}
+	v.Release()
+	if a.Stats().Free != 1 {
+		t.Fatal("slab not recycled after last release")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(Options{})
+	v := a.Shard(0).NewVC(4)
+	v.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of a recycled clock did not panic")
+		}
+	}()
+	v.Release()
+}
+
+func TestStaleRetainPanics(t *testing.T) {
+	a := New(Options{})
+	v := a.Shard(0).NewVC(4)
+	v.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("retain of a recycled clock did not panic")
+		}
+	}()
+	v.Retain()
+}
+
+func TestFreeListBound(t *testing.T) {
+	a := New(Options{Shards: 1, MaxFreePerClass: 2})
+	al := a.Shard(0)
+	vs := make([]*vclock.VC, 5)
+	for i := range vs {
+		vs[i] = al.NewVC(4)
+	}
+	for _, v := range vs {
+		v.Release()
+	}
+	st := a.Stats()
+	if st.Free != 2 {
+		t.Fatalf("free = %d, want MaxFreePerClass bound of 2", st.Free)
+	}
+	if st.Trimmed != 3 {
+		t.Fatalf("trimmed = %d, want 3 dropped past the bound", st.Trimmed)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	a := New(Options{Shards: 1, MaxFreePerClass: 16, TrimKeepPerClass: 2})
+	al := a.Shard(0)
+	vs := make([]*vclock.VC, 10)
+	for i := range vs {
+		vs[i] = al.NewVC(4)
+	}
+	for _, v := range vs {
+		v.Release()
+	}
+	if st := a.Stats(); st.Free != 10 {
+		t.Fatalf("free before trim = %d, want 10", st.Free)
+	}
+	if n := a.Trim(); n != 8 {
+		t.Fatalf("Trim dropped %d, want 8", n)
+	}
+	st := a.Stats()
+	if st.Free != 2 || st.Trimmed != 8 {
+		t.Fatalf("stats after trim: %+v", st)
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	a := New(Options{})
+	al := a.Shard(0)
+	v := al.NewVC(2000) // wider than the largest class
+	if v.CapLimbs() != 2000 {
+		t.Fatalf("oversize cap = %d, want exact 2000", v.CapLimbs())
+	}
+	v.Release()
+	// Pooled under the capacity floor (class 1024).
+	w := al.NewVC(1024)
+	if w != v {
+		t.Fatal("oversize slab not pooled by capacity floor")
+	}
+	w.Release()
+}
+
+func TestCloneUsesArena(t *testing.T) {
+	a := New(Options{})
+	v := a.Shard(0).NewVC(3)
+	v.Set(1, 7)
+	c := v.Clone()
+	if !c.Managed() {
+		t.Fatal("clone of a managed clock fell back to the heap")
+	}
+	if c.Get(1) != 7 || c.Shared() {
+		t.Fatalf("clone state wrong: %v shared=%v", c, c.Shared())
+	}
+	v.Release()
+	c.Release()
+	if st := a.Stats(); st.Live != 0 {
+		t.Fatalf("live = %d after releasing all, want 0", st.Live)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	a := New(Options{Debug: true})
+	al := a.Shard(0)
+	v := al.NewVC(4)
+	w := al.NewVC(4)
+	if n, ok := a.Outstanding(); !ok || n != 2 {
+		t.Fatalf("outstanding = %d,%v, want 2,true", n, ok)
+	}
+	v.Release()
+	if n, _ := a.Outstanding(); n != 1 {
+		t.Fatalf("outstanding = %d after one release, want 1", n)
+	}
+	w.Release()
+	if n, _ := a.Outstanding(); n != 0 {
+		t.Fatalf("outstanding = %d after all releases, want 0", n)
+	}
+}
+
+type testRec struct {
+	n     int
+	spare map[int]int
+}
+
+func TestRecordsPool(t *testing.T) {
+	a := New(Options{Shards: 2, MaxFreePerClass: 4})
+	pool := NewRecords[testRec](a, func(r *testRec) { r.n = 0 })
+
+	r1 := pool.Get(0)
+	r1.n = 9
+	r1.spare = map[int]int{1: 1}
+	pool.Put(0, r1)
+
+	r2 := pool.Get(0)
+	if r2 != r1 {
+		t.Fatal("record not recycled")
+	}
+	if r2.n != 0 {
+		t.Fatal("reset did not run")
+	}
+	if r2.spare == nil {
+		t.Fatal("spare storage not preserved across recycle")
+	}
+	pool.Put(0, r2)
+
+	// Trim drops free records past TrimKeepPerClass.
+	a2 := New(Options{Shards: 1, MaxFreePerClass: 16, TrimKeepPerClass: 1})
+	p2 := NewRecords[testRec](a2, nil)
+	recs := make([]*testRec, 6)
+	for i := range recs {
+		recs[i] = p2.Get(0)
+	}
+	for _, r := range recs {
+		p2.Put(0, r)
+	}
+	if n := p2.Trim(); n != 5 {
+		t.Fatalf("Records.Trim dropped %d, want 5", n)
+	}
+}
+
+func TestRecordsDoubleFreePanicsWithLedger(t *testing.T) {
+	a := New(Options{Debug: true})
+	pool := NewRecords[testRec](a, nil)
+	r := pool.Get(0)
+	pool.Put(0, r)
+	// Drain the free list so the second Put is a true double free, not a
+	// recycle of a re-acquired record.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic under the debug ledger")
+		}
+	}()
+	pool.Put(0, r)
+}
+
+// TestConcurrentStress hammers every shard from many goroutines under -race:
+// acquire, mutate, retain/release from a second goroutine's perspective,
+// recycle, and trim concurrently. The assertions are the arena's own
+// invariant checks (scrub poison, ledger panics) plus final accounting.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 3000
+	)
+	a := New(Options{Shards: 4, MaxFreePerClass: 8, TrimKeepPerClass: 2})
+	pool := NewRecords[testRec](a, func(r *testRec) { r.n = 0 })
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			al := a.Shard(w)
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					v := al.NewVC(1 + rng.Intn(40))
+					v.Set(vclock.Thread(rng.Intn(8)), uint64(i))
+					c := v.Clone()
+					v.Release()
+					c.Release()
+				case 1:
+					v := al.NewVC(4)
+					v.Retain()
+					v.Release()
+					v.Release()
+				case 2:
+					r := pool.Get(w)
+					r.n = i
+					pool.Put(w, r)
+				case 3:
+					if i%256 == 0 {
+						a.Trim()
+						pool.Trim()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Live != 0 {
+		t.Fatalf("live = %d after stress, want 0 (%+v)", st.Live, st)
+	}
+	if st.Acquires != st.Releases {
+		t.Fatalf("acquires %d != releases %d", st.Acquires, st.Releases)
+	}
+	if st.Recycles+st.Misses != st.Acquires {
+		t.Fatalf("recycles+misses = %d, want acquires %d", st.Recycles+st.Misses, st.Acquires)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	// Smoke: Stats is a plain struct usable with %+v in logs and benches.
+	a := New(Options{})
+	_ = fmt.Sprintf("%+v", a.Stats())
+}

@@ -1,0 +1,110 @@
+package arena
+
+import "sync"
+
+// Records is a typed per-shard free list for fixed-shape metadata records
+// (the detector's per-variable state). It shares the owning Arena's
+// accounting and debug ledger, so Stats and Outstanding cover records and
+// clocks uniformly.
+//
+// A recycled record is handed to Reset before parking so the caller can
+// scrub algorithm state while keeping amortizable storage (a read map's
+// spilled map survives recycling, for example).
+type Records[T any] struct {
+	arena  *Arena
+	reset  func(*T)
+	shards []recShard[T]
+}
+
+type recShard[T any] struct {
+	mu   sync.Mutex
+	free []*T
+	_    [64]byte
+}
+
+// NewRecords returns a record pool striped like the arena. reset scrubs a
+// record before it is parked for reuse; nil means records are reused as-is.
+func NewRecords[T any](a *Arena, reset func(*T)) *Records[T] {
+	return &Records[T]{
+		arena:  a,
+		reset:  reset,
+		shards: make([]recShard[T], len(a.shards)),
+	}
+}
+
+// Get returns a record from shard i's free list, or a fresh zero record on
+// a miss. Recycled records have been through reset; anything reset leaves
+// in place (spare maps, slices) is intentionally preserved.
+func (r *Records[T]) Get(i int) *T {
+	a := r.arena
+	a.acquires.Add(1)
+	sh := &r.shards[i%len(r.shards)]
+	sh.mu.Lock()
+	if l := len(sh.free); l > 0 {
+		rec := sh.free[l-1]
+		sh.free[l-1] = nil
+		sh.free = sh.free[:l-1]
+		sh.mu.Unlock()
+		a.free.Add(-1)
+		a.recycles.Add(1)
+		if a.ledger != nil {
+			a.ledger.add(rec)
+		}
+		return rec
+	}
+	sh.mu.Unlock()
+	a.misses.Add(1)
+	rec := new(T)
+	if a.ledger != nil {
+		a.ledger.add(rec)
+	}
+	return rec
+}
+
+// Put returns a record to shard i's free list (dropping it to the GC when
+// the list is full). The caller must not use the record afterwards.
+func (r *Records[T]) Put(i int, rec *T) {
+	a := r.arena
+	a.releases.Add(1)
+	if a.ledger != nil {
+		a.ledger.remove(rec)
+	}
+	if r.reset != nil {
+		r.reset(rec)
+	}
+	sh := &r.shards[i%len(r.shards)]
+	sh.mu.Lock()
+	if len(sh.free) < a.opts.MaxFreePerClass {
+		sh.free = append(sh.free, rec)
+		sh.mu.Unlock()
+		a.free.Add(1)
+		return
+	}
+	sh.mu.Unlock()
+	a.trimmed.Add(1)
+}
+
+// Trim drops free records beyond the arena's TrimKeepPerClass per shard,
+// mirroring Arena.Trim for the record pool. It returns the number dropped.
+func (r *Records[T]) Trim() int {
+	a := r.arena
+	keep := a.opts.TrimKeepPerClass
+	dropped := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		if n := len(sh.free); n > keep {
+			for j := keep; j < n; j++ {
+				sh.free[j] = nil
+			}
+			sh.free = sh.free[:keep]
+			dropped += n - keep
+		}
+		sh.mu.Unlock()
+	}
+	if dropped > 0 {
+		a.free.Add(int64(-dropped))
+		a.trimmed.Add(uint64(dropped))
+	}
+	return dropped
+}

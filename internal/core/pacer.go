@@ -24,6 +24,7 @@ package core
 import (
 	"sync/atomic"
 
+	"pacer/internal/arena"
 	"pacer/internal/detector"
 	"pacer/internal/event"
 	"pacer/internal/vclock"
@@ -50,6 +51,18 @@ type Options struct {
 	// distinct shards may run concurrently under the locking contract
 	// described on Detector.
 	Shards int
+	// Arena backs vector clocks and variable records with a slab arena
+	// (internal/arena) striped like the variable shards: metadata the
+	// algorithm discards at non-sampled writes and send is recycled through
+	// per-shard free lists instead of churning the garbage collector. Race
+	// reports are identical either way (the differential suite enforces
+	// this); only allocation behavior changes.
+	Arena bool
+	// ArenaDebug additionally maintains the arena's outstanding-slab
+	// ledger, so invariant tests can prove every acquired slab is released
+	// exactly once. Implies Arena semantics; test-only (the ledger
+	// serializes every acquire and release).
+	ArenaDebug bool
 }
 
 const (
@@ -79,10 +92,13 @@ type threadMeta struct {
 }
 
 // syncMeta is the metadata for a lock or volatile: its clock (possibly
-// shared with a thread) and its version epoch.
+// shared with a thread) and its version epoch. alloc is the object's home
+// slab allocator (nil on the heap path): a deep copy that must replace a
+// shared clock draws the replacement from it.
 type syncMeta struct {
 	clock  *vclock.VC
 	vepoch vclock.VersionEpoch
+	alloc  vclock.Allocator
 }
 
 // varMeta is the read/write metadata for one data variable. An entry
@@ -138,6 +154,10 @@ type Detector struct {
 	stats    detector.Counters // sync-path counters; access counters live per shard
 	snap     detector.Counters // Stats() aggregation scratch
 	opts     Options
+	// arena and varPool are the slab allocator and per-variable record pool
+	// behind Options.Arena; both nil on the default heap path.
+	arena   *arena.Arena
+	varPool *arena.Records[varMeta]
 }
 
 var (
@@ -148,6 +168,7 @@ var (
 	_ detector.Sharded         = (*Detector)(nil)
 	_ detector.ThreadReuser    = (*Detector)(nil)
 	_ detector.VarAccounted    = (*Detector)(nil)
+	_ detector.ArenaAccounted  = (*Detector)(nil)
 )
 
 // New returns a PACER detector with default options, initially in a
@@ -178,6 +199,17 @@ func NewWithOptions(report detector.Reporter, opts Options) *Detector {
 	}
 	for i := range d.shards {
 		d.shards[i].vars = make(map[event.Var]*varMeta)
+	}
+	if opts.Arena || opts.ArenaDebug {
+		d.arena = arena.New(arena.Options{
+			Shards: len(d.shards),
+			Debug:  opts.ArenaDebug,
+		})
+		d.varPool = arena.NewRecords[varMeta](d.arena, func(m *varMeta) {
+			m.w = 0
+			m.wSite = 0
+			m.r.Clear() // keeps the read map's spilled-map spare
+		})
 	}
 	return d
 }
@@ -275,13 +307,20 @@ func (d *Detector) SampleBegin() {
 func (d *Detector) ThreadExit(t vclock.Thread) { d.dead[t] = true }
 
 // SampleEnd leaves the sampling period (Table 5 Rule 2). Logical time
-// freezes until the next SampleBegin.
+// freezes until the next SampleBegin. This is also the arena's bulk
+// reclamation point: send is where PACER's metadata population starts
+// shrinking (non-sampled accesses only discard), so free-list slack built
+// up during the period is handed back to the GC here.
 func (d *Detector) SampleEnd() {
 	if !d.sampling {
 		return
 	}
 	d.sampling = false
 	d.publishState()
+	if d.arena != nil {
+		d.arena.Trim()
+		d.varPool.Trim()
+	}
 }
 
 // publishState mirrors d.sampling into the atomic state word, bumping the
@@ -294,6 +333,25 @@ func (d *Detector) publishState() {
 	d.state.Store(w)
 }
 
+// vcAlloc returns stripe i's slab allocator, or nil on the heap path. The
+// stripe only determines which free list serves the object; the arena mods
+// the index, so any stable integer identity works.
+func (d *Detector) vcAlloc(i int) vclock.Allocator {
+	if d.arena == nil {
+		return nil
+	}
+	return d.arena.Shard(i)
+}
+
+// allocVC draws a fresh clock from a, falling back to the heap when the
+// arena is disabled.
+func allocVC(a vclock.Allocator, n int) *vclock.VC {
+	if a != nil {
+		return a.NewVC(n)
+	}
+	return vclock.New(n)
+}
+
 // thread returns thread t's metadata, creating it in the initial state of
 // Equation 7 (clock and version both incremented once) on first use.
 func (d *Detector) thread(t vclock.Thread) *threadMeta {
@@ -301,9 +359,10 @@ func (d *Detector) thread(t vclock.Thread) *threadMeta {
 		d.threads = append(d.threads, nil)
 	}
 	if d.threads[t] == nil {
-		clock := vclock.New(int(t) + 1)
+		a := d.vcAlloc(int(t))
+		clock := allocVC(a, int(t)+1)
 		clock.Set(t, 1)
-		ver := vclock.New(int(t) + 1)
+		ver := allocVC(a, int(t)+1)
 		ver.Set(t, 1)
 		d.threads[t] = &threadMeta{clock: clock, ver: ver}
 	}
@@ -313,7 +372,8 @@ func (d *Detector) thread(t vclock.Thread) *threadMeta {
 func (d *Detector) lock(m event.Lock) *syncMeta {
 	s, ok := d.locks[m]
 	if !ok {
-		s = &syncMeta{clock: vclock.New(0), vepoch: vclock.VEBottom}
+		a := d.vcAlloc(int(m))
+		s = &syncMeta{clock: allocVC(a, 0), vepoch: vclock.VEBottom, alloc: a}
 		d.locks[m] = s
 	}
 	return s
@@ -322,7 +382,8 @@ func (d *Detector) lock(m event.Lock) *syncMeta {
 func (d *Detector) vol(vx event.Volatile) *syncMeta {
 	s, ok := d.vols[vx]
 	if !ok {
-		s = &syncMeta{clock: vclock.New(0), vepoch: vclock.VEBottom}
+		a := d.vcAlloc(int(vx))
+		s = &syncMeta{clock: allocVC(a, 0), vepoch: vclock.VEBottom, alloc: a}
 		d.vols[vx] = s
 	}
 	return s
@@ -334,10 +395,14 @@ func (d *Detector) vepochOf(t vclock.Thread, tm *threadMeta) vclock.VersionEpoch
 }
 
 // ownThreadClock clones tm's clock if it is shared, so it can be mutated
-// (the copy-on-write step of Algorithms 10 and 11).
+// (the copy-on-write step of Algorithms 10 and 11). The thread's hold on
+// the shared clock moves to the clone; synchronization objects sharing the
+// old clock keep it alive until their own next release.
 func (d *Detector) ownThreadClock(tm *threadMeta) {
 	if tm.clock.Shared() {
-		tm.clock = tm.clock.Clone()
+		old := tm.clock
+		tm.clock = old.Clone()
+		old.Release()
 		d.stats.Clones[d.period()]++
 	}
 }
@@ -363,12 +428,19 @@ func (d *Detector) copyToSync(s *syncMeta, t vclock.Thread) {
 	tm := d.thread(t)
 	p := d.period()
 	if !d.sampling && !d.opts.DisableSharing {
+		// Retain before releasing the displaced clock: when s already holds
+		// tm's clock, the count must never transiently reach zero.
 		tm.clock.SetShared()
+		tm.clock.Retain()
+		old := s.clock
 		s.clock = tm.clock
+		old.Release()
 		d.stats.ShallowCopies[p]++
 	} else {
 		if s.clock.Shared() {
-			s.clock = vclock.New(0)
+			old := s.clock
+			s.clock = allocVC(s.alloc, 0)
+			old.Release()
 		}
 		s.clock.CopyFrom(tm.clock)
 		d.stats.DeepCopies[p]++
@@ -444,8 +516,9 @@ func (d *Detector) joinIntoVolatile(s *syncMeta, t vclock.Thread) {
 	d.stats.JoinWork += uint64(tm.clock.Len())
 	if s.clock.Shared() {
 		old := s.clock
-		s.clock = vclock.New(0)
+		s.clock = allocVC(s.alloc, 0)
 		s.clock.CopyFrom(old)
+		old.Release()
 		d.stats.Clones[p]++
 	}
 	s.clock.JoinFrom(tm.clock)
@@ -509,9 +582,27 @@ func (d *Detector) emit(sh *varShard, r detector.Race) {
 	}
 }
 
+// newVarMeta returns a fresh variable record for shard si, drawn from the
+// record pool when the arena is enabled.
+func (d *Detector) newVarMeta(si int) *varMeta {
+	if d.varPool != nil {
+		return d.varPool.Get(si)
+	}
+	return &varMeta{}
+}
+
+// freeVarMeta recycles a discarded variable record. The caller must have
+// already removed it from the shard's table; no reference may survive.
+func (d *Detector) freeVarMeta(si int, m *varMeta) {
+	if d.varPool != nil {
+		d.varPool.Put(si, m)
+	}
+}
+
 // Read implements rd(t, x) (Algorithm 12; Table 4 Rules 1-4).
 func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
-	sh := &d.shards[d.ShardOf(x)]
+	si := d.ShardOf(x)
+	sh := &d.shards[si]
 	m, exists := sh.vars[x]
 	if !d.sampling && !exists {
 		// Inline fast path: no metadata and not sampling → no action.
@@ -543,7 +634,7 @@ func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32)
 	if d.sampling {
 		// Rules 2-4, sampling column: exactly FASTTRACK's update.
 		if m == nil {
-			m = &varMeta{}
+			m = d.newVarMeta(si)
 			d.presenceOf(x).Add(1) // before insert: zero presence proves absence
 			sh.vars[x] = m
 		}
@@ -568,12 +659,13 @@ func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32)
 		// Rule 3: discard t's own entry only.
 		m.r.Remove(t)
 	}
-	d.maybeDiscard(sh, x, m)
+	d.maybeDiscard(sh, si, x, m)
 }
 
 // Write implements wr(t, x) (Algorithm 13; Table 4 Rules 5-7).
 func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
-	sh := &d.shards[d.ShardOf(x)]
+	si := d.ShardOf(x)
+	sh := &d.shards[si]
 	m, exists := sh.vars[x]
 	if !d.sampling && !exists {
 		sh.stats.WriteFast[detector.NonSampling]++
@@ -609,7 +701,7 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	if d.sampling {
 		// Rules 6-7, sampling column: W_x ← epoch(t), R_x cleared.
 		if m == nil {
-			m = &varMeta{}
+			m = d.newVarMeta(si)
 			d.presenceOf(x).Add(1) // before insert: zero presence proves absence
 			sh.vars[x] = m
 		}
@@ -626,15 +718,17 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	if exists {
 		delete(sh.vars, x)
 		d.presenceOf(x).Add(-1) // after delete: presence covers the metadata's lifetime
+		d.freeVarMeta(si, m)
 	}
 }
 
 // maybeDiscard removes x's table entry once it carries no information,
 // reclaiming space (Section 4's null metadata header word).
-func (d *Detector) maybeDiscard(sh *varShard, x event.Var, m *varMeta) {
+func (d *Detector) maybeDiscard(sh *varShard, si int, x event.Var, m *varMeta) {
 	if m.w.IsZero() && m.r.IsEmpty() {
 		delete(sh.vars, x)
 		d.presenceOf(x).Add(-1)
+		d.freeVarMeta(si, m)
 	}
 }
 
@@ -680,4 +774,20 @@ func (d *Detector) MetadataWords() int {
 		return true
 	})
 	return w
+}
+
+// ArenaStats implements detector.ArenaAccounted. The bool result is false
+// on the default heap path.
+func (d *Detector) ArenaStats() (detector.ArenaStats, bool) {
+	if d.arena == nil {
+		return detector.ArenaStats{}, false
+	}
+	st := d.arena.Stats()
+	return detector.ArenaStats{
+		SlabsLive: st.Live,
+		SlabsFree: st.Free,
+		Recycles:  st.Recycles,
+		Misses:    st.Misses,
+		Trimmed:   st.Trimmed,
+	}, true
 }

@@ -64,3 +64,24 @@ type ThreadReuser interface {
 type VarAccounted interface {
 	VarsTracked() int
 }
+
+// ArenaStats is a snapshot of a metadata arena's occupancy and traffic,
+// surfaced through the front-end's Stats and the fleet's /metrics.
+type ArenaStats struct {
+	// SlabsLive is the number of slabs currently acquired (clock storage
+	// and variable records); SlabsFree the number parked on free lists.
+	SlabsLive, SlabsFree uint64
+	// Recycles counts acquisitions served from a free list; Misses counts
+	// acquisitions that fell through to a fresh heap allocation.
+	Recycles, Misses uint64
+	// Trimmed counts free slabs handed back to the garbage collector.
+	Trimmed uint64
+}
+
+// ArenaAccounted is implemented by detectors that can run on a slab
+// arena. The bool result reports whether an arena is actually enabled;
+// a false return means the detector is on the default heap allocator and
+// the stats are zero.
+type ArenaAccounted interface {
+	ArenaStats() (ArenaStats, bool)
+}

@@ -32,15 +32,16 @@ func recordedRun(rate float64, seed int64, goroutines, opsPer int) (event.Trace,
 
 // recordedRunAlgo is recordedRun with the backend chosen by name — the
 // same workload through the identical unified front-end, whatever is
-// mounted behind it.
-func recordedRunAlgo(algo string, rate float64, seed int64, goroutines, opsPer int) (event.Trace, []pacer.Race) {
+// mounted behind it. Optional modifiers adjust the front-end options
+// (e.g. the arena differential flips Options.Arena).
+func recordedRunAlgo(algo string, rate float64, seed int64, goroutines, opsPer int, mod ...func(*pacer.Options)) (event.Trace, []pacer.Race) {
 	var (
 		trace  event.Trace // appends already serialized by the sink lock
 		raceMu sync.Mutex
 		races  []pacer.Race
 		site   atomic.Uint32
 	)
-	d := pacer.New(pacer.Options{
+	o := pacer.Options{
 		Algorithm:    algo,
 		SamplingRate: rate,
 		PeriodOps:    128,
@@ -52,7 +53,11 @@ func recordedRunAlgo(algo string, rate float64, seed int64, goroutines, opsPer i
 			raceMu.Unlock()
 		},
 		TraceSink: func(e pacer.Event) { trace = append(trace, e) },
-	})
+	}
+	for _, m := range mod {
+		m(&o)
+	}
+	d := pacer.New(o)
 	main := d.NewThread()
 	shared := make([]pacer.VarID, 6)
 	for i := range shared {

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"crypto/subtle"
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,6 +20,12 @@ type CollectorOptions struct {
 	// small compressed bomb cannot OOM the collector. Default
 	// 10 * MaxBodyBytes.
 	MaxDecompressedBytes int64
+	// AuthToken, when non-empty, requires every push to carry
+	// "Authorization: Bearer <token>" with this exact token; anything else
+	// gets 401 before the body is read. The read-only endpoints (/races,
+	// /metrics, /healthz) stay open — deployments front those with their
+	// own access control. Compared in constant time.
+	AuthToken string
 	// Clock supplies last-seen timestamps; tests inject a fake. Default
 	// time.Now.
 	Clock func() time.Time
@@ -31,6 +39,7 @@ type instanceState struct {
 	dropped  uint64
 	lastSeen time.Time
 	races    []byte
+	arena    *ArenaGauges
 }
 
 // Collector is the fleet-side half of the transport: an http.Handler that
@@ -55,6 +64,7 @@ type Collector struct {
 	pushes    uint64 // accepted pushes (including idempotently ignored ones)
 	badPushes uint64 // rejected pushes (decode/validation failures)
 	stale     uint64 // accepted-but-ignored pushes (seq not newer)
+	unauth    uint64 // pushes rejected for a missing or wrong bearer token
 }
 
 // NewCollector returns an empty collector.
@@ -94,6 +104,14 @@ func (c *Collector) handlePush(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "push must POST", http.StatusMethodNotAllowed)
 		return
 	}
+	if !c.authorized(req) {
+		c.mu.Lock()
+		c.unauth++
+		c.mu.Unlock()
+		w.Header().Set("WWW-Authenticate", `Bearer realm="pacerd"`)
+		http.Error(w, "push requires a valid bearer token", http.StatusUnauthorized)
+		return
+	}
 	p, err := DecodePush(http.MaxBytesReader(w, req.Body, c.opts.MaxBodyBytes), c.opts.MaxDecompressedBytes)
 	if err == nil {
 		// Reject triage lists the merge path could not consume, while the
@@ -131,8 +149,24 @@ func (c *Collector) handlePush(w http.ResponseWriter, req *http.Request) {
 	st.seq = p.Seq
 	st.dropped = p.Dropped
 	st.races = p.Races
+	st.arena = p.Arena
 	c.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// authorized checks the push's bearer token against CollectorOptions.
+// AuthToken (always true when no token is configured). Constant-time, so
+// the comparison leaks nothing about how much of a guessed token matched.
+func (c *Collector) authorized(req *http.Request) bool {
+	if c.opts.AuthToken == "" {
+		return true
+	}
+	const prefix = "Bearer "
+	h := req.Header.Get("Authorization")
+	if !strings.HasPrefix(h, prefix) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(h[len(prefix):]), []byte(c.opts.AuthToken)) == 1
 }
 
 // Merged reconstructs every instance's aggregator from its latest
@@ -190,12 +224,13 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		seq      uint64
 		dropped  uint64
 		lastSeen time.Time
+		arena    *ArenaGauges
 	}
 	c.mu.Lock()
-	pushes, bad, stale := c.pushes, c.badPushes, c.stale
+	pushes, bad, stale, unauth := c.pushes, c.badPushes, c.stale, c.unauth
 	rows := make([]instRow, 0, len(c.instances))
 	for name, st := range c.instances {
-		rows = append(rows, instRow{name, st.seq, st.dropped, st.lastSeen})
+		rows = append(rows, instRow{name, st.seq, st.dropped, st.lastSeen, st.arena})
 	}
 	c.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
@@ -214,6 +249,9 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintf(w, "# HELP pacer_collector_push_errors_total Pushes rejected (bad schema, bad payload).\n")
 	fmt.Fprintf(w, "# TYPE pacer_collector_push_errors_total counter\n")
 	fmt.Fprintf(w, "pacer_collector_push_errors_total %d\n", bad)
+	fmt.Fprintf(w, "# HELP pacer_collector_unauthorized_total Pushes rejected for a missing or wrong bearer token.\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_unauthorized_total counter\n")
+	fmt.Fprintf(w, "pacer_collector_unauthorized_total %d\n", unauth)
 	fmt.Fprintf(w, "# HELP pacer_collector_stale_pushes_total Pushes acknowledged without effect (sequence not newer).\n")
 	fmt.Fprintf(w, "# TYPE pacer_collector_stale_pushes_total counter\n")
 	fmt.Fprintf(w, "pacer_collector_stale_pushes_total %d\n", stale)
@@ -238,5 +276,31 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintf(w, "# TYPE pacer_collector_reporter_dropped_total counter\n")
 	for _, row := range rows {
 		fmt.Fprintf(w, "pacer_collector_reporter_dropped_total{instance=%q} %d\n", row.name, row.dropped)
+	}
+
+	// Arena occupancy, per arena-backed instance (as of each instance's
+	// last snapshot; heap-backed instances emit no series).
+	arenaMetrics := []struct {
+		name, typ, help string
+		get             func(*ArenaGauges) uint64
+	}{
+		{"pacer_arena_slabs_live", "gauge", "Metadata slabs currently held by the instance's detector.",
+			func(a *ArenaGauges) uint64 { return a.SlabsLive }},
+		{"pacer_arena_slabs_free", "gauge", "Metadata slabs parked on the instance's free lists.",
+			func(a *ArenaGauges) uint64 { return a.SlabsFree }},
+		{"pacer_arena_recycles_total", "counter", "Slab acquisitions served from a free list.",
+			func(a *ArenaGauges) uint64 { return a.Recycles }},
+		{"pacer_arena_misses_total", "counter", "Slab acquisitions that fell through to the heap.",
+			func(a *ArenaGauges) uint64 { return a.Misses }},
+		{"pacer_arena_trimmed_total", "counter", "Slabs returned to the GC by bulk reclamation.",
+			func(a *ArenaGauges) uint64 { return a.Trimmed }},
+	}
+	for _, m := range arenaMetrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, row := range rows {
+			if row.arena != nil {
+				fmt.Fprintf(w, "%s{instance=%q} %d\n", m.name, row.name, m.get(row.arena))
+			}
+		}
 	}
 }

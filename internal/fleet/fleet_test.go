@@ -485,6 +485,7 @@ func TestFleetPushEncoding(t *testing.T) {
 		Seq:      41,
 		Dropped:  3,
 		Races:    json.RawMessage(`[{"var":1,"kind":"write-read","first_site":2,"second_site":3,"first_thread":0,"second_thread":1,"count":5,"instances":1,"first_instance":"inst-9"}]`),
+		Arena:    &fleet.ArenaGauges{SlabsLive: 12, SlabsFree: 4, Recycles: 99, Misses: 7, Trimmed: 2},
 	}
 	var buf bytes.Buffer
 	if err := fleet.EncodePush(&buf, in); err != nil {
@@ -497,6 +498,9 @@ func TestFleetPushEncoding(t *testing.T) {
 	if out.Instance != in.Instance || out.Epoch != in.Epoch || out.Seq != in.Seq || out.Dropped != in.Dropped ||
 		!bytes.Equal(bytes.TrimSpace(out.Races), bytes.TrimSpace(in.Races)) {
 		t.Errorf("round trip mangled push: %+v", out)
+	}
+	if out.Arena == nil || *out.Arena != *in.Arena {
+		t.Errorf("round trip mangled arena gauges: %+v", out.Arena)
 	}
 }
 
@@ -590,5 +594,197 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 			t.Fatal("condition not reached in time")
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFleetAuthToken pins the bearer-token check on /v1/push: with
+// -auth-token set, unauthenticated and wrong-token pushes get 401 (and
+// count in pacer_collector_unauthorized_total) before the body is even
+// decoded, while a reporter configured with the matching token delivers
+// normally and the read-only endpoints stay open.
+func TestFleetAuthToken(t *testing.T) {
+	const token = "s3cret-fleet-token"
+	col := fleet.NewCollector(fleet.CollectorOptions{AuthToken: token})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	valid := func() []byte {
+		var buf bytes.Buffer
+		p := &fleet.Push{Version: fleet.SchemaVersion, Instance: "inst-auth", Seq: 1, Races: []byte("[]")}
+		if err := fleet.EncodePush(&buf, p); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+	post := func(auth string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+fleet.PushPath, bytes.NewReader(valid()))
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post(""); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("tokenless push: status %d, want 401", resp.StatusCode)
+	} else if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Error("401 carries no WWW-Authenticate challenge")
+	}
+	if resp := post("Bearer wrong-token"); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("wrong-token push: status %d, want 401", resp.StatusCode)
+	}
+	if resp := post(token); resp.StatusCode != http.StatusUnauthorized {
+		// A bare token without the Bearer scheme is not a credential.
+		t.Errorf("schemeless push: status %d, want 401", resp.StatusCode)
+	}
+	if resp := post("Bearer " + token); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("authenticated push: status %d, want 204", resp.StatusCode)
+	}
+
+	metrics := string(httpGet(t, srv.URL+"/metrics"))
+	if !strings.Contains(metrics, "pacer_collector_unauthorized_total 3") {
+		t.Errorf("unauthorized pushes not counted:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "pacer_collector_push_errors_total 0") {
+		t.Errorf("auth rejections leaked into push_errors_total:\n%s", metrics)
+	}
+
+	// A reporter wired with the token delivers end to end.
+	agg := pacer.NewAggregator()
+	runInstance(agg.Reporter("inst-auth"), 5000, 1)
+	rep, err := fleet.NewReporter(agg, fleet.ReporterOptions{
+		Collector: srv.URL,
+		Instance:  "inst-auth",
+		AuthToken: token,
+		Interval:  time.Hour, // only explicit flushes
+		Timeout:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("reporter: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rep.Close(ctx); err != nil {
+		t.Fatalf("authenticated reporter could not deliver: %v", err)
+	}
+	merged, err := col.Merged()
+	if err != nil {
+		t.Fatalf("merged: %v", err)
+	}
+	if merged.Distinct() == 0 {
+		t.Error("authenticated reporter's races missing from the merged view")
+	}
+
+	// A reporter without the token fails loudly instead of silently
+	// losing reports.
+	errCh := make(chan error, 16)
+	agg2 := pacer.NewAggregator()
+	runInstance(agg2.Reporter("inst-anon"), 6000, 1)
+	anon, err := fleet.NewReporter(agg2, fleet.ReporterOptions{
+		Collector:  srv.URL,
+		Instance:   "inst-anon",
+		Interval:   time.Hour,
+		Timeout:    2 * time.Second,
+		MinBackoff: time.Millisecond,
+		OnError:    func(e error) { errCh <- e },
+	})
+	if err != nil {
+		t.Fatalf("reporter: %v", err)
+	}
+	anon.Flush()
+	select {
+	case e := <-errCh:
+		if !strings.Contains(e.Error(), "401") {
+			t.Errorf("tokenless reporter failed with %v, want a 401", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tokenless reporter reported no error")
+	}
+	canceled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	anon.Close(canceled) // flush cannot succeed; abandon immediately
+}
+
+// TestFleetArenaGauges pins the arena observability path end to end: a
+// reporter whose Stats callback reads an arena-backed detector ships the
+// arena occupancy on its pushes, and the collector re-exports it as
+// per-instance Prometheus gauges — while a heap-backed instance emits no
+// arena series at all.
+func TestFleetArenaGauges(t *testing.T) {
+	col := fleet.NewCollector(fleet.CollectorOptions{})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	agg := pacer.NewAggregator()
+	d := pacer.New(pacer.Options{
+		SamplingRate: 1, Seed: 5, Arena: true,
+		OnRace: agg.Reporter("inst-arena"),
+	})
+	main := d.NewThread()
+	a, b := d.Fork(main), d.Fork(main)
+	v := d.NewVarID()
+	d.Write(a, v, 100)
+	d.Read(b, v, 101)
+	d.Join(main, a)
+	d.Join(main, b)
+	if st := d.Stats(); !st.ArenaEnabled || st.ArenaSlabsLive == 0 {
+		t.Fatalf("detector not arena-backed as expected: %+v", st)
+	}
+
+	for _, inst := range []struct {
+		name  string
+		agg   *pacer.Aggregator
+		stats func() pacer.Stats
+	}{
+		{"inst-arena", agg, d.Stats},
+		{"inst-heap", func() *pacer.Aggregator { // heap twin: no Stats wired
+			a2 := pacer.NewAggregator()
+			runInstance(a2.Reporter("inst-heap"), 7000, 1)
+			return a2
+		}(), nil},
+	} {
+		rep, err := fleet.NewReporter(inst.agg, fleet.ReporterOptions{
+			Collector: srv.URL,
+			Instance:  inst.name,
+			Stats:     inst.stats,
+			Interval:  time.Hour,
+			Timeout:   2 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("reporter %s: %v", inst.name, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := rep.Close(ctx); err != nil {
+			t.Fatalf("reporter %s: %v", inst.name, err)
+		}
+		cancel()
+	}
+
+	metrics := string(httpGet(t, srv.URL+"/metrics"))
+	for _, series := range []string{
+		`pacer_arena_slabs_live{instance="inst-arena"}`,
+		`pacer_arena_slabs_free{instance="inst-arena"}`,
+		`pacer_arena_recycles_total{instance="inst-arena"}`,
+		`pacer_arena_misses_total{instance="inst-arena"}`,
+		`pacer_arena_trimmed_total{instance="inst-arena"}`,
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("metrics missing %s:\n%s", series, metrics)
+		}
+	}
+	if strings.Contains(metrics, `pacer_arena_slabs_live{instance="inst-heap"}`) {
+		t.Errorf("heap-backed instance grew arena series:\n%s", metrics)
+	}
+	if strings.Contains(metrics, `pacer_arena_slabs_live{instance="inst-arena"} 0`) {
+		t.Errorf("arena instance reports zero live slabs with live threads:\n%s", metrics)
 	}
 }

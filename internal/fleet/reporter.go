@@ -56,6 +56,16 @@ type ReporterOptions struct {
 	// a failed push; the actual sleep is jittered uniformly over
 	// [backoff/2, backoff]. Defaults 500ms and 30s.
 	MinBackoff, MaxBackoff time.Duration
+	// AuthToken, when non-empty, is sent with every push as
+	// "Authorization: Bearer <token>" — set it to the token the collector
+	// runs with (pacerd -auth-token). A mismatch surfaces through OnError
+	// as a 401 on every push attempt.
+	AuthToken string
+	// Stats, when non-nil, is sampled at every snapshot and its arena
+	// occupancy (Stats.ArenaEnabled and friends) rides along on the push,
+	// so the collector's /metrics can export per-instance arena gauges.
+	// Wire it to the detector's Stats method. Optional.
+	Stats func() pacer.Stats
 	// Client issues the pushes; replace it (or its Transport) to add TLS
 	// configuration, or to inject faults in tests. Default: a dedicated
 	// http.Client.
@@ -271,6 +281,18 @@ func (r *Reporter) snapshot() {
 		r.noteFailure(fmt.Errorf("fleet: exporting triage list: %w", err))
 		return
 	}
+	var arena *ArenaGauges
+	if r.opts.Stats != nil { // outside r.mu: the callback reads detector state
+		if st := r.opts.Stats(); st.ArenaEnabled {
+			arena = &ArenaGauges{
+				SlabsLive: st.ArenaSlabsLive,
+				SlabsFree: st.ArenaSlabsFree,
+				Recycles:  st.ArenaRecycles,
+				Misses:    st.ArenaMisses,
+				Trimmed:   st.ArenaTrimmed,
+			}
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.Snapshots++
@@ -285,6 +307,7 @@ func (r *Reporter) snapshot() {
 		Seq:      r.seq,
 		Dropped:  r.stats.Dropped,
 		Races:    races,
+		Arena:    arena,
 	}
 	if len(r.queue) >= r.opts.QueueLen {
 		r.queue = r.queue[1:]
@@ -338,6 +361,9 @@ func (r *Reporter) push(ctx context.Context, p *Push) error {
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Content-Encoding", "gzip")
+	if r.opts.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+r.opts.AuthToken)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("fleet: push seq %d: %w", p.Seq, err)

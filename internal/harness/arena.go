@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"pacer"
+)
+
+// ArenaExperiment measures what the metadata arena buys on this machine:
+// the identical concurrent workload runs once heap-backed and once
+// arena-backed at each goroutine count, and the table compares allocations
+// per operation, throughput, final MetadataWords, and the arena's own
+// recycle/miss split.
+//
+// The sampling rate defaults to 0.20 rather than the deployment 0.01: the
+// arena targets the metadata-churn regime (sampled periods creating
+// records and clones that the next non-sampled write discards), and a
+// higher rate reaches steady-state churn within a benchmark-sized run.
+// (The two columns are separate live runs, so period boundaries — and
+// therefore final MetadataWords — differ by scheduling; the differential
+// suite is what proves the analysis identical on identical traces.)
+
+// ArenaConfig configures the arena-vs-heap measurement.
+type ArenaConfig struct {
+	// Goroutines lists the parallelism levels (default 1,2,4,8).
+	Goroutines []int
+	// Rate is the sampling rate (default 0.20, a metadata-churn regime).
+	Rate float64
+	// Ops is the per-goroutine operation count (default 200_000).
+	Ops int
+	// SharedEvery makes one in N accesses touch a shared variable
+	// (default 16).
+	SharedEvery int
+}
+
+// ArenaRow is one parallelism level's heap-vs-arena comparison.
+type ArenaRow struct {
+	Goroutines int
+	Heap, Ar   Measure
+	// AllocReduction is 1 - arena allocs/op over heap allocs/op: the
+	// fraction of per-operation allocations the arena eliminated.
+	AllocReduction float64
+}
+
+// ArenaResult holds the comparison table.
+type ArenaResult struct {
+	Rate float64
+	Ops  int
+	Rows []ArenaRow
+}
+
+// arenaRun drives the metadata-churn workload once. It differs from the
+// frontend workload where the arena matters: short sampling periods
+// (PeriodOps 256) so period transitions — the clone/discard churn points —
+// are frequent, writes rotating over a per-goroutine variable window so
+// each sampled period re-creates records that the following non-sampled
+// writes discard, and cross-thread shared reads so read maps inflate.
+func arenaRun(cfg ArenaConfig, goroutines int, arena bool) Measure {
+	d := pacer.New(pacer.Options{
+		SamplingRate: cfg.Rate,
+		PeriodOps:    256,
+		Seed:         11,
+		Arena:        arena,
+	})
+	main := d.NewThread()
+	shared := make([]pacer.VarID, 8)
+	for i := range shared {
+		shared[i] = d.NewVarID()
+	}
+	m := d.NewMutex()
+	workers := make([]pacer.ThreadID, goroutines)
+	windows := make([][]pacer.VarID, goroutines)
+	for g := range workers {
+		workers[g] = d.Fork(main)
+		windows[g] = make([]pacer.VarID, 128)
+		for i := range windows[g] {
+			windows[g][i] = d.NewVarID()
+		}
+	}
+	var wg sync.WaitGroup
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for g, tid := range workers {
+		wg.Add(1)
+		go func(tid pacer.ThreadID, g int) {
+			defer wg.Done()
+			window := windows[g]
+			site := pacer.SiteID(g*1000 + 1)
+			for i := 0; i < cfg.Ops; i++ {
+				switch {
+				case i%256 == 255: // lock churn: shallow copies and clones
+					m.Lock(tid)
+					d.Write(tid, shared[g%len(shared)], site)
+					m.Unlock(tid)
+				case i%cfg.SharedEvery == 0: // cross-thread reads: read maps
+					d.Read(tid, shared[i%len(shared)], site)
+				case i%3 != 0: // rotating writes: record create/discard churn
+					d.Write(tid, window[i%len(window)], site)
+				default:
+					d.Read(tid, window[i%len(window)], site)
+				}
+			}
+		}(tid, g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	totalOps := float64(goroutines) * float64(cfg.Ops)
+	st := d.Stats()
+	return Measure{
+		OpsPerSec:   totalOps / elapsed,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / totalOps,
+		MetaWords:   st.MetadataWords,
+		Stats:       st,
+	}
+}
+
+func (c *ArenaConfig) fill() {
+	if c.Goroutines == nil {
+		c.Goroutines = []int{1, 2, 4, 8}
+	}
+	if c.Rate == 0 {
+		c.Rate = 0.20
+	}
+	if c.Ops <= 0 {
+		c.Ops = 200_000
+	}
+	if c.SharedEvery <= 0 {
+		c.SharedEvery = 16
+	}
+}
+
+// Arena runs the heap-vs-arena measurement.
+func Arena(cfg ArenaConfig) *ArenaResult {
+	cfg.fill()
+	res := &ArenaResult{Rate: cfg.Rate, Ops: cfg.Ops}
+	for _, g := range cfg.Goroutines {
+		// Heap and arena interleaved per level so drift hits both equally.
+		heap := arenaRun(cfg, g, false)
+		ar := arenaRun(cfg, g, true)
+		red := 0.0
+		if heap.AllocsPerOp > 0 {
+			red = 1 - ar.AllocsPerOp/heap.AllocsPerOp
+		}
+		res.Rows = append(res.Rows, ArenaRow{Goroutines: g, Heap: heap, Ar: ar, AllocReduction: red})
+	}
+	return res
+}
+
+// Render prints the comparison table.
+func (a *ArenaResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Metadata arena vs heap allocator (real wall clock, r = %.2f, %d ops/goroutine)\n", a.Rate, a.Ops)
+	fmt.Fprintf(w, "%-11s  %13s  %13s  %12s  %13s  %8s  %10s  %14s\n",
+		"goroutines", "heap alloc/op", "arena alloc/op", "alloc saved", "arena op/s", "vs heap", "meta words", "recycle/miss")
+	rule(w, 108)
+	for _, r := range a.Rows {
+		speed := r.Ar.OpsPerSec / r.Heap.OpsPerSec
+		fmt.Fprintf(w, "%-11d  %13.4f  %14.4f  %11.1f%%  %13.3e  %7.2fx  %10d  %7d/%d\n",
+			r.Goroutines, r.Heap.AllocsPerOp, r.Ar.AllocsPerOp, 100*r.AllocReduction,
+			r.Ar.OpsPerSec, speed, r.Ar.MetaWords,
+			r.Ar.Stats.ArenaRecycles, r.Ar.Stats.ArenaMisses)
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -69,21 +70,36 @@ func (c *FrontendConfig) fill() {
 	}
 }
 
+// Measure is one configuration's full measurement: throughput plus the
+// allocation and metadata accounting that make configurations comparable
+// apples-to-apples (the arena experiment reads the same columns).
+type Measure struct {
+	// OpsPerSec is aggregate operations per second.
+	OpsPerSec float64
+	// AllocsPerOp is heap allocations per observed operation during the
+	// worker phase (runtime Mallocs delta / total ops).
+	AllocsPerOp float64
+	// MetaWords is the detector's live metadata at the end of the run, in
+	// 8-byte words.
+	MetaWords int
+	// Stats is the detector's final counter snapshot.
+	Stats pacer.Stats
+}
+
 // FrontendRow is one parallelism level's measurement.
 type FrontendRow struct {
 	Goroutines int
-	// BaseOps and ConcOps are aggregate operations per second through the
-	// serialized and concurrent front-ends.
-	BaseOps, ConcOps float64
-	// Speedup is ConcOps / BaseOps.
+	// Base and Conc are the serialized and concurrent front-end measures.
+	Base, Conc Measure
+	// Speedup is Conc.OpsPerSec / Base.OpsPerSec.
 	Speedup float64
 }
 
-// BackendRow is one parallelism level's backend comparison: aggregate
-// operations per second per algorithm, indexed like Algorithms.
+// BackendRow is one parallelism level's backend comparison, indexed like
+// Algorithms.
 type BackendRow struct {
 	Goroutines int
-	Ops        []float64
+	Measures   []Measure
 }
 
 // FrontendResult holds the front-end scaling and backend tables.
@@ -95,14 +111,20 @@ type FrontendResult struct {
 	Backends   []BackendRow
 }
 
-// frontendRun drives one configuration and returns aggregate ops/sec.
-func frontendRun(cfg FrontendConfig, goroutines int, algorithm string, serialized bool) float64 {
+// frontendRun drives one configuration and measures throughput, heap
+// allocations per operation, and final metadata footprint. Identifier
+// allocation and goroutine setup happen before the measured window, so the
+// Mallocs delta charges (almost) only the per-operation work; the handful
+// of scheduler/stack allocations from starting goroutines is identical
+// across configurations and ~zero per op at these operation counts.
+func frontendRun(cfg FrontendConfig, goroutines int, algorithm string, serialized, arena bool) Measure {
 	d := pacer.New(pacer.Options{
 		Algorithm:    algorithm,
 		SamplingRate: cfg.Rate,
 		PeriodOps:    4096,
 		Seed:         11,
 		Serialized:   serialized,
+		Arena:        arena,
 	})
 	main := d.NewThread()
 	shared := make([]pacer.VarID, 4)
@@ -111,19 +133,24 @@ func frontendRun(cfg FrontendConfig, goroutines int, algorithm string, serialize
 	}
 	m := d.NewMutex()
 	workers := make([]pacer.ThreadID, goroutines)
+	privates := make([][]pacer.VarID, goroutines)
 	for g := range workers {
 		workers[g] = d.Fork(main)
+		privates[g] = make([]pacer.VarID, 8)
+		for i := range privates[g] {
+			privates[g][i] = d.NewVarID()
+		}
 	}
 	var wg sync.WaitGroup
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for g, tid := range workers {
 		wg.Add(1)
 		go func(tid pacer.ThreadID, g int) {
 			defer wg.Done()
-			private := make([]pacer.VarID, 8)
-			for i := range private {
-				private[i] = d.NewVarID()
-			}
+			private := privates[g]
 			site := pacer.SiteID(g * 1000)
 			for i := 0; i < cfg.Ops; i++ {
 				switch {
@@ -143,7 +170,15 @@ func frontendRun(cfg FrontendConfig, goroutines int, algorithm string, serialize
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
-	return float64(goroutines) * float64(cfg.Ops) / elapsed
+	runtime.ReadMemStats(&after)
+	totalOps := float64(goroutines) * float64(cfg.Ops)
+	st := d.Stats()
+	return Measure{
+		OpsPerSec:   totalOps / elapsed,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / totalOps,
+		MetaWords:   st.MetadataWords,
+		Stats:       st,
+	}
 }
 
 // Frontend runs the front-end scaling and backend measurements.
@@ -153,16 +188,17 @@ func Frontend(cfg FrontendConfig) *FrontendResult {
 	for _, g := range cfg.Goroutines {
 		// Baseline and concurrent interleaved per level so thermal/load
 		// drift hits both sides roughly equally.
-		base := frontendRun(cfg, g, "pacer", true)
-		conc := frontendRun(cfg, g, "pacer", false)
+		base := frontendRun(cfg, g, "pacer", true, false)
+		conc := frontendRun(cfg, g, "pacer", false, false)
 		res.Rows = append(res.Rows, FrontendRow{
-			Goroutines: g, BaseOps: base, ConcOps: conc, Speedup: conc / base,
+			Goroutines: g, Base: base, Conc: conc,
+			Speedup: conc.OpsPerSec / base.OpsPerSec,
 		})
 	}
 	for _, g := range cfg.Goroutines {
 		row := BackendRow{Goroutines: g}
 		for _, algo := range cfg.Algorithms {
-			row.Ops = append(row.Ops, frontendRun(cfg, g, algo, false))
+			row.Measures = append(row.Measures, frontendRun(cfg, g, algo, false, false))
 		}
 		res.Backends = append(res.Backends, row)
 	}
@@ -172,25 +208,28 @@ func Frontend(cfg FrontendConfig) *FrontendResult {
 // Render prints the scaling and backend tables.
 func (f *FrontendResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Front-end ingestion throughput (real wall clock, r = %.2f, %d ops/goroutine)\n", f.Rate, f.Ops)
-	fmt.Fprintf(w, "%-11s  %15s  %15s  %8s\n", "goroutines", "serialized op/s", "concurrent op/s", "speedup")
-	rule(w, 56)
+	fmt.Fprintf(w, "%-11s  %15s  %15s  %8s  %11s  %11s  %10s\n",
+		"goroutines", "serialized op/s", "concurrent op/s", "speedup", "ser alloc/op", "conc alloc/op", "meta words")
+	rule(w, 94)
 	for _, r := range f.Rows {
-		fmt.Fprintf(w, "%-11d  %15.3e  %15.3e  %7.2fx\n", r.Goroutines, r.BaseOps, r.ConcOps, r.Speedup)
+		fmt.Fprintf(w, "%-11d  %15.3e  %15.3e  %7.2fx  %11.4f  %12.4f  %10d\n",
+			r.Goroutines, r.Base.OpsPerSec, r.Conc.OpsPerSec, r.Speedup,
+			r.Base.AllocsPerOp, r.Conc.AllocsPerOp, r.Conc.MetaWords)
 	}
 	if len(f.Backends) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "\nBackend wall-clock comparison through the identical concurrent front-end (op/s)\n")
+	fmt.Fprintf(w, "\nBackend wall-clock comparison through the identical concurrent front-end\n")
 	fmt.Fprintf(w, "%-11s", "goroutines")
 	for _, a := range f.Algorithms {
-		fmt.Fprintf(w, "  %15s", a)
+		fmt.Fprintf(w, "  %15s  %10s  %10s", a+" op/s", "alloc/op", "meta words")
 	}
 	fmt.Fprintln(w)
-	rule(w, 11+17*len(f.Algorithms))
+	rule(w, 11+41*len(f.Algorithms))
 	for _, r := range f.Backends {
 		fmt.Fprintf(w, "%-11d", r.Goroutines)
-		for _, ops := range r.Ops {
-			fmt.Fprintf(w, "  %15.3e", ops)
+		for _, m := range r.Measures {
+			fmt.Fprintf(w, "  %15.3e  %10.4f  %10d", m.OpsPerSec, m.AllocsPerOp, m.MetaWords)
 		}
 		fmt.Fprintln(w)
 	}

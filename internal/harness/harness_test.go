@@ -339,7 +339,7 @@ func TestFrontendScalingRuns(t *testing.T) {
 		t.Fatalf("rows = %d, want 2", len(res.Rows))
 	}
 	for _, r := range res.Rows {
-		if r.BaseOps <= 0 || r.ConcOps <= 0 {
+		if r.Base.OpsPerSec <= 0 || r.Conc.OpsPerSec <= 0 {
 			t.Errorf("non-positive throughput: %+v", r)
 		}
 	}

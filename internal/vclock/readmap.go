@@ -25,11 +25,17 @@ func (e ReadEntry) Epoch() Epoch { return MakeEpoch(e.T, e.C) }
 // representation inlines the single-entry case and spills to a map only
 // when reads are concurrent, matching FastTrack's adaptive design.
 //
+// The spilled map is treated as live representation only while n > 1;
+// Clear, SetEpoch, and a shrinking Remove empty it but keep it allocated as
+// a spare, so a variable whose reads repeatedly inflate and collapse (and a
+// variable record recycled through a metadata arena) pays the map
+// allocation once, not per cycle.
+//
 // The zero value is the empty read map (equivalent to the epoch 0@0).
 type ReadMap struct {
 	single ReadEntry
 	n      int
-	m      map[Thread]ReadEntry
+	m      map[Thread]ReadEntry // live iff n > 1; retained empty as a spare
 }
 
 // Size returns the number of entries |R|.
@@ -44,11 +50,6 @@ func (r *ReadMap) Single() ReadEntry {
 	if r.n != 1 {
 		panic(fmt.Sprintf("vclock: Single on read map of size %d", r.n))
 	}
-	if r.m != nil {
-		for _, e := range r.m {
-			return e
-		}
-	}
 	return r.single
 }
 
@@ -57,7 +58,7 @@ func (r *ReadMap) Get(t Thread) (uint64, bool) {
 	switch {
 	case r.n == 0:
 		return 0, false
-	case r.m != nil:
+	case r.n > 1:
 		e, ok := r.m[t]
 		return e.C, ok
 	case r.single.T == t:
@@ -68,13 +69,13 @@ func (r *ReadMap) Get(t Thread) (uint64, bool) {
 }
 
 // Set records R[t] ← c (with its site), inflating to a map when a second
-// thread appears.
+// thread appears. Inflation reuses the spare map if one is on hand.
 func (r *ReadMap) Set(t Thread, c uint64, site uint32) {
 	e := ReadEntry{T: t, C: c, Site: site}
 	switch {
 	case r.n == 0:
-		r.single, r.n, r.m = e, 1, nil
-	case r.m != nil:
+		r.single, r.n = e, 1
+	case r.n > 1:
 		if _, ok := r.m[t]; !ok {
 			r.n++
 		}
@@ -82,7 +83,11 @@ func (r *ReadMap) Set(t Thread, c uint64, site uint32) {
 	case r.single.T == t:
 		r.single = e
 	default:
-		r.m = map[Thread]ReadEntry{r.single.T: r.single, t: e}
+		if r.m == nil {
+			r.m = make(map[Thread]ReadEntry, 2)
+		}
+		r.m[r.single.T] = r.single
+		r.m[t] = e
 		r.n = 2
 	}
 }
@@ -90,7 +95,10 @@ func (r *ReadMap) Set(t Thread, c uint64, site uint32) {
 // SetEpoch collapses the read map to the single entry e (FastTrack's
 // R ← epoch(t) update).
 func (r *ReadMap) SetEpoch(e ReadEntry) {
-	r.single, r.n, r.m = e, 1, nil
+	if r.n > 1 {
+		clear(r.m)
+	}
+	r.single, r.n = e, 1
 }
 
 // Remove discards thread t's entry if present (PACER's non-sampling-period
@@ -99,7 +107,7 @@ func (r *ReadMap) Remove(t Thread) bool {
 	switch {
 	case r.n == 0:
 		return false
-	case r.m != nil:
+	case r.n > 1:
 		if _, ok := r.m[t]; !ok {
 			return false
 		}
@@ -109,7 +117,7 @@ func (r *ReadMap) Remove(t Thread) bool {
 			for _, e := range r.m {
 				r.single = e
 			}
-			r.m = nil
+			clear(r.m)
 		}
 		return true
 	case r.single.T == t:
@@ -121,9 +129,12 @@ func (r *ReadMap) Remove(t Thread) bool {
 }
 
 // Clear empties the read map (FastTrack's modified write rule; PACER's
-// metadata discarding).
+// metadata discarding). The spare map is retained.
 func (r *ReadMap) Clear() {
-	r.single, r.n, r.m = ReadEntry{}, 0, nil
+	if r.n > 1 {
+		clear(r.m)
+	}
+	r.single, r.n = ReadEntry{}, 0
 }
 
 // Leq reports R ⊑ C: every entry's clock is ≤ the corresponding component
@@ -132,7 +143,7 @@ func (r *ReadMap) Leq(vc *VC) bool {
 	switch {
 	case r.n == 0:
 		return true
-	case r.m != nil:
+	case r.n > 1:
 		for t, e := range r.m {
 			if e.C > vc.Get(t) {
 				return false
@@ -151,7 +162,7 @@ func (r *ReadMap) Leq(vc *VC) bool {
 func (r *ReadMap) Racing(vc *VC, fn func(ReadEntry)) {
 	switch {
 	case r.n == 0:
-	case r.m != nil:
+	case r.n > 1:
 		ts := make([]Thread, 0, len(r.m))
 		for t := range r.m {
 			ts = append(ts, t)
@@ -173,7 +184,7 @@ func (r *ReadMap) Racing(vc *VC, fn func(ReadEntry)) {
 func (r *ReadMap) ForEach(fn func(ReadEntry)) {
 	switch {
 	case r.n == 0:
-	case r.m != nil:
+	case r.n > 1:
 		ts := make([]Thread, 0, len(r.m))
 		for t := range r.m {
 			ts = append(ts, t)
@@ -188,10 +199,11 @@ func (r *ReadMap) ForEach(fn func(ReadEntry)) {
 }
 
 // MemoryWords approximates the read map's footprint in 8-byte words for the
-// space accountant.
+// space accountant. A retained spare map is not charged: the accountant
+// models the algorithm's live metadata (Figure 10), not allocator slack.
 func (r *ReadMap) MemoryWords() int {
-	if r.m != nil {
-		return 2 + 3*len(r.m)
+	if r.n > 1 {
+		return 2 + 3*r.n
 	}
 	return 4
 }

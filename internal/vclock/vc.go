@@ -16,9 +16,14 @@ import (
 // 10, 11, 16). The flag is never cleared on a shared instance — only a
 // fresh Clone starts out unshared — mirroring the paper's "once an object
 // is marked shared it remains that way for the rest of its lifetime".
+// A VC may additionally be owned by an Allocator (see alloc.go): managed
+// clocks carry a holder count and are recycled through Retain/Release;
+// heap clocks (alloc nil) behave exactly as before.
 type VC struct {
 	c      []uint64
 	shared bool
+	alloc  Allocator // nil = heap-backed (the garbage collector reclaims)
+	ref    int32     // holder count; meaningful only when alloc != nil
 }
 
 // New returns a vector clock with capacity for n threads, all zero.
@@ -91,19 +96,31 @@ func (v *VC) Leq(o *VC) bool {
 }
 
 // CopyFrom performs a deep, element-by-element copy of o into v. The
-// receiver must not be shared.
+// receiver must not be shared. A shrinking copy zeroes the vacated tail,
+// so a later grow() re-exposes zeros, never stale clock values.
 func (v *VC) CopyFrom(o *VC) {
 	v.mustOwn()
+	prev := len(v.c)
 	if cap(v.c) < len(o.c) {
 		v.c = make([]uint64, len(o.c))
 	} else {
 		v.c = v.c[:len(o.c)]
+		if len(o.c) < prev {
+			clear(v.c[len(o.c):prev])
+		}
 	}
 	copy(v.c, o.c)
 }
 
-// Clone returns a deep, unshared copy of v.
+// Clone returns a deep, unshared copy of v, drawn from v's allocator when
+// it is managed (so arena-backed detectors never fall back to the heap on
+// the copy-on-write path).
 func (v *VC) Clone() *VC {
+	if v.alloc != nil {
+		n := v.alloc.NewVC(len(v.c))
+		copy(n.c, v.c)
+		return n
+	}
 	n := &VC{c: make([]uint64, len(v.c))}
 	copy(n.c, v.c)
 	return n
