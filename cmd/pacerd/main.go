@@ -17,6 +17,11 @@
 // ReporterOptions.AuthToken); unauthenticated pushes get 401 and count in
 // the pacer_collector_unauthorized_total metric.
 //
+// With -instance-ttl set, instances that stop pushing drop out of /races
+// and /metrics once unseen for that long (lazy expiry, counted in
+// pacer_collector_instances_expired_total); by default snapshots are kept
+// for the daemon's lifetime.
+//
 // pacerd shuts down gracefully on SIGTERM/SIGINT: in-flight requests get
 // -shutdown-timeout to complete before the listener is torn down.
 //
@@ -51,9 +56,11 @@ func main() {
 		"largest accepted push after gzip inflation, in bytes (0 = 10x max-push-bytes)")
 	authToken := flag.String("auth-token", "",
 		"when set, /v1/push requires 'Authorization: Bearer <token>' with this token (reporters set ReporterOptions.AuthToken)")
+	instanceTTL := flag.Duration("instance-ttl", 0,
+		"expire instances not seen for this long from /races and /metrics, e.g. 24h (0 = keep forever)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintf(os.Stderr, "usage: pacerd [-listen addr] [-shutdown-timeout d] [-max-push-bytes n] [-max-push-decompressed-bytes n] [-auth-token t]\n")
+		fmt.Fprintf(os.Stderr, "usage: pacerd [-listen addr] [-shutdown-timeout d] [-max-push-bytes n] [-max-push-decompressed-bytes n] [-auth-token t] [-instance-ttl d]\n")
 		os.Exit(2)
 	}
 	log.SetPrefix("pacerd: ")
@@ -63,9 +70,13 @@ func main() {
 		MaxBodyBytes:         *maxBody,
 		MaxDecompressedBytes: *maxInflated,
 		AuthToken:            *authToken,
+		InstanceTTL:          *instanceTTL,
 	})
 	if *authToken != "" {
 		log.Printf("push authentication enabled (bearer token)")
+	}
+	if *instanceTTL > 0 {
+		log.Printf("instance retention enabled: expiring instances unseen for %v", *instanceTTL)
 	}
 	srv := &http.Server{
 		Handler:           col.Handler(),

@@ -1,0 +1,157 @@
+// Stress tests for the sharded FASTTRACK mount: always-on detection driven
+// through the concurrent front-end's striped reader-writer path and the
+// lock-free same-epoch dismissal. Run under `go test -race` (CI does) so
+// the Go race detector audits the sharded ingestion itself; the assertions
+// check operation conservation across all three ingestion paths and the
+// always-sampling discipline (Sampling stays true; dismissals are only the
+// provably-no-op same-epoch accesses).
+package pacer_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pacer"
+)
+
+// TestFastTrackShardedStressStatsConservation hammers a FASTTRACK-mounted
+// detector from many goroutines and checks that Stats sees exactly the
+// issued operation counts — nothing is lost or double-counted across the
+// lock-free same-epoch dismissals, the sharded slow path, and the
+// serialized sync path — and that the same-epoch fast path actually fires
+// (repeated private accesses within an epoch are its bread and butter).
+func TestFastTrackShardedStressStatsConservation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		arena bool
+	}{{"heap", false}, {"arena", true}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const goroutines = 8
+			const opsPer = 4000
+			var raceCount atomic.Uint64
+			d := pacer.New(pacer.Options{
+				Algorithm: "fasttrack",
+				PeriodOps: 256,
+				Seed:      3,
+				Shards:    8, // small shard count: more same-shard contention
+				Arena:     tc.arena,
+				OnRace:    func(pacer.Race) { raceCount.Add(1) },
+			})
+			if d.ShardCount() != 8 {
+				t.Fatalf("ShardCount = %d, want 8: FASTTRACK should mount sharded", d.ShardCount())
+			}
+			if !d.Sampling() {
+				t.Fatal("always-on backend must report Sampling() == true")
+			}
+			main := d.NewThread()
+			shared := d.NewVarID()
+			m := d.NewMutex()
+			var issuedReads, issuedWrites atomic.Uint64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				tid := d.Fork(main)
+				wg.Add(1)
+				go func(tid pacer.ThreadID, g int) {
+					defer wg.Done()
+					private := d.NewVarID()
+					for i := 0; i < opsPer; i++ {
+						switch i % 8 {
+						case 0: // unsynchronized shared write: race-prone
+							d.Write(tid, shared, pacer.SiteID(g))
+							issuedWrites.Add(1)
+						case 1:
+							m.Lock(tid)
+							d.Read(tid, shared, pacer.SiteID(g+100))
+							m.Unlock(tid)
+							issuedReads.Add(1)
+						case 2, 3: // private writes: distinct shards in parallel
+							d.Write(tid, private, pacer.SiteID(g+200))
+							issuedWrites.Add(1)
+						default:
+							d.Read(tid, private, pacer.SiteID(g+300))
+							issuedReads.Add(1)
+						}
+					}
+				}(tid, g)
+			}
+			wg.Wait()
+			s := d.Stats()
+			if s.Reads != issuedReads.Load() {
+				t.Errorf("Stats.Reads = %d, issued %d", s.Reads, issuedReads.Load())
+			}
+			if s.Writes != issuedWrites.Load() {
+				t.Errorf("Stats.Writes = %d, issued %d", s.Writes, issuedWrites.Load())
+			}
+			if s.FastPathReads == 0 || s.FastPathWrites == 0 {
+				t.Errorf("same-epoch fast path never fired: %d reads, %d writes dismissed",
+					s.FastPathReads, s.FastPathWrites)
+			}
+			if s.SyncOps == 0 {
+				t.Error("sync ops not counted")
+			}
+			if s.Races == 0 || raceCount.Load() == 0 {
+				t.Error("unsynchronized shared writes from 8 goroutines produced no race report")
+			}
+			if s.Races != raceCount.Load() {
+				t.Errorf("Stats.Races = %d, OnRace saw %d", s.Races, raceCount.Load())
+			}
+			if s.VarsTracked == 0 || s.MetadataWords == 0 {
+				t.Error("always-on detection tracked no metadata")
+			}
+			if s.ArenaEnabled != tc.arena {
+				t.Errorf("ArenaEnabled = %v, want %v", s.ArenaEnabled, tc.arena)
+			}
+			if tc.arena && s.ArenaSlabsLive == 0 {
+				t.Error("arena mount holds no live slabs after tracking metadata")
+			}
+		})
+	}
+}
+
+// TestFastTrackShardedMatchesSerializedRaces runs the identical
+// single-threaded operation sequence through a serialized and a sharded
+// FASTTRACK mount: with one thread the two paths must report the same
+// races in the same order.
+func TestFastTrackShardedMatchesSerializedRaces(t *testing.T) {
+	run := func(serialized bool) []pacer.Race {
+		var races []pacer.Race
+		d := pacer.New(pacer.Options{
+			Algorithm:  "fasttrack",
+			Serialized: serialized,
+			Seed:       7,
+			OnRace:     func(r pacer.Race) { races = append(races, r) },
+		})
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		v := d.NewVarID()
+		w := d.NewVarID()
+		site := pacer.SiteID(1)
+		for i := 0; i < 500; i++ {
+			d.Read(t0, w, site)
+			site++
+			if i%71 == 0 {
+				d.Write(t0, v, site)
+				site++
+				d.Write(t1, v, site)
+				site++
+				d.Read(t0, v, site)
+				site++
+			}
+		}
+		return races
+	}
+	ser, conc := run(true), run(false)
+	if len(ser) != len(conc) {
+		t.Fatalf("race counts differ: serialized %d, sharded %d", len(ser), len(conc))
+	}
+	for i := range ser {
+		if ser[i] != conc[i] {
+			t.Fatalf("race %d differs: serialized %+v, sharded %+v", i, ser[i], conc[i])
+		}
+	}
+	if len(ser) == 0 {
+		t.Fatal("workload produced no races")
+	}
+}

@@ -29,7 +29,9 @@ type Config struct {
 	// Seed drives any randomized behavior (LITERACE's burst resets).
 	// 0 means the backend's own default.
 	Seed int64
-	// Core tunes the PACER backend (sharding, ablation switches).
+	// Core tunes the PACER backend (sharding, ablation switches). The
+	// FASTTRACK backend adopts its Shards and Arena knobs too, so the
+	// front-end's Options.Shards/Arena reach both sharded backends.
 	Core core.Options
 	// LiteRace overrides the LITERACE sampler options; the zero value
 	// selects the paper's defaults with Seed applied.
@@ -90,8 +92,11 @@ func init() {
 	Register("pacer", func(report detector.Reporter, cfg Config) detector.Detector {
 		return core.NewWithOptions(report, cfg.Core)
 	})
-	Register("fasttrack", func(report detector.Reporter, _ Config) detector.Detector {
-		return fasttrack.New(report)
+	Register("fasttrack", func(report detector.Reporter, cfg Config) detector.Detector {
+		return fasttrack.NewWithOptions(report, fasttrack.Options{
+			Shards: cfg.Core.Shards,
+			Arena:  cfg.Core.Arena,
+		})
 	})
 	Register("generic", func(report detector.Reporter, _ Config) detector.Detector {
 		return generic.New(report)

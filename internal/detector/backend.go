@@ -49,6 +49,47 @@ type Sharded interface {
 	EnsureThreadSlots(n int)
 }
 
+// BurstSampler is implemented by detectors whose per-access sampling
+// decision depends only on a per-(method, thread) state machine (LITERACE's
+// bursty adaptive sampler), so a "skip this access" decision can be taken
+// without the caller's exclusive lock. TrySkip may be called concurrently
+// with any operation of other threads; the caller keeps its standing rule
+// that a single thread's operations are serialized, which makes the
+// probe-then-analyze sequence atomic per (method, thread) key.
+//
+// TrySkip returns true when the sampler decides this access is skipped —
+// the analysis would have been a no-op — consuming that decision, and the
+// caller must not route the access to Read/Write. When it returns false
+// the sampler state is left untouched: the caller routes the access to
+// Read/Write under its usual locking, and the detector takes the identical
+// decision there. Implementations must make decision streams per-key
+// deterministic (independent of cross-thread interleaving), so a
+// serialized replay of a recorded trace reproduces every decision.
+type BurstSampler interface {
+	TrySkip(method uint32, t vclock.Thread) bool
+}
+
+// EpochFast is implemented by Sharded detectors that publish enough state
+// atomically to prove, without any lock, that an access is a same-epoch
+// no-op — FastTrack's headline fast path (the majority of reads and writes
+// repeat an access the current epoch already recorded, and the analysis
+// leaves every structure untouched).
+//
+// TrySameEpoch reports whether a serialized detector observing this
+// operation at the instant of the internal loads would change no metadata
+// and report no race; a true result lets the caller dismiss the access
+// entirely. A false result proves nothing and routes the access to the
+// locked path. Implementations must publish their per-variable epoch
+// mirrors conservatively — cleared before the locked path mutates the
+// underlying state and republished only after it settles — so a true
+// result is sound at some linearization point between two locked
+// operations on the variable. The caller keeps its standing rule that a
+// single thread's operations are serialized, which makes the thread's own
+// epoch stable across the probe.
+type EpochFast interface {
+	TrySameEpoch(t vclock.Thread, x event.Var, write bool) bool
+}
+
 // ThreadReuser is implemented by detectors that can soundly recycle the
 // identifiers of dead, joined threads whose metadata has been discarded
 // (the accordion-clocks direction the paper recommends for production).

@@ -14,6 +14,9 @@ type BaseSync struct {
 	locks   map[event.Lock]*vclock.VC
 	vols    map[event.Volatile]*vclock.VC
 	c       *Counters
+	// alloc, when set, supplies the slab allocator clocks are drawn from,
+	// striped by the owning object's identifier (see SetAllocator).
+	alloc func(int) vclock.Allocator
 }
 
 // NewBaseSync returns a synchronization engine recording operation counts
@@ -26,6 +29,32 @@ func NewBaseSync(c *Counters) *BaseSync {
 	}
 }
 
+// SetAllocator installs a striped slab allocator for clock storage: newly
+// created thread, lock, and volatile clocks draw from alloc(id), where id
+// is the owning object's identifier (the allocator mods the stripe index,
+// so any stable integer works). Call before the first operation; nil (the
+// default) allocates from the heap.
+func (s *BaseSync) SetAllocator(alloc func(int) vclock.Allocator) { s.alloc = alloc }
+
+// newVC draws a fresh clock for stripe i, falling back to the heap when no
+// allocator is installed.
+func (s *BaseSync) newVC(i, n int) *vclock.VC {
+	if s.alloc != nil {
+		return s.alloc(i).NewVC(n)
+	}
+	return vclock.New(n)
+}
+
+// EnsureThreadSlots pre-grows the thread table to hold identifiers below
+// n, so that a sharded caller's shared-mode accesses never resize it (two
+// threads appending concurrently would race on the slice header; two
+// threads lazily filling distinct pre-grown slots do not).
+func (s *BaseSync) EnsureThreadSlots(n int) {
+	for len(s.threads) < n {
+		s.threads = append(s.threads, nil)
+	}
+}
+
 // ThreadClock returns C_t, creating it with C_t(t) = 1 on first use (the
 // initial analysis state of Equation 7 applies inc_t to ⊥c).
 func (s *BaseSync) ThreadClock(t vclock.Thread) *vclock.VC {
@@ -33,7 +62,7 @@ func (s *BaseSync) ThreadClock(t vclock.Thread) *vclock.VC {
 		s.threads = append(s.threads, nil)
 	}
 	if s.threads[t] == nil {
-		c := vclock.New(int(t) + 1)
+		c := s.newVC(int(t), int(t)+1)
 		c.Set(t, 1)
 		s.threads[t] = c
 	}
@@ -46,7 +75,7 @@ func (s *BaseSync) Threads() int { return len(s.threads) }
 func (s *BaseSync) lockClock(m event.Lock) *vclock.VC {
 	c, ok := s.locks[m]
 	if !ok {
-		c = vclock.New(0)
+		c = s.newVC(int(m), 0)
 		s.locks[m] = c
 	}
 	return c
@@ -55,7 +84,7 @@ func (s *BaseSync) lockClock(m event.Lock) *vclock.VC {
 func (s *BaseSync) volClock(vx event.Volatile) *vclock.VC {
 	c, ok := s.vols[vx]
 	if !ok {
-		c = vclock.New(0)
+		c = s.newVC(int(vx), 0)
 		s.vols[vx] = c
 	}
 	return c

@@ -7,15 +7,34 @@
 // ("New: clear read map" in Algorithm 8) so that it corresponds directly
 // with PACER; the original FastTrack behaviour is available via Options for
 // the ablation benchmarks.
+//
+// The detector implements the detector.Sharded contract, so the concurrent
+// public front-end drives it with the same striped reader-writer discipline
+// as the PACER core: accesses to variables in distinct shards proceed in
+// parallel while synchronization operations retain exclusive access. Unlike
+// PACER, FASTTRACK has no non-sampling periods — every access creates or
+// updates metadata — so the published sampling flag is constantly set and
+// the front-end's lock-free no-metadata dismissal never fires (dismissing a
+// first access would lose the read-map entry or write epoch it must
+// install). What an always-on detector can dismiss without a lock is its
+// own same-epoch no-op, the dominant case FastTrack was built around; the
+// detector.EpochFast capability publishes per-variable epoch mirrors so the
+// front-end serves exactly that case with a handful of atomic loads, and
+// everything else goes through the sharded slow path.
 package fasttrack
 
 import (
+	"sync"
+	"sync/atomic"
+
+	"pacer/internal/arena"
 	"pacer/internal/detector"
 	"pacer/internal/event"
 	"pacer/internal/vclock"
 )
 
-// Options tune the detector, mainly for ablation studies.
+// Options tune the detector: sharding and allocation for production
+// mounts, the remaining switches for ablation studies.
 type Options struct {
 	// KeepReadEpochOnWrite restores the original FastTrack behaviour of
 	// leaving a single-entry read map in place at a write (the paper's
@@ -25,21 +44,128 @@ type Options struct {
 	// matches the variable's current epoch, for the ablation benchmark
 	// measuring the value of FastTrack's same-epoch check.
 	DisableEpochFastPath bool
+	// Shards is the number of independent variable-metadata shards
+	// (rounded up to a power of two, default 64). Accesses to variables in
+	// distinct shards may run concurrently under the locking contract
+	// described on Detector.
+	Shards int
+	// Arena backs vector clocks and variable records with a slab arena
+	// (internal/arena) striped like the variable shards. FASTTRACK never
+	// discards metadata, so nothing is ever recycled back to a free list;
+	// the benefit is size-class capacity headroom on clock growth and
+	// uniform arena accounting in Stats. Race reports are identical either
+	// way (the differential suite enforces this).
+	Arena bool
+}
+
+const (
+	defaultShards = 64
+	// presenceBuckets sizes the lock-free metadata presence filter: a
+	// count of tracked variables per hash bucket, readable without any
+	// lock. A zero bucket proves the variables hashing to it hold no
+	// metadata; a nonzero bucket only sends the caller to the slow path.
+	presenceBuckets = 1 << 12
+	// indexCap bounds the direct-indexed variable table behind the
+	// same-epoch fast path. Identifiers at or above it (never produced by
+	// the front-end's sequential allocator) simply take the locked path.
+	indexCap = 1 << 22
+	// indexMin is the initial direct-index capacity.
+	indexMin = 1 << 10
+)
+
+// varShard is one slice of the variable-metadata table together with the
+// access-path counters accumulated for it. The trailing pad keeps shards
+// on distinct cache lines so parallel accesses do not false-share.
+type varShard struct {
+	vars  map[event.Var]*varMeta
+	stats detector.Counters
+	_     [64]byte
 }
 
 type varMeta struct {
 	w     vclock.Epoch
 	wSite event.Site
 	r     vclock.ReadMap
+	// aw and ar are lock-free mirrors of the write epoch and the
+	// single-entry read epoch (packed, zero meaning "no dismissal
+	// possible"), read by TrySameEpoch without any lock. The locked access
+	// paths maintain them conservatively: cleared before the underlying
+	// state mutates, republished only after it settles, so a nonzero value
+	// always equals the settled state of the last locked operation.
+	aw, ar atomic.Uint64
 }
 
-// Detector is the FASTTRACK analysis. It is not safe for concurrent use.
+// publishMirrors republishes both epoch mirrors from the record's settled
+// state. Called with the owning shard lock held, after every mutation.
+func (m *varMeta) publishMirrors() {
+	m.aw.Store(uint64(m.w))
+	if m.r.Size() == 1 {
+		m.ar.Store(uint64(m.r.Single().Epoch()))
+	} else {
+		m.ar.Store(0)
+	}
+}
+
+// Detector is the FASTTRACK analysis. It is not safe for unrestricted
+// concurrent use, but it admits the sharded reader-writer discipline of
+// detector.Sharded, which the public pacer package exploits:
+//
+//   - Synchronization operations (Acquire, Release, Fork, Join, VolRead,
+//     VolWrite), Stats, VarsTracked, and MetadataWords require exclusive
+//     access (no other call in flight).
+//   - Read and Write may run concurrently with each other provided (a)
+//     calls whose variables share a shard (ShardOf) are serialized by the
+//     caller, (b) no exclusive-class call is in flight, (c) every thread
+//     identifier was announced via EnsureThreadSlots (or a prior exclusive
+//     call) before its first shared-mode access, and (d) a single thread's
+//     operations are never issued concurrently with each other.
+//
+// Under that contract accesses only read their own thread's clock (stable
+// between synchronization operations) and mutate per-shard state, so any
+// interleaving is equivalent to some serialized execution of the same
+// operations.
+//
+// StateWord, MetaPossible, and TrySameEpoch may be called lock-free at any
+// time. Because FASTTRACK analyzes every access, the state word's sampling
+// flag is constantly set — callers implementing the PACER-shaped "skip when
+// not sampling" dismissal therefore always fall through, which is the only
+// sound behavior for an always-on detector whose first accesses install
+// metadata. TrySameEpoch is the dismissal that is sound: it proves from the
+// published epoch mirrors that the access repeats the variable's current
+// epoch, making the analysis a guaranteed no-op.
 type Detector struct {
-	sync   *detector.BaseSync
-	vars   map[event.Var]*varMeta
-	report detector.Reporter
-	stats  detector.Counters
-	opts   Options
+	sync *detector.BaseSync
+	// state publishes the sampling flag (bit 0) and a transition count
+	// (upper bits). FASTTRACK never transitions, so the word is the
+	// constant 1: flag set, zero transitions, trivially satisfying the
+	// two-equal-loads protocol of the Sharded contract.
+	state      atomic.Uint64
+	shards     []varShard
+	shardShift uint32 // 32 - log2(len(shards)): ShardOf keeps the hash's high bits
+	// presence counts tracked variables per hash bucket, maintained
+	// increment-before-insert so a zero read proves absence at the instant
+	// of the load. FASTTRACK never discards metadata, so buckets never
+	// decrement.
+	presence []atomic.Int32
+	// idx is the grow-only direct index behind the same-epoch fast path:
+	// variable identifier → metadata record, readable without any lock.
+	// All writes (slot stores and growth) serialize on growMu; growth
+	// copies and republishes, so readers always hold a consistent array.
+	idx    atomic.Pointer[[]atomic.Pointer[varMeta]]
+	growMu sync.Mutex
+	// tepochs publishes each thread's own epoch c@t for the same-epoch
+	// probe. Grown only by EnsureThreadSlots (exclusive access); entries
+	// are written by the owning thread's operations — which the caller
+	// serializes — and read lock-free only by that thread's own probes.
+	tepochs atomic.Pointer[[]atomic.Uint64]
+	report  detector.Reporter
+	stats    detector.Counters // sync-path counters; access counters live per shard
+	snap     detector.Counters // Stats() aggregation scratch
+	opts     Options
+	// arena and varPool back metadata allocation behind Options.Arena;
+	// both nil on the default heap path.
+	arena   *arena.Arena
+	varPool *arena.Records[varMeta]
 }
 
 var (
@@ -47,6 +173,9 @@ var (
 	_ detector.Counted         = (*Detector)(nil)
 	_ detector.MemoryAccounted = (*Detector)(nil)
 	_ detector.VarAccounted    = (*Detector)(nil)
+	_ detector.Sharded         = (*Detector)(nil)
+	_ detector.EpochFast       = (*Detector)(nil)
+	_ detector.ArenaAccounted  = (*Detector)(nil)
 )
 
 // New returns a FASTTRACK detector with default options.
@@ -56,28 +185,203 @@ func New(report detector.Reporter) *Detector {
 
 // NewWithOptions returns a FASTTRACK detector with explicit options.
 func NewWithOptions(report detector.Reporter, opts Options) *Detector {
-	d := &Detector{vars: make(map[event.Var]*varMeta), report: report, opts: opts}
+	n := opts.Shards
+	if n <= 0 {
+		n = defaultShards
+	}
+	bits := uint32(0)
+	for 1<<bits < n {
+		bits++
+	}
+	d := &Detector{
+		shards:     make([]varShard, 1<<bits),
+		shardShift: 32 - bits,
+		presence:   make([]atomic.Int32, presenceBuckets),
+		report:     report,
+		opts:       opts,
+	}
+	for i := range d.shards {
+		d.shards[i].vars = make(map[event.Var]*varMeta)
+	}
 	d.sync = detector.NewBaseSync(&d.stats)
+	if opts.Arena {
+		d.arena = arena.New(arena.Options{Shards: len(d.shards)})
+		d.varPool = arena.NewRecords[varMeta](d.arena, func(m *varMeta) {
+			m.w = 0
+			m.wSite = 0
+			m.r.Clear() // keeps the read map's spilled-map spare
+			m.aw.Store(0)
+			m.ar.Store(0)
+		})
+		d.sync.SetAllocator(d.arena.Shard)
+	}
+	// Always-on: the sampling flag is set for the detector's whole life.
+	d.state.Store(1)
 	return d
 }
 
 // Name implements detector.Detector.
 func (d *Detector) Name() string { return "fasttrack" }
 
-// Stats returns the detector's operation counters.
-func (d *Detector) Stats() *detector.Counters { return &d.stats }
+// Stats returns the detector's operation counters, aggregated across the
+// variable shards. Exclusive access required; the returned pointer is to a
+// snapshot that the next Stats call overwrites.
+func (d *Detector) Stats() *detector.Counters {
+	d.snap = d.stats
+	for i := range d.shards {
+		d.snap.Add(&d.shards[i].stats)
+	}
+	return &d.snap
+}
 
-func (d *Detector) varMeta(x event.Var) *varMeta {
-	m, ok := d.vars[x]
+// Shards returns the number of variable-metadata shards; the caller's
+// striped locks must cover indices [0, Shards()).
+func (d *Detector) Shards() int { return len(d.shards) }
+
+// ShardOf maps a variable to its metadata shard (Fibonacci hashing on the
+// identifier's high output bits).
+func (d *Detector) ShardOf(x event.Var) int {
+	return int((uint32(x) * 2654435761) >> d.shardShift)
+}
+
+func (d *Detector) presenceOf(x event.Var) *atomic.Int32 {
+	return &d.presence[(uint32(x)*2654435761)&(presenceBuckets-1)]
+}
+
+// StateWord returns the atomically published sampling state. For FASTTRACK
+// it is the constant 1 — flag bit set, zero transitions — because every
+// access is analyzed.
+func (d *Detector) StateWord() uint64 { return d.state.Load() }
+
+// MetaPossible reports whether variable x might currently hold metadata.
+// It is safe to call without any lock: a false result proves x held no
+// metadata at the instant of the internal load; a true result may be a
+// hash collision and only obliges the caller to take the slow path. (With
+// the sampling flag constantly set, the front-end never consults this to
+// dismiss an access; the filter is maintained so the Sharded contract's
+// invariants hold regardless of the caller's probe order.)
+func (d *Detector) MetaPossible(x event.Var) bool {
+	return d.presenceOf(x).Load() > 0
+}
+
+// EnsureThreadSlots pre-grows the thread table to hold identifiers below
+// n, so that shared-mode Read/Write calls never resize it. It also grows
+// the published thread-epoch table the same-epoch fast path reads (a
+// thread with no slot simply never fast-paths). Requires exclusive access.
+func (d *Detector) EnsureThreadSlots(n int) {
+	d.sync.EnsureThreadSlots(n)
+	te := d.tepochs.Load()
+	cur := 0
+	if te != nil {
+		cur = len(*te)
+	}
+	if cur >= n {
+		return
+	}
+	grown := make([]atomic.Uint64, n)
+	for i := 0; i < cur; i++ {
+		grown[i].Store((*te)[i].Load())
+	}
+	d.tepochs.Store(&grown)
+}
+
+// publishEpoch republishes thread t's own packed epoch c@t after an
+// operation that may have advanced it. Entries are only ever written by
+// operations of thread t itself (or operations ordered before t's first
+// use, like the fork that created it), which the caller serializes.
+func (d *Detector) publishEpoch(t vclock.Thread) {
+	te := d.tepochs.Load()
+	if te == nil || int(t) >= len(*te) {
+		return
+	}
+	c := d.sync.ThreadClock(t)
+	(*te)[t].Store(uint64(vclock.MakeEpoch(t, c.Get(t))))
+}
+
+// TrySameEpoch implements detector.EpochFast: a lock-free proof that the
+// access repeats the variable's current epoch and the analysis would be a
+// no-op (Algorithm 7/8, line 1 — the overwhelmingly common case). The
+// thread's published epoch is stable during the call (only t's own
+// operations advance it); a nonzero variable mirror equals the settled
+// state of the last locked operation on the variable, so a match
+// linearizes the access right after that operation, where the serialized
+// detector dismisses it without touching metadata.
+func (d *Detector) TrySameEpoch(t vclock.Thread, x event.Var, write bool) bool {
+	if d.opts.DisableEpochFastPath {
+		return false
+	}
+	te := d.tepochs.Load()
+	if te == nil || int(t) >= len(*te) {
+		return false
+	}
+	e := (*te)[t].Load()
+	if e == 0 {
+		return false
+	}
+	ix := d.idx.Load()
+	if ix == nil || int(uint32(x)) >= len(*ix) {
+		return false
+	}
+	m := (*ix)[x].Load()
+	if m == nil {
+		return false
+	}
+	if write {
+		return m.aw.Load() == e
+	}
+	return m.ar.Load() == e
+}
+
+// indexMeta publishes x's metadata record in the direct index. Called
+// once per variable, from under its shard lock; growMu serializes with
+// inserts from other shards and makes growth copy-then-republish safe.
+func (d *Detector) indexMeta(x event.Var, m *varMeta) {
+	if uint32(x) >= indexCap {
+		return
+	}
+	d.growMu.Lock()
+	ix := d.idx.Load()
+	if ix == nil || int(uint32(x)) >= len(*ix) {
+		n := indexMin
+		if ix != nil {
+			n = len(*ix)
+		}
+		for n <= int(uint32(x)) {
+			n *= 2
+		}
+		grown := make([]atomic.Pointer[varMeta], n)
+		if ix != nil {
+			for i := range *ix {
+				grown[i].Store((*ix)[i].Load())
+			}
+		}
+		d.idx.Store(&grown)
+		ix = &grown
+	}
+	(*ix)[x].Store(m)
+	d.growMu.Unlock()
+}
+
+// varMetaFor returns x's metadata record in shard si, creating it on first
+// access (FASTTRACK tracks every variable it ever sees).
+func (d *Detector) varMetaFor(si int, x event.Var) *varMeta {
+	sh := &d.shards[si]
+	m, ok := sh.vars[x]
 	if !ok {
-		m = &varMeta{}
-		d.vars[x] = m
+		if d.varPool != nil {
+			m = d.varPool.Get(si)
+		} else {
+			m = &varMeta{}
+		}
+		d.presenceOf(x).Add(1) // before insert: a zero presence read proves absence
+		sh.vars[x] = m
+		d.indexMeta(x, m) // mirrors are still zero: not yet dismissable
 	}
 	return m
 }
 
-func (d *Detector) emit(r detector.Race) {
-	d.stats.Races++
+func (d *Detector) emit(sh *varShard, r detector.Race) {
+	sh.stats.Races++
 	if d.report != nil {
 		d.report(r)
 	}
@@ -85,19 +389,25 @@ func (d *Detector) emit(r detector.Race) {
 
 // Read implements Algorithm 7.
 func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
-	d.stats.ReadSlow[detector.Sampling]++
+	si := d.ShardOf(x)
+	sh := &d.shards[si]
+	sh.stats.ReadSlow[detector.Sampling]++
 	ct := d.sync.ThreadClock(t)
-	m := d.varMeta(x)
+	d.publishEpoch(t)
+	m := d.varMetaFor(si, x)
 
-	// Same epoch: R_x = epoch(t) → no action.
+	// Same epoch: R_x = epoch(t) → no action (mirrors already settled).
 	if !d.opts.DisableEpochFastPath && m.r.Size() == 1 {
 		if e := m.r.Single(); e.T == t && e.C == ct.Get(t) {
 			return
 		}
 	}
+	// The read map is about to change: close the lock-free read dismissal
+	// until the new state is settled and republished.
+	m.ar.Store(0)
 	// check W_x ⊑ C_t.
 	if !m.w.Leq(ct) {
-		d.emit(detector.Race{
+		d.emit(sh, detector.Race{
 			Var: x, Kind: detector.WriteRead,
 			FirstThread: m.w.Thread(), SecondThread: t,
 			FirstSite: m.wSite, SecondSite: site,
@@ -110,22 +420,30 @@ func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32)
 	} else {
 		m.r.Set(t, ct.Get(t), uint32(site))
 	}
+	m.publishMirrors()
 }
 
 // Write implements Algorithm 8 (with the paper's read-map clearing).
 func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32) {
-	d.stats.WriteSlow[detector.Sampling]++
+	si := d.ShardOf(x)
+	sh := &d.shards[si]
+	sh.stats.WriteSlow[detector.Sampling]++
 	ct := d.sync.ThreadClock(t)
-	m := d.varMeta(x)
+	d.publishEpoch(t)
+	m := d.varMetaFor(si, x)
 
-	// Same epoch: W_x = epoch(t) → no action.
+	// Same epoch: W_x = epoch(t) → no action (mirrors already settled).
 	if !d.opts.DisableEpochFastPath && !m.w.IsZero() &&
 		m.w.Thread() == t && m.w.Clock() == ct.Get(t) {
 		return
 	}
+	// Both the write epoch and the read map are about to change: close the
+	// lock-free dismissals until the new state is settled and republished.
+	m.aw.Store(0)
+	m.ar.Store(0)
 	// check W_x ⊑ C_t.
 	if !m.w.Leq(ct) {
-		d.emit(detector.Race{
+		d.emit(sh, detector.Race{
 			Var: x, Kind: detector.WriteWrite,
 			FirstThread: m.w.Thread(), SecondThread: t,
 			FirstSite: m.wSite, SecondSite: site,
@@ -133,7 +451,7 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	}
 	// check R_x ⊑ C_t, reporting one race per concurrent prior read.
 	m.r.Racing(ct, func(e vclock.ReadEntry) {
-		d.emit(detector.Race{
+		d.emit(sh, detector.Race{
 			Var: x, Kind: detector.ReadWrite,
 			FirstThread: e.T, SecondThread: t,
 			FirstSite: event.Site(e.Site), SecondSite: site,
@@ -146,35 +464,88 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	}
 	m.w = vclock.MakeEpoch(t, ct.Get(t))
 	m.wSite = site
+	m.publishMirrors()
 }
 
+// The synchronization wrappers republish the involved threads' epochs
+// after the clock updates: a release (or fork, join, volatile write)
+// advances the issuing thread's epoch, and a stale published epoch could
+// let TrySameEpoch dismiss an access from the new epoch against
+// metadata recorded in the old one.
+
 // Acquire implements Algorithm 1.
-func (d *Detector) Acquire(t vclock.Thread, m event.Lock) { d.sync.Acquire(t, m) }
+func (d *Detector) Acquire(t vclock.Thread, m event.Lock) {
+	d.sync.Acquire(t, m)
+	d.publishEpoch(t)
+}
 
 // Release implements Algorithm 2.
-func (d *Detector) Release(t vclock.Thread, m event.Lock) { d.sync.Release(t, m) }
+func (d *Detector) Release(t vclock.Thread, m event.Lock) {
+	d.sync.Release(t, m)
+	d.publishEpoch(t)
+}
 
 // Fork implements Algorithm 3.
-func (d *Detector) Fork(t, u vclock.Thread) { d.sync.Fork(t, u) }
+func (d *Detector) Fork(t, u vclock.Thread) {
+	d.sync.Fork(t, u)
+	d.publishEpoch(t)
+	d.publishEpoch(u)
+}
 
 // Join implements Algorithm 4.
-func (d *Detector) Join(t, u vclock.Thread) { d.sync.Join(t, u) }
+func (d *Detector) Join(t, u vclock.Thread) {
+	d.sync.Join(t, u)
+	d.publishEpoch(t)
+	d.publishEpoch(u)
+}
 
 // VolRead implements Algorithm 14.
-func (d *Detector) VolRead(t vclock.Thread, vx event.Volatile) { d.sync.VolRead(t, vx) }
+func (d *Detector) VolRead(t vclock.Thread, vx event.Volatile) {
+	d.sync.VolRead(t, vx)
+	d.publishEpoch(t)
+}
 
 // VolWrite implements Algorithm 15.
-func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) { d.sync.VolWrite(t, vx) }
+func (d *Detector) VolWrite(t vclock.Thread, vx event.Volatile) {
+	d.sync.VolWrite(t, vx)
+	d.publishEpoch(t)
+}
 
 // VarsTracked implements detector.VarAccounted. FASTTRACK never discards
 // metadata, so this is every variable ever accessed.
-func (d *Detector) VarsTracked() int { return len(d.vars) }
+func (d *Detector) VarsTracked() int {
+	n := 0
+	for i := range d.shards {
+		n += len(d.shards[i].vars)
+	}
+	return n
+}
 
 // MetadataWords implements detector.MemoryAccounted.
 func (d *Detector) MetadataWords() int {
 	w := d.sync.MetadataWords()
-	for _, m := range d.vars {
-		w += 2 + m.r.MemoryWords()
+	for i := range d.shards {
+		for _, m := range d.shards[i].vars {
+			// Write epoch + site, the two published epoch mirrors, and
+			// the read map.
+			w += 4 + m.r.MemoryWords()
+		}
 	}
 	return w
+}
+
+// ArenaStats implements detector.ArenaAccounted. The bool result is false
+// on the default heap path.
+func (d *Detector) ArenaStats() (detector.ArenaStats, bool) {
+	if d.arena == nil {
+		return detector.ArenaStats{}, false
+	}
+	st := d.arena.Stats()
+	return detector.ArenaStats{
+		SlabsLive: st.Live,
+		SlabsFree: st.Free,
+		Recycles:  st.Recycles,
+		Misses:    st.Misses,
+		Trimmed:   st.Trimmed,
+	}, true
 }

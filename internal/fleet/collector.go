@@ -29,6 +29,13 @@ type CollectorOptions struct {
 	// Clock supplies last-seen timestamps; tests inject a fake. Default
 	// time.Now.
 	Clock func() time.Time
+	// InstanceTTL, when positive, expires instances whose last push is
+	// older than this: a decommissioned or renamed instance drops out of
+	// /races and /metrics after the TTL instead of haunting the merged
+	// view forever. Expiry is lazy (checked on pushes and reads), so no
+	// background goroutine is needed. Zero retains instances for the
+	// collector's lifetime.
+	InstanceTTL time.Duration
 }
 
 // instanceState is the collector's memory of one instance: its latest
@@ -65,6 +72,7 @@ type Collector struct {
 	badPushes uint64 // rejected pushes (decode/validation failures)
 	stale     uint64 // accepted-but-ignored pushes (seq not newer)
 	unauth    uint64 // pushes rejected for a missing or wrong bearer token
+	expired   uint64 // instances dropped after outliving InstanceTTL
 }
 
 // NewCollector returns an empty collector.
@@ -126,6 +134,7 @@ func (c *Collector) handlePush(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	c.mu.Lock()
+	c.expireLocked()
 	c.pushes++
 	st := c.instances[p.Instance]
 	if st == nil {
@@ -154,6 +163,25 @@ func (c *Collector) handlePush(w http.ResponseWriter, req *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// expireLocked drops instances whose last push is older than InstanceTTL.
+// Callers hold c.mu. Lazy expiry keeps the collector goroutine-free: the
+// merged view and the metrics page are the only observers of instance
+// state, so evicting on their reads (and on pushes, which would resurrect
+// an expired name anyway) is indistinguishable from a background sweep.
+func (c *Collector) expireLocked() {
+	ttl := c.opts.InstanceTTL
+	if ttl <= 0 {
+		return
+	}
+	cutoff := c.opts.Clock().Add(-ttl)
+	for name, st := range c.instances {
+		if st.lastSeen.Before(cutoff) {
+			delete(c.instances, name)
+			c.expired++
+		}
+	}
+}
+
 // authorized checks the push's bearer token against CollectorOptions.
 // AuthToken (always true when no token is configured). Constant-time, so
 // the comparison leaks nothing about how much of a guessed token matched.
@@ -174,6 +202,7 @@ func (c *Collector) authorized(req *http.Request) bool {
 // aggregator.
 func (c *Collector) Merged() (*pacer.Aggregator, error) {
 	c.mu.Lock()
+	c.expireLocked()
 	names := make([]string, 0, len(c.instances))
 	blobs := make(map[string][]byte, len(c.instances))
 	for name, st := range c.instances {
@@ -227,7 +256,8 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		arena    *ArenaGauges
 	}
 	c.mu.Lock()
-	pushes, bad, stale, unauth := c.pushes, c.badPushes, c.stale, c.unauth
+	c.expireLocked()
+	pushes, bad, stale, unauth, expired := c.pushes, c.badPushes, c.stale, c.unauth, c.expired
 	rows := make([]instRow, 0, len(c.instances))
 	for name, st := range c.instances {
 		rows = append(rows, instRow{name, st.seq, st.dropped, st.lastSeen, st.arena})
@@ -255,6 +285,9 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintf(w, "# HELP pacer_collector_stale_pushes_total Pushes acknowledged without effect (sequence not newer).\n")
 	fmt.Fprintf(w, "# TYPE pacer_collector_stale_pushes_total counter\n")
 	fmt.Fprintf(w, "pacer_collector_stale_pushes_total %d\n", stale)
+	fmt.Fprintf(w, "# HELP pacer_collector_instances_expired_total Instances dropped after going unseen for longer than the retention TTL.\n")
+	fmt.Fprintf(w, "# TYPE pacer_collector_instances_expired_total counter\n")
+	fmt.Fprintf(w, "pacer_collector_instances_expired_total %d\n", expired)
 	fmt.Fprintf(w, "# HELP pacer_collector_instances Instances with a snapshot on file.\n")
 	fmt.Fprintf(w, "# TYPE pacer_collector_instances gauge\n")
 	fmt.Fprintf(w, "pacer_collector_instances %d\n", len(rows))

@@ -788,3 +788,100 @@ func TestFleetArenaGauges(t *testing.T) {
 		t.Errorf("arena instance reports zero live slabs with live threads:\n%s", metrics)
 	}
 }
+
+// TestFleetCollectorInstanceTTL pins the retention contract: with
+// InstanceTTL set, an instance that stops pushing drops out of /races and
+// /metrics once its last push is older than the TTL (counted in the
+// expired-instances metric), instances still pushing are untouched, and a
+// fresh push from an expired name simply re-registers it.
+func TestFleetCollectorInstanceTTL(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	col := fleet.NewCollector(fleet.CollectorOptions{
+		InstanceTTL: time.Hour,
+		Clock: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		},
+	})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	push := func(instance string, seq uint64, v pacer.VarID) {
+		t.Helper()
+		agg := pacer.NewAggregator()
+		agg.Reporter(instance)(pacer.Race{Var: v, Kind: pacer.WriteRead, FirstSite: 10, SecondSite: 11})
+		races, _ := json.Marshal(agg)
+		var body bytes.Buffer
+		err := fleet.EncodePush(&body, &fleet.Push{
+			Version: fleet.SchemaVersion, Instance: instance, Seq: seq, Races: races,
+		})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		resp, err := http.Post(srv.URL+fleet.PushPath, "application/json", &body)
+		if err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("push %s seq %d: status %d", instance, seq, resp.StatusCode)
+		}
+	}
+
+	push("inst-old", 1, 1)
+	advance(30 * time.Minute)
+	push("inst-live", 1, 2)
+
+	// Both within the TTL: the merged view carries both races.
+	if agg, err := col.Merged(); err != nil || agg.Distinct() != 2 {
+		t.Fatalf("Merged before expiry: distinct %v, err %v", agg.Distinct(), err)
+	}
+
+	// 75 minutes after inst-old's only push (45 after inst-live's): only
+	// inst-old has outlived the one-hour TTL.
+	advance(45 * time.Minute)
+	races := string(httpGet(t, srv.URL+"/races"))
+	if strings.Contains(races, `"inst-old"`) {
+		t.Errorf("/races still lists the expired instance:\n%s", races)
+	}
+	if !strings.Contains(races, `"inst-live"`) {
+		t.Errorf("/races lost the live instance:\n%s", races)
+	}
+	metrics := string(httpGet(t, srv.URL+"/metrics"))
+	for _, want := range []string{
+		"pacer_collector_instances 1\n",
+		"pacer_collector_instances_expired_total 1\n",
+		`pacer_collector_instance_last_seen_timestamp_seconds{instance="inst-live"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if strings.Contains(metrics, `instance="inst-old"`) {
+		t.Errorf("metrics still carry series for the expired instance:\n%s", metrics)
+	}
+
+	// The expired name pushing again is a fresh registration.
+	push("inst-old", 5, 3)
+	if agg, err := col.Merged(); err != nil || agg.Distinct() != 2 {
+		t.Fatalf("Merged after re-registration: distinct %v, err %v", agg.Distinct(), err)
+	}
+
+	// Everyone falls silent: past the TTL the fleet view is empty, and both
+	// evictions are on the books.
+	advance(2 * time.Hour)
+	if agg, err := col.Merged(); err != nil || agg.Distinct() != 0 {
+		t.Fatalf("Merged after full expiry: distinct %v, err %v", agg.Distinct(), err)
+	}
+	if m := string(httpGet(t, srv.URL+"/metrics")); !strings.Contains(m, "pacer_collector_instances_expired_total 3\n") {
+		t.Errorf("expired counter after all evictions wrong:\n%s", m)
+	}
+}

@@ -12,10 +12,20 @@
 // trials can catch different races, and variable metadata is never
 // discarded — which is why LITERACE's space overhead does not scale with
 // its effective sampling rate (Figure 10).
+//
+// The randomized resets draw from a per-(method, thread) stream seeded
+// deterministically from Options.Seed and the key, so a key's decision
+// sequence depends only on its own access count — never on how accesses of
+// different keys interleave. That order-independence is what makes the
+// detector.BurstSampler capability sound: the front-end may consume skip
+// decisions lock-free (TrySkip) while other threads are mid-analysis, and
+// a serialized replay of the recorded trace still reproduces every
+// decision exactly.
 package literace
 
 import (
 	"math/rand"
+	"sync"
 
 	"pacer/internal/detector"
 	"pacer/internal/event"
@@ -51,20 +61,35 @@ type methodThread struct {
 
 type samplerState struct {
 	rate  float64
-	burst int // sampled accesses remaining in the current burst
-	skip  int // accesses to skip before the next burst
+	burst int        // sampled accesses remaining in the current burst
+	skip  int        // accesses to skip before the next burst
+	rng   *rand.Rand // per-key reset stream, deterministic in (Seed, key)
 }
 
-// Detector is the online LITERACE analysis. It is not safe for concurrent
-// use.
+// Detector is the online LITERACE analysis. Like its underlying FASTTRACK
+// core it requires exclusive access for analysis and synchronization
+// calls; the one exception is TrySkip (detector.BurstSampler), which takes
+// only the detector's own sampler lock and so may run concurrently with
+// any operation of other threads.
 type Detector struct {
-	ft    *fasttrack.Detector
-	opts  Options
-	rng   *rand.Rand
+	ft   *fasttrack.Detector
+	opts Options
+
+	// mu guards the sampler state and decision counters: TrySkip is called
+	// lock-free by the front-end while other threads are mid-analysis, so
+	// the burst bookkeeping cannot rely on the caller's exclusive lock.
+	mu    sync.Mutex
 	state map[methodThread]*samplerState
 
 	// Sampled and Skipped count data accesses by sampling decision.
 	Sampled, Skipped uint64
+
+	// skipped accumulates the fast-path counters for accesses this
+	// detector's own Read/Write skipped. (FASTTRACK's Stats is an
+	// aggregated snapshot, so skips are recorded here and merged in
+	// Stats rather than written through the snapshot pointer.)
+	skipped detector.Counters
+	snap    detector.Counters // Stats() merge scratch
 }
 
 var (
@@ -72,6 +97,7 @@ var (
 	_ detector.Counted         = (*Detector)(nil)
 	_ detector.MemoryAccounted = (*Detector)(nil)
 	_ detector.VarAccounted    = (*Detector)(nil)
+	_ detector.BurstSampler    = (*Detector)(nil)
 )
 
 // New returns an online LITERACE detector.
@@ -88,7 +114,6 @@ func New(report detector.Reporter, opts Options) *Detector {
 	return &Detector{
 		ft:    fasttrack.New(report),
 		opts:  opts,
-		rng:   rand.New(rand.NewSource(opts.Seed)),
 		state: make(map[methodThread]*samplerState),
 	}
 }
@@ -96,12 +121,22 @@ func New(report detector.Reporter, opts Options) *Detector {
 // Name implements detector.Detector.
 func (d *Detector) Name() string { return "literace" }
 
-// Stats returns the underlying FASTTRACK counters (sync operations and
-// sampled accesses).
-func (d *Detector) Stats() *detector.Counters { return d.ft.Stats() }
+// Stats returns the operation counters: the underlying FASTTRACK snapshot
+// (sync operations and sampled accesses) plus this sampler's skipped
+// accesses on the fast-path rows. Exclusive access required; the returned
+// pointer is to a snapshot the next call overwrites.
+func (d *Detector) Stats() *detector.Counters {
+	d.snap = *d.ft.Stats()
+	d.mu.Lock()
+	d.snap.Add(&d.skipped)
+	d.mu.Unlock()
+	return &d.snap
+}
 
 // EffectiveRate returns the fraction of data accesses actually sampled.
 func (d *Detector) EffectiveRate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	total := d.Sampled + d.Skipped
 	if total == 0 {
 		return 0
@@ -109,15 +144,29 @@ func (d *Detector) EffectiveRate() float64 {
 	return float64(d.Sampled) / float64(total)
 }
 
-// sample decides whether to analyze this access of (method, thread),
-// advancing the bursty adaptive sampler.
-func (d *Detector) sample(method uint32, t vclock.Thread) bool {
-	key := methodThread{method, t}
+// stateLocked returns (method, thread)'s sampler state, creating it cold
+// (100% rate, full burst) on first use. Callers hold d.mu.
+func (d *Detector) stateLocked(key methodThread) *samplerState {
 	s, ok := d.state[key]
 	if !ok {
-		s = &samplerState{rate: 1.0, burst: d.opts.BurstLength}
+		// Mix the key into the seed (odd multipliers, xor-fold) so each
+		// (method, thread) pair gets its own deterministic reset stream.
+		h := uint64(d.opts.Seed)*0x9E3779B97F4A7C15 ^
+			(uint64(key.method)+1)*0xBF58476D1CE4E5B9 ^
+			(uint64(key.thread)+1)*0x94D049BB133111EB
+		s = &samplerState{
+			rate:  1.0,
+			burst: d.opts.BurstLength,
+			rng:   rand.New(rand.NewSource(int64(h))),
+		}
 		d.state[key] = s
 	}
+	return s
+}
+
+// sampleLocked decides whether to analyze this access of (method, thread),
+// advancing the bursty adaptive sampler. Callers hold d.mu.
+func (d *Detector) sampleLocked(s *samplerState) bool {
 	if s.burst > 0 {
 		s.burst--
 		if s.burst == 0 {
@@ -127,7 +176,7 @@ func (d *Detector) sample(method uint32, t vclock.Thread) bool {
 			s.rate = max(s.rate/d.opts.Backoff, d.opts.MinRate)
 			gap := float64(d.opts.BurstLength) * (1 - s.rate) / s.rate
 			if gap > 0 {
-				s.skip = 1 + d.rng.Intn(int(2*gap)+1)
+				s.skip = 1 + s.rng.Intn(int(2*gap)+1)
 			}
 		}
 		return true
@@ -137,28 +186,61 @@ func (d *Detector) sample(method uint32, t vclock.Thread) bool {
 		return false
 	}
 	s.burst = d.opts.BurstLength
-	return d.sample(method, t)
+	return d.sampleLocked(s)
+}
+
+// decide takes and records one sampling decision for an access.
+func (d *Detector) decide(method uint32, t vclock.Thread, write bool) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.sampleLocked(d.stateLocked(methodThread{method, t})) {
+		d.Sampled++
+		return true
+	}
+	d.Skipped++
+	if write {
+		d.skipped.WriteFast[detector.NonSampling]++
+	} else {
+		d.skipped.ReadFast[detector.NonSampling]++
+	}
+	return false
+}
+
+// TrySkip implements detector.BurstSampler: it consumes a pending skip
+// decision for (method, t) when one is due, letting the caller dismiss the
+// access without routing it through Read/Write. When the sampler would
+// instead analyze the access (mid-burst, or a fresh burst is due), the
+// state is left untouched and TrySkip reports false — the caller's
+// subsequent Read/Write call takes the identical decision itself. Safe to
+// call concurrently with operations of other threads; a single thread's
+// operations must be serialized by the caller, which is what keeps the
+// probe-then-analyze sequence atomic per key.
+func (d *Detector) TrySkip(method uint32, t vclock.Thread) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stateLocked(methodThread{method, t})
+	if s.burst > 0 || s.skip == 0 {
+		return false
+	}
+	s.skip--
+	d.Skipped++
+	// The caller dismissed the access itself, so it owns the operation
+	// accounting (the front-end counts dismissals in its sharded fast
+	// counters); only the decision tally is recorded here.
+	return true
 }
 
 // Read samples rd(t, x); sampled reads run the FASTTRACK read analysis.
 func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, method uint32) {
-	if d.sample(method, t) {
-		d.Sampled++
+	if d.decide(method, t, false) {
 		d.ft.Read(t, x, site, method)
-	} else {
-		d.Skipped++
-		d.ft.Stats().ReadFast[detector.NonSampling]++
 	}
 }
 
 // Write samples wr(t, x); sampled writes run the FASTTRACK write analysis.
 func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, method uint32) {
-	if d.sample(method, t) {
-		d.Sampled++
+	if d.decide(method, t, true) {
 		d.ft.Write(t, x, site, method)
-	} else {
-		d.Skipped++
-		d.ft.Stats().WriteFast[detector.NonSampling]++
 	}
 }
 
@@ -188,5 +270,8 @@ func (d *Detector) VarsTracked() int { return d.ft.VarsTracked() }
 // discards metadata, so this grows with the data the program touches, not
 // with the sampling rate.
 func (d *Detector) MetadataWords() int {
-	return d.ft.MetadataWords() + 4*len(d.state)
+	d.mu.Lock()
+	n := len(d.state)
+	d.mu.Unlock()
+	return d.ft.MetadataWords() + 5*n
 }

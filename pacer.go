@@ -200,8 +200,10 @@ type Stats struct {
 	Reads, Writes uint64
 	// SyncOps counts observed synchronization operations.
 	SyncOps uint64
-	// FastPathReads/Writes count accesses dismissed by the O(1) no-metadata
-	// fast path (including the front-end's lock-free dismissals).
+	// FastPathReads/Writes count accesses dismissed by an O(1) fast path:
+	// the backend's own no-metadata dismissal plus the front-end's
+	// lock-free dismissals (non-sampling no-metadata probes, same-epoch
+	// proofs, burst-sampler skips).
 	FastPathReads, FastPathWrites uint64
 	// SlowJoins and FastJoins count O(n) versus version-skipped joins.
 	SlowJoins, FastJoins uint64
@@ -241,6 +243,8 @@ type Detector struct {
 	back      detector.Detector
 	sharded   detector.Sharded
 	sampler   detector.Sampler
+	burst     detector.BurstSampler
+	epoch     detector.EpochFast
 	counted   detector.Counted
 	memory    detector.MemoryAccounted
 	varsAcct  detector.VarAccounted
@@ -345,6 +349,12 @@ func New(opts Options) *Detector {
 	det.back = back
 	det.sharded, _ = back.(detector.Sharded)
 	det.sampler, _ = back.(detector.Sampler)
+	if !opts.Serialized {
+		det.burst, _ = back.(detector.BurstSampler)
+	}
+	if det.sharded != nil && !opts.Serialized {
+		det.epoch, _ = back.(detector.EpochFast)
+	}
 	det.counted, _ = back.(detector.Counted)
 	det.memory, _ = back.(detector.MemoryAccounted)
 	det.varsAcct, _ = back.(detector.VarAccounted)
@@ -628,6 +638,73 @@ func (p *Detector) tryFast(t ThreadID, v VarID, s SiteID, method uint32, write b
 	return true
 }
 
+// tryBurstSkip attempts the lock-free burst-sampler dismissal of an
+// access: backends exposing detector.BurstSampler (LITERACE) can consume a
+// per-(method, thread) skip decision without the epoch lock, so accesses
+// of a method whose sampler has gone cold never serialize on it. As with
+// tryFast, the dismissal bumps only the sharded fast counters and the
+// period clock; with a TraceSink configured, the decision is taken under
+// the sink lock so the recorded position is its linearization instant
+// (per-key decisions are interleaving-independent, so a serialized replay
+// reproduces them). Disabled by Options.Serialized (p.burst stays nil).
+func (p *Detector) tryBurstSkip(t ThreadID, v VarID, s SiteID, method uint32, write bool) bool {
+	if p.opts.TraceSink != nil {
+		p.sinkMu.Lock()
+		if !p.burst.TrySkip(method, t) {
+			p.sinkMu.Unlock()
+			return false
+		}
+		p.opts.TraceSink(accessEvent(t, v, s, method, write))
+		p.sinkMu.Unlock()
+	} else if !p.burst.TrySkip(method, t) {
+		return false
+	}
+	shard := 0
+	if p.sharded != nil {
+		shard = p.sharded.ShardOf(v)
+	}
+	if write {
+		p.fastWrites.Inc(shard)
+	} else {
+		p.fastReads.Inc(shard)
+	}
+	p.countOp(t)
+	return true
+}
+
+// tryEpochFast attempts the lock-free same-epoch dismissal: backends
+// exposing detector.EpochFast (FASTTRACK) publish per-variable epoch
+// mirrors that prove an access repeats the variable's current epoch, so
+// the analysis — a guaranteed no-op — can be skipped without the epoch
+// lock. This is how an always-on detector's dominant case scales: the
+// no-metadata dismissal (tryFast) never applies to it, but the same-epoch
+// dismissal is exactly FastTrack's own fast path served lock-free. As
+// with the other dismissals, only the sharded fast counters and the
+// period clock are bumped; with a TraceSink configured the probe runs
+// under the sink lock so the recorded position is its linearization
+// instant. Disabled by Options.Serialized (p.epoch stays nil).
+func (p *Detector) tryEpochFast(t ThreadID, v VarID, s SiteID, method uint32, write bool) bool {
+	if p.opts.TraceSink != nil {
+		p.sinkMu.Lock()
+		if !p.epoch.TrySameEpoch(t, v, write) {
+			p.sinkMu.Unlock()
+			return false
+		}
+		p.opts.TraceSink(accessEvent(t, v, s, method, write))
+		p.sinkMu.Unlock()
+	} else if !p.epoch.TrySameEpoch(t, v, write) {
+		return false
+	}
+	shard := p.sharded.ShardOf(v)
+	if write {
+		p.fastWrites.Inc(shard)
+	} else {
+		p.fastReads.Inc(shard)
+	}
+	p.countOp(t)
+	return true
+}
+
 func accessEvent(t ThreadID, v VarID, s SiteID, method uint32, write bool) Event {
 	k := event.Read
 	if write {
@@ -652,6 +729,12 @@ func (p *Detector) samplingLocked() bool {
 // the lock-free probes.
 func (p *Detector) access(t ThreadID, v VarID, s SiteID, method uint32, write bool) {
 	if !p.serialized && p.tryFast(t, v, s, method, write) {
+		return
+	}
+	if p.epoch != nil && p.tryEpochFast(t, v, s, method, write) {
+		return
+	}
+	if p.burst != nil && p.tryBurstSkip(t, v, s, method, write) {
 		return
 	}
 	p.ensureThread(t)
