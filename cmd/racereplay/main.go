@@ -15,6 +15,8 @@
 //
 //	racereplay record -bench eclipse -seed 3 -o eclipse.trace
 //	racereplay replay -detector pacer -rate 0.03 -seed 7 eclipse.trace
+//	racereplay verify -seed 17            # or: racereplay verify file.trace
+//	racereplay corpus -o testdata/corpus
 //	racereplay stat eclipse.trace
 package main
 
@@ -22,13 +24,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pacer"
 	"pacer/internal/backends"
 	"pacer/internal/detector"
 	"pacer/internal/event"
+	"pacer/internal/oracle"
 	"pacer/internal/sim"
+	"pacer/internal/tracegen"
 	"pacer/internal/vclock"
 	"pacer/internal/workload"
 )
@@ -42,6 +47,10 @@ func main() {
 		record(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
+	case "corpus":
+		corpus(os.Args[2:])
 	case "stat":
 		stat(os.Args[2:])
 	default:
@@ -53,15 +62,23 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   racereplay record -bench <name> [-seed N] [-stream] -o <file>
   racereplay replay -detector <name> [-rate R] [-seed N] [-period P] [-serialized] <file>
+  racereplay verify [-detector <name>|all] (<file> | -seed N)
+  racereplay corpus [-o <dir>]
   racereplay stat <file>
 
 replay detectors: %s
 replay is reproducible: the same -detector, -rate, -period, and -seed
 sample identical operation windows of the trace on every run.
 
-replay and stat read both trace formats: the block format (the record
-default) and the streaming format that -stream and pacer.StreamSink
-produce (incremental, bounded-memory recording).
+verify replays a trace (a file, or the conformance generator's trace for
+-seed N) through the chosen backends at rate 1.0 and judges every run
+against the exact happens-before oracle; it exits nonzero on any
+precision or completeness violation. corpus regenerates the checked-in
+conformance corpus deterministically.
+
+replay, verify, and stat read both trace formats: the block format (the
+record default) and the streaming format that -stream and
+pacer.StreamSink produce (incremental, bounded-memory recording).
 `, strings.Join(backends.Names(), ", "))
 	os.Exit(2)
 }
@@ -185,6 +202,174 @@ func replay(args []string) {
 	for _, k := range col.DistinctKeys() {
 		fmt.Printf("  sites (%d, %d): %d dynamic occurrence(s)\n", k.SiteA, k.SiteB, col.PerDistinct[k])
 	}
+}
+
+// verify replays a trace through race-detection backends at sampling rate
+// 1.0 and checks every run against the exact happens-before ground truth
+// (internal/oracle): precision for every precise backend, and exactness
+// (report on exactly the oracle's racy variables) for the complete ones.
+// The trace is either a file or — with -seed — the deterministic
+// conformance-generator trace for that seed, so any failure printed by
+// the conformance suite reproduces here from its seed alone.
+func verify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	det := fs.String("detector", "all", "backend to verify, or \"all\" for every precise backend")
+	seed := fs.Int64("seed", -1, "verify the conformance generator's trace for this seed instead of a file")
+	fs.Parse(args)
+
+	var tr event.Trace
+	var source string
+	switch {
+	case *seed >= 0 && fs.NArg() == 0:
+		tr = tracegen.Generate(tracegen.CorpusConfig(*seed))
+		source = fmt.Sprintf("generated trace (seed %d)", *seed)
+	case *seed < 0 && fs.NArg() == 1:
+		tr = readTrace(fs.Arg(0))
+		source = fs.Arg(0)
+	default:
+		fatal("verify: pass exactly one trace file, or -seed N")
+	}
+
+	var algos []string
+	if *det == "all" {
+		for _, a := range backends.Names() {
+			if a != "lockset" { // imprecise by design; the oracle check does not apply
+				algos = append(algos, a)
+			}
+		}
+	} else {
+		if !backends.Known(*det) {
+			fatal(fmt.Sprintf("verify: unknown detector %q (known: %s)", *det, strings.Join(backends.Names(), ", ")))
+		}
+		algos = []string{*det}
+	}
+
+	rep := oracle.Analyze(tr)
+	fmt.Printf("%s: %d events, %d accesses, ground truth %d distinct race(s) on %d variable(s)\n",
+		source, len(tr), rep.Accesses, len(rep.Pairs), len(rep.RacyVars))
+
+	// A recorded trace that ends a sampling period mid-stream legitimately
+	// hides races from the detector, so exactness is only demanded of
+	// traces analyzed end to end.
+	fullyAnalyzed := true
+	for _, e := range tr {
+		if e.Kind == event.SampleEnd {
+			fullyAnalyzed = false
+			break
+		}
+	}
+
+	violations := 0
+	for _, algo := range algos {
+		exact := fullyAnalyzed && (algo != "literace" || literaceBurstsOpen(tr))
+		for _, cell := range verifyCells(algo) {
+			var races []detector.Race
+			d := pacer.New(pacer.Options{
+				Algorithm:    algo,
+				SamplingRate: 1.0,
+				Seed:         5,
+				Serialized:   cell.serialized,
+				Arena:        cell.arena,
+				OnRace:       func(r detector.Race) { races = append(races, r) },
+			})
+			for _, e := range tr {
+				d.Apply(e)
+			}
+			issues := rep.Check(races, exact)
+			mode := "sharded"
+			if cell.serialized {
+				mode = "serialized"
+			}
+			alloc := "heap"
+			if cell.arena {
+				alloc = "arena"
+			}
+			if len(issues) == 0 {
+				fmt.Printf("  ok   %-10s %-10s %-5s (%d report(s))\n", algo, mode, alloc, len(races))
+				continue
+			}
+			violations += len(issues)
+			for _, issue := range issues {
+				fmt.Printf("  FAIL %-10s %-10s %-5s %s\n", algo, mode, alloc, issue)
+			}
+		}
+	}
+	if violations > 0 {
+		fatal(fmt.Sprintf("verify: %d oracle violation(s)", violations))
+	}
+}
+
+type verifyCell struct{ serialized, arena bool }
+
+// verifyCells mirrors the conformance suite's matrix slice per backend:
+// the sharded backends exercise all four front-end configurations, the
+// rest only the configurations that differ behaviorally for them.
+func verifyCells(algo string) []verifyCell {
+	switch algo {
+	case "pacer", "fasttrack":
+		return []verifyCell{{true, false}, {true, true}, {false, false}, {false, true}}
+	case "literace":
+		return []verifyCell{{true, false}, {false, false}}
+	default:
+		return []verifyCell{{true, false}}
+	}
+}
+
+// literaceBurstsOpen reports whether every (method, thread) sampler key
+// sees fewer accesses than LITERACE's initial 100% burst, i.e. whether
+// LITERACE analyzes the whole trace and exactness can be demanded of it.
+func literaceBurstsOpen(tr event.Trace) bool {
+	const burstLength = 1000
+	counts := map[[2]uint32]int{}
+	for _, e := range tr {
+		if e.Kind == event.Read || e.Kind == event.Write {
+			k := [2]uint32{e.Method, uint32(e.Thread)}
+			counts[k]++
+			if counts[k] >= burstLength {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// corpus (re)generates the checked-in conformance corpus. The files are
+// deterministic (tracegen.CorpusFiles), and the conformance suite's
+// regeneration test fails whenever the checked-in bytes drift from what
+// this command writes.
+func corpus(args []string) {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	out := fs.String("o", "testdata/corpus", "output directory")
+	fs.Parse(args)
+	files, err := tracegen.CorpusFiles()
+	if err != nil {
+		fatal(err.Error())
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err.Error())
+	}
+	// Drop stale traces so the directory always equals the generated set.
+	entries, err := os.ReadDir(*out)
+	if err != nil {
+		fatal(err.Error())
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".trace") {
+			if _, ok := files[name]; !ok {
+				if err := os.Remove(filepath.Join(*out, name)); err != nil {
+					fatal(err.Error())
+				}
+				fmt.Printf("removed stale %s\n", name)
+			}
+		}
+	}
+	for _, name := range tracegen.CorpusNames(files) {
+		if err := os.WriteFile(filepath.Join(*out, name), files[name], 0o644); err != nil {
+			fatal(err.Error())
+		}
+	}
+	fmt.Printf("wrote %d corpus traces to %s\n", len(files), *out)
 }
 
 func stat(args []string) {

@@ -1,0 +1,97 @@
+//go:build ignore
+
+// Generates the checked-in fuzz seed corpora under
+// internal/event/testdata/fuzz and internal/core/testdata/fuzz.
+// Run with: go run fuzzseed_gen.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"pacer/internal/event"
+	"pacer/internal/tracegen"
+)
+
+func writeSeed(dir, name, content string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", filepath.Join(dir, name))
+}
+
+func bytesSeed(data []byte) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+}
+
+func main() {
+	// FuzzReadTrace: block-format encodings of representative traces.
+	rtDir := "internal/event/testdata/fuzz/FuzzReadTrace"
+	blocks := map[string]event.Trace{
+		"seed-racy":     event.Generate(event.Racy(4, 300, 7)),
+		"seed-guarded":  tracegen.Generate(tracegen.Config{Seed: 3, Threads: 3, Vars: 4, Locks: 2, Volatiles: 1, Steps: 120, PGuarded: 1, PWrite: 0.5}),
+		"seed-mirrors":  tracegen.Generate(tracegen.CorpusConfig(0)),
+		"seed-empty":    {},
+		"seed-sampling": {{Kind: event.SampleBegin}, {Kind: event.Read, Thread: 0, Target: 1, Site: 2}, {Kind: event.SampleEnd}},
+	}
+	for name, tr := range blocks {
+		var buf bytes.Buffer
+		if err := event.WriteTrace(&buf, tr); err != nil {
+			log.Fatal(err)
+		}
+		writeSeed(rtDir, name, bytesSeed(buf.Bytes()))
+	}
+
+	// FuzzStreamReader: streaming-format encodings (including a headerless
+	// truncation the reader must reject gracefully).
+	srDir := "internal/event/testdata/fuzz/FuzzStreamReader"
+	for name, tr := range map[string]event.Trace{
+		"seed-racy":    event.Generate(event.Racy(3, 200, 9)),
+		"seed-corpus":  tracegen.Generate(tracegen.CorpusConfig(1)),
+		"seed-empty":   {},
+		"seed-minimal": {{Kind: event.Fork, Thread: 0, Target: 1}, {Kind: event.Write, Thread: 1, Target: 5, Site: 11}},
+	} {
+		var buf bytes.Buffer
+		w, err := event.NewStreamWriter(&buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range tr {
+			if err := w.Write(e); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		writeSeed(srDir, name, bytesSeed(buf.Bytes()))
+	}
+	writeSeed(srDir, "seed-truncated", bytesSeed([]byte("PACERTS1")))
+
+	// FuzzSoundness: generator parameter tuples covering sparse and dense
+	// interleavings.
+	sdDir := "internal/core/testdata/fuzz/FuzzSoundness"
+	tuples := []struct {
+		name    string
+		seed    int64
+		threads uint8
+		vars    uint8
+		steps   uint16
+	}{
+		{"seed-dense", 7, 6, 3, 1200},
+		{"seed-sparse", 1234, 1, 11, 250},
+		{"seed-tiny", 3, 0, 0, 16},
+		{"seed-wide", 88, 7, 9, 900},
+	}
+	for _, tu := range tuples {
+		content := fmt.Sprintf("go test fuzz v1\nint64(%d)\nbyte('\\x%02x')\nbyte('\\x%02x')\nuint16(%d)\n",
+			tu.seed, tu.threads, tu.vars, tu.steps)
+		writeSeed(sdDir, tu.name, content)
+	}
+}

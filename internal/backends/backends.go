@@ -36,6 +36,11 @@ type Config struct {
 	// LiteRace overrides the LITERACE sampler options; the zero value
 	// selects the paper's defaults with Seed applied.
 	LiteRace literace.Options
+	// EpochFastIndexCap bounds the FASTTRACK backend's direct-indexed
+	// variable table behind the lock-free same-epoch fast path (0 means
+	// the backend default, negative disables the index). Variables past
+	// the cap still detect races through the locked path.
+	EpochFastIndexCap int
 }
 
 // Factory constructs one backend.
@@ -94,8 +99,9 @@ func init() {
 	})
 	Register("fasttrack", func(report detector.Reporter, cfg Config) detector.Detector {
 		return fasttrack.NewWithOptions(report, fasttrack.Options{
-			Shards: cfg.Core.Shards,
-			Arena:  cfg.Core.Arena,
+			Shards:   cfg.Core.Shards,
+			Arena:    cfg.Core.Arena,
+			IndexCap: cfg.EpochFastIndexCap,
 		})
 	})
 	Register("generic", func(report detector.Reporter, _ Config) detector.Detector {

@@ -56,6 +56,13 @@ type Options struct {
 	// uniform arena accounting in Stats. Race reports are identical either
 	// way (the differential suite enforces this).
 	Arena bool
+	// IndexCap bounds the direct-indexed variable table behind the
+	// same-epoch fast path: variables with identifiers at or above the cap
+	// are never indexed and always take the locked path (correct, just
+	// slower). 0 selects the default (1<<22); negative disables the index
+	// entirely. Lowering the cap bounds the fast-path table's worst-case
+	// memory for workloads with huge sparse identifier spaces.
+	IndexCap int
 }
 
 const (
@@ -65,9 +72,10 @@ const (
 	// lock. A zero bucket proves the variables hashing to it hold no
 	// metadata; a nonzero bucket only sends the caller to the slow path.
 	presenceBuckets = 1 << 12
-	// indexCap bounds the direct-indexed variable table behind the
-	// same-epoch fast path. Identifiers at or above it (never produced by
-	// the front-end's sequential allocator) simply take the locked path.
+	// indexCap is the default bound on the direct-indexed variable table
+	// behind the same-epoch fast path (see Options.IndexCap). Identifiers
+	// at or above the cap (rarely produced by the front-end's sequential
+	// allocator) simply take the locked path.
 	indexCap = 1 << 22
 	// indexMin is the initial direct-index capacity.
 	indexMin = 1 << 10
@@ -153,6 +161,9 @@ type Detector struct {
 	// copies and republishes, so readers always hold a consistent array.
 	idx    atomic.Pointer[[]atomic.Pointer[varMeta]]
 	growMu sync.Mutex
+	// idxCap is Options.IndexCap after defaulting: identifiers at or
+	// above it are never direct-indexed.
+	idxCap uint32
 	// tepochs publishes each thread's own epoch c@t for the same-epoch
 	// probe. Grown only by EnsureThreadSlots (exclusive access); entries
 	// are written by the owning thread's operations — which the caller
@@ -202,6 +213,14 @@ func NewWithOptions(report detector.Reporter, opts Options) *Detector {
 	}
 	for i := range d.shards {
 		d.shards[i].vars = make(map[event.Var]*varMeta)
+	}
+	switch {
+	case opts.IndexCap > 0:
+		d.idxCap = uint32(opts.IndexCap)
+	case opts.IndexCap < 0:
+		d.idxCap = 0
+	default:
+		d.idxCap = indexCap
 	}
 	d.sync = detector.NewBaseSync(&d.stats)
 	if opts.Arena {
@@ -336,7 +355,7 @@ func (d *Detector) TrySameEpoch(t vclock.Thread, x event.Var, write bool) bool {
 // once per variable, from under its shard lock; growMu serializes with
 // inserts from other shards and makes growth copy-then-republish safe.
 func (d *Detector) indexMeta(x event.Var, m *varMeta) {
-	if uint32(x) >= indexCap {
+	if uint32(x) >= d.idxCap {
 		return
 	}
 	d.growMu.Lock()

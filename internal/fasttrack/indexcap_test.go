@@ -1,0 +1,73 @@
+package fasttrack
+
+import (
+	"testing"
+
+	"pacer/internal/detector"
+	"pacer/internal/event"
+)
+
+// TestFastTrackIndexCapSmall pins Options.IndexCap: variables below the
+// cap are direct-indexed and their same-epoch repeats dismiss lock-free,
+// variables at or above the cap never enter the index (TrySameEpoch must
+// refuse them) yet still detect races through the locked path.
+func TestFastTrackIndexCapSmall(t *testing.T) {
+	c := detector.NewCollector()
+	d := NewWithOptions(c.Report, Options{IndexCap: 4})
+	d.EnsureThreadSlots(2)
+	d.Fork(0, 1)
+
+	low, high := event.Var(1), event.Var(1000)
+	d.Write(0, low, 1, 0)
+	d.Write(0, high, 2, 0)
+
+	if !d.TrySameEpoch(0, low, true) {
+		t.Error("below-cap variable not dismissible lock-free after its write")
+	}
+	if d.TrySameEpoch(0, high, true) {
+		t.Error("above-cap variable was direct-indexed despite IndexCap")
+	}
+
+	// Both sides of the cap must detect the concurrent second write.
+	d.Write(1, low, 3, 0)
+	d.Write(1, high, 4, 0)
+	seen := map[event.Var]bool{}
+	for _, r := range c.Dynamic {
+		seen[r.Var] = true
+	}
+	if !seen[low] || !seen[high] {
+		t.Fatalf("races reported on %v, want both x%d and x%d", seen, low, high)
+	}
+}
+
+// TestFastTrackIndexCapDisabled pins the negative-cap escape hatch: no
+// variable is ever indexed, every same-epoch probe refuses, and detection
+// is unchanged.
+func TestFastTrackIndexCapDisabled(t *testing.T) {
+	c := detector.NewCollector()
+	d := NewWithOptions(c.Report, Options{IndexCap: -1})
+	d.EnsureThreadSlots(2)
+	d.Fork(0, 1)
+	d.Write(0, 1, 1, 0)
+	if d.TrySameEpoch(0, 1, true) {
+		t.Error("negative IndexCap must disable the direct index")
+	}
+	d.Write(1, 1, 2, 0)
+	if len(c.Dynamic) != 1 {
+		t.Fatalf("got %d races, want 1", len(c.Dynamic))
+	}
+}
+
+// TestFastTrackIndexCapDefault pins that the zero value keeps the
+// original behavior: sequentially allocated identifiers are indexed.
+func TestFastTrackIndexCapDefault(t *testing.T) {
+	d := NewWithOptions(func(detector.Race) {}, Options{})
+	if d.idxCap != indexCap {
+		t.Fatalf("zero Options.IndexCap resolved to %d, want the %d default", d.idxCap, indexCap)
+	}
+	d.EnsureThreadSlots(1)
+	d.Write(0, 7, 1, 0)
+	if !d.TrySameEpoch(0, 7, true) {
+		t.Error("default cap failed to index a small identifier")
+	}
+}

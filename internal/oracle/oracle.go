@@ -1,0 +1,238 @@
+// Package oracle computes the exact ground truth a race detector run can
+// be judged against: the complete multiset of racing access pairs of a
+// trace under the happens-before relation, independent of any detector
+// implementation.
+//
+// The oracle replays a trace with the textbook vector-clock rules (the
+// same rules internal/generic implements, and the semantics of Appendix A)
+// and, at every data access, compares the access against every earlier
+// access to the same variable. Two accesses race when they conflict (at
+// least one is a write) and neither happens before the other. Unlike
+// dtest.HBOracle — which answers "is this one report a true race?" and
+// needs a preprocessed unique-site trace — this oracle enumerates every
+// racing pair of an arbitrary trace, so conformance tests can bound a
+// detector from both sides:
+//
+//   - Precision: every reported distinct race (variable + unordered site
+//     pair, the paper's Section 5.1 identity) must appear in the oracle's
+//     pair set. This must hold for every precise backend at any rate.
+//   - Exactness: at sampling rate 1.0 a precise-and-complete backend must
+//     report at least one race on exactly the variables the oracle proves
+//     racy (the classic "first race per variable" guarantee). Pair-level
+//     equality is deliberately not demanded: detectors keep bounded
+//     metadata (a last-write epoch, an adaptive read map), so racing pairs
+//     whose first access was superseded are legitimately unreported.
+//
+// The enumeration is O(accesses²) per variable, which is fine for the
+// test-sized traces the conformance corpus uses.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"pacer/internal/detector"
+	"pacer/internal/event"
+	"pacer/internal/vclock"
+)
+
+// Pair is the distinct identity of a ground-truth race: the variable and
+// the unordered pair of access sites (SiteA ≤ SiteB). A single-site mirror
+// race has SiteA == SiteB.
+type Pair struct {
+	Var          event.Var
+	SiteA, SiteB event.Site
+}
+
+// MakePair normalizes a (variable, site, site) triple into a Pair.
+func MakePair(v event.Var, a, b event.Site) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{Var: v, SiteA: a, SiteB: b}
+}
+
+// String renders the pair for diagnostics.
+func (p Pair) String() string {
+	return fmt.Sprintf("x%d (s%d, s%d)", p.Var, p.SiteA, p.SiteB)
+}
+
+// Report is the ground truth of one trace.
+type Report struct {
+	// Pairs is the race multiset: dynamic racing access pairs per distinct
+	// identity.
+	Pairs map[Pair]int
+	// RacyVars marks every variable with at least one racing pair.
+	RacyVars map[event.Var]bool
+	// FirstRaceIdx is, per racy variable, the index of the event that
+	// completed the variable's first racing pair — the earliest point any
+	// complete detector can report it.
+	FirstRaceIdx map[event.Var]int
+	// Accesses is the number of data accesses in the trace.
+	Accesses int
+	// DynamicRaces is the total number of racing pairs (the multiset's
+	// cardinality with multiplicity).
+	DynamicRaces int
+}
+
+// access is one dynamic data access as the oracle recorded it.
+type access struct {
+	t     vclock.Thread
+	write bool
+	site  event.Site
+	c     uint64 // the thread's own clock component at the access
+}
+
+// Analyze replays tr with the textbook vector-clock rules and returns its
+// ground truth. Sampling events are ignored: the ground truth of a trace
+// does not depend on when an analysis chose to look.
+func Analyze(tr event.Trace) *Report {
+	rep := &Report{
+		Pairs:        make(map[Pair]int),
+		RacyVars:     make(map[event.Var]bool),
+		FirstRaceIdx: make(map[event.Var]int),
+	}
+	threads := map[vclock.Thread]*vclock.VC{}
+	locks := map[event.Lock]*vclock.VC{}
+	vols := map[event.Volatile]*vclock.VC{}
+	hist := map[event.Var][]access{}
+	clk := func(t vclock.Thread) *vclock.VC {
+		c, ok := threads[t]
+		if !ok {
+			c = vclock.New(int(t) + 1)
+			c.Set(t, 1)
+			threads[t] = c
+		}
+		return c
+	}
+	lock := func(id event.Lock) *vclock.VC {
+		c, ok := locks[id]
+		if !ok {
+			c = vclock.New(0)
+			locks[id] = c
+		}
+		return c
+	}
+	vol := func(id event.Volatile) *vclock.VC {
+		c, ok := vols[id]
+		if !ok {
+			c = vclock.New(0)
+			vols[id] = c
+		}
+		return c
+	}
+	for i, e := range tr {
+		switch e.Kind {
+		case event.Read, event.Write:
+			rep.Accesses++
+			v := event.Var(e.Target)
+			ct := clk(e.Thread)
+			cur := access{
+				t:     e.Thread,
+				write: e.Kind == event.Write,
+				site:  e.Site,
+				c:     ct.Get(e.Thread),
+			}
+			for _, prev := range hist[v] {
+				if !prev.write && !cur.write {
+					continue // two reads do not conflict
+				}
+				// prev races cur iff prev does not happen before cur.
+				// (prev precedes cur in the trace, so cur cannot happen
+				// before prev; same-thread accesses are always ordered.)
+				if prev.c > ct.Get(prev.t) {
+					rep.Pairs[MakePair(v, prev.site, cur.site)]++
+					rep.DynamicRaces++
+					if !rep.RacyVars[v] {
+						rep.RacyVars[v] = true
+						rep.FirstRaceIdx[v] = i
+					}
+				}
+			}
+			hist[v] = append(hist[v], cur)
+		case event.Acquire:
+			clk(e.Thread).JoinFrom(lock(event.Lock(e.Target)))
+		case event.Release:
+			lock(event.Lock(e.Target)).CopyFrom(clk(e.Thread))
+			clk(e.Thread).Inc(e.Thread)
+		case event.Fork:
+			u := vclock.Thread(e.Target)
+			clk(u).JoinFrom(clk(e.Thread))
+			clk(e.Thread).Inc(e.Thread)
+		case event.Join:
+			u := vclock.Thread(e.Target)
+			clk(e.Thread).JoinFrom(clk(u))
+			clk(u).Inc(u)
+		case event.VolRead:
+			clk(e.Thread).JoinFrom(vol(event.Volatile(e.Target)))
+		case event.VolWrite:
+			vol(event.Volatile(e.Target)).JoinFrom(clk(e.Thread))
+			clk(e.Thread).Inc(e.Thread)
+		}
+	}
+	return rep
+}
+
+// Holds reports whether a detector report names a distinct race the oracle
+// proves real.
+func (r *Report) Holds(race detector.Race) bool {
+	return r.Pairs[MakePair(race.Var, race.FirstSite, race.SecondSite)] > 0
+}
+
+// SortedPairs returns the distinct ground-truth races in deterministic
+// order, for stable diagnostics.
+func (r *Report) SortedPairs() []Pair {
+	out := make([]Pair, 0, len(r.Pairs))
+	for p := range r.Pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		if out[i].SiteA != out[j].SiteA {
+			return out[i].SiteA < out[j].SiteA
+		}
+		return out[i].SiteB < out[j].SiteB
+	})
+	return out
+}
+
+// Check compares a detector run against the ground truth. Every violation
+// is returned as a human-readable description; an empty slice means the
+// run conforms.
+//
+// Precision (always checked): each reported race's (variable, unordered
+// site pair) identity must be in the oracle's pair set.
+//
+// Exactness (checked when exact is true, i.e. for precise-and-complete
+// backends at rate 1.0): the set of variables reported racy must equal the
+// oracle's racy-variable set. Missing a racy variable is a completeness
+// violation; an extra variable is a precision violation already caught by
+// the pair check.
+func (r *Report) Check(reported []detector.Race, exact bool) []string {
+	var issues []string
+	seen := map[event.Var]bool{}
+	for _, race := range reported {
+		seen[race.Var] = true
+		if !r.Holds(race) {
+			issues = append(issues, fmt.Sprintf(
+				"precision: reported race %v is not in the happens-before ground truth", race))
+		}
+	}
+	if exact {
+		var missing []event.Var
+		for v := range r.RacyVars {
+			if !seen[v] {
+				missing = append(missing, v)
+			}
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		for _, v := range missing {
+			issues = append(issues, fmt.Sprintf(
+				"completeness: variable x%d races (first racing pair completes at event %d) but the detector reported nothing on it",
+				v, r.FirstRaceIdx[v]))
+		}
+	}
+	return issues
+}

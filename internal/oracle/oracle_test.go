@@ -1,0 +1,181 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"pacer/internal/detector"
+	"pacer/internal/dtest"
+	"pacer/internal/event"
+	"pacer/internal/generic"
+	"pacer/internal/oracle"
+)
+
+// TestOracleHandScenarios pins the oracle's race multiset on hand-built
+// traces with known ground truth.
+func TestOracleHandScenarios(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   event.Trace
+		want map[oracle.Pair]int
+	}{
+		{
+			name: "GuardedHandoff",
+			tr: dtest.NewTB().
+				Fork(0, 1).
+				Acq(0, 0).WriteAt(0, 0, 1).Rel(0, 0).
+				Acq(1, 0).ReadAt(1, 0, 2).Rel(1, 0).
+				Trace,
+			want: map[oracle.Pair]int{},
+		},
+		{
+			name: "UnguardedWW",
+			tr: dtest.NewTB().
+				Fork(0, 1).
+				WriteAt(0, 0, 1).
+				WriteAt(1, 0, 2).
+				Trace,
+			want: map[oracle.Pair]int{{Var: 0, SiteA: 1, SiteB: 2}: 1},
+		},
+		{
+			name: "MirrorSingleSite",
+			tr: dtest.NewTB().
+				Fork(0, 1).
+				WriteAt(0, 0, 9).
+				WriteAt(1, 0, 9).
+				Trace,
+			want: map[oracle.Pair]int{{Var: 0, SiteA: 9, SiteB: 9}: 1},
+		},
+		{
+			name: "ReadsDoNotConflict",
+			tr: dtest.NewTB().
+				Fork(0, 1).
+				ReadAt(0, 0, 1).
+				ReadAt(1, 0, 2).
+				Trace,
+			want: map[oracle.Pair]int{},
+		},
+		{
+			name: "MultisetCountsEveryPair",
+			// Two unsynchronized reads by t1 against one write by t0: two
+			// dynamic write/read pairs, distinct sites.
+			tr: dtest.NewTB().
+				Fork(0, 1).
+				WriteAt(0, 0, 1).
+				ReadAt(1, 0, 2).ReadAt(1, 0, 3).
+				Trace,
+			want: map[oracle.Pair]int{
+				{Var: 0, SiteA: 1, SiteB: 2}: 1,
+				{Var: 0, SiteA: 1, SiteB: 3}: 1,
+			},
+		},
+		{
+			name: "RepeatedSiteAccumulates",
+			// The same racing site pair twice: multiplicity 2.
+			tr: dtest.NewTB().
+				Fork(0, 1).
+				WriteAt(0, 0, 1).
+				ReadAt(1, 0, 2).ReadAt(1, 0, 2).
+				Trace,
+			want: map[oracle.Pair]int{{Var: 0, SiteA: 1, SiteB: 2}: 2},
+		},
+		{
+			name: "VolatilePublishOrders",
+			tr: dtest.NewTB().
+				Fork(0, 1).
+				WriteAt(0, 0, 1).VolWrite(0, 0).
+				VolRead(1, 0).ReadAt(1, 0, 2).
+				Trace,
+			want: map[oracle.Pair]int{},
+		},
+		{
+			name: "JoinOrders",
+			tr: dtest.NewTB().
+				Fork(0, 1).
+				WriteAt(1, 0, 1).
+				Join(0, 1).
+				ReadAt(0, 0, 2).
+				Trace,
+			want: map[oracle.Pair]int{},
+		},
+		{
+			name: "SameThreadNeverRaces",
+			tr: dtest.NewTB().
+				WriteAt(0, 0, 1).ReadAt(0, 0, 2).WriteAt(0, 0, 3).
+				Trace,
+			want: map[oracle.Pair]int{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := oracle.Analyze(tc.tr)
+			if len(rep.Pairs) != len(tc.want) {
+				t.Fatalf("got %d distinct pairs %v, want %d %v",
+					len(rep.Pairs), rep.SortedPairs(), len(tc.want), tc.want)
+			}
+			for p, n := range tc.want {
+				if rep.Pairs[p] != n {
+					t.Errorf("pair %v: got multiplicity %d, want %d", p, rep.Pairs[p], n)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleDifferentialGeneric cross-checks the oracle against the
+// textbook vector-clock detector on random traces: every GENERIC report
+// must be in the oracle's pair set (the oracle is complete), and GENERIC
+// must report on exactly the oracle's racy variables (the oracle is not
+// over-approximate — GENERIC is precise, so an oracle-racy variable that
+// GENERIC never flags would mean a phantom oracle race).
+func TestOracleDifferentialGeneric(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		tr := event.Generate(event.Racy(4, 600, seed))
+		rep := oracle.Analyze(tr)
+		col := dtest.Run(tr, func(r detector.Reporter) detector.Detector {
+			return generic.New(r)
+		})
+		seen := map[event.Var]bool{}
+		for _, r := range col.Dynamic {
+			seen[r.Var] = true
+			if !rep.Holds(r) {
+				t.Fatalf("seed %d: generic reported %v, not in oracle ground truth %v",
+					seed, r, rep.SortedPairs())
+			}
+		}
+		for v := range rep.RacyVars {
+			if !seen[v] {
+				t.Fatalf("seed %d: oracle says x%d races (first pair at event %d) but generic never reported it",
+					seed, v, rep.FirstRaceIdx[v])
+			}
+		}
+		for v := range seen {
+			if !rep.RacyVars[v] {
+				t.Fatalf("seed %d: generic reported on x%d but oracle says it is race-free", seed, v)
+			}
+		}
+	}
+}
+
+// TestOracleCheck exercises the Check verdict helper.
+func TestOracleCheck(t *testing.T) {
+	tr := dtest.NewTB().
+		Fork(0, 1).
+		WriteAt(0, 0, 1).
+		WriteAt(1, 0, 2).
+		Trace
+	rep := oracle.Analyze(tr)
+	real := detector.Race{Var: 0, FirstSite: 1, SecondSite: 2}
+	phantom := detector.Race{Var: 0, FirstSite: 5, SecondSite: 6}
+	if issues := rep.Check([]detector.Race{real}, true); len(issues) != 0 {
+		t.Errorf("conforming run flagged: %v", issues)
+	}
+	if issues := rep.Check([]detector.Race{phantom}, false); len(issues) != 1 {
+		t.Errorf("phantom report not flagged exactly once: %v", issues)
+	}
+	if issues := rep.Check(nil, true); len(issues) != 1 {
+		t.Errorf("missed variable not flagged exactly once: %v", issues)
+	}
+	if issues := rep.Check(nil, false); len(issues) != 0 {
+		t.Errorf("precision-only check flagged a miss: %v", issues)
+	}
+}

@@ -1,0 +1,100 @@
+package tracegen
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"pacer"
+	"pacer/internal/event"
+)
+
+// Corpus construction: every checked-in trace under testdata/corpus/ is
+// recorded through the public front-end's Options.TraceSink via
+// pacer.StreamSink — the exact production recording path — at sampling
+// rate 1.0, so the files are faithful linearizations in the streaming
+// format and regenerating them is byte-for-byte deterministic. The corpus
+// regeneration test and `racereplay corpus` both call CorpusFiles, so the
+// command can never write files the test would reject.
+
+// recordOptions returns the deterministic recording configuration.
+func recordOptions(sink func(pacer.Event)) pacer.Options {
+	return pacer.Options{
+		SamplingRate: 1.0,
+		Seed:         1,
+		Serialized:   true,
+		TraceSink:    sink,
+	}
+}
+
+// RecordScenario runs one scenario against a fresh detector and returns
+// its recorded trace in the streaming format.
+func RecordScenario(sc Scenario) ([]byte, error) {
+	var buf bytes.Buffer
+	ts, err := pacer.StreamSink(&buf)
+	if err != nil {
+		return nil, err
+	}
+	sc.Run(pacer.New(recordOptions(ts.Record)))
+	if err := ts.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RecordTrace replays a trace through a fresh serialized detector with a
+// StreamSink attached and returns the recording (the replayed events plus
+// the rate-1.0 sampling transition the front-end emits).
+func RecordTrace(tr event.Trace) ([]byte, error) {
+	var buf bytes.Buffer
+	ts, err := pacer.StreamSink(&buf)
+	if err != nil {
+		return nil, err
+	}
+	d := pacer.New(recordOptions(ts.Record))
+	for _, e := range tr {
+		d.Apply(e)
+	}
+	if err := ts.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GeneratedCorpusSeeds are the CorpusConfig seeds whose generated traces
+// are checked in alongside the scenario slice — one per shape rotation,
+// doubled, so the on-disk corpus includes mirror/cluster, composite,
+// churn, and mixed traces without regenerating the whole ≥300-trace sweep.
+func GeneratedCorpusSeeds() []int64 { return []int64{0, 1, 2, 3, 4, 5, 6, 7} }
+
+// CorpusFiles returns the complete checked-in corpus as file name →
+// streaming-format contents, deterministically.
+func CorpusFiles() (map[string][]byte, error) {
+	files := make(map[string][]byte)
+	for i, sc := range Scenarios() {
+		b, err := RecordScenario(sc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		files[fmt.Sprintf("%02d-%s.trace", i, sc.Name)] = b
+	}
+	for _, seed := range GeneratedCorpusSeeds() {
+		tr := Generate(CorpusConfig(seed))
+		b, err := RecordTrace(tr)
+		if err != nil {
+			return nil, fmt.Errorf("generated seed %d: %w", seed, err)
+		}
+		files[fmt.Sprintf("gen-%03d.trace", seed)] = b
+	}
+	return files, nil
+}
+
+// CorpusNames returns the corpus file names in sorted order.
+func CorpusNames(files map[string][]byte) []string {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

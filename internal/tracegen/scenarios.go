@@ -1,0 +1,613 @@
+package tracegen
+
+import (
+	"pacer"
+)
+
+// Scenario is one corpus scenario: a deterministic single-goroutine drive
+// of the public detector API, ported from a shape in the Go race
+// detector's scenario suite (runtime/race testdata). Racy records the
+// suite's expectation — whether the shape contains at least one data race
+// — and is cross-checked against the happens-before oracle when the
+// corpus is built and replayed, so a mis-ported scenario cannot go
+// unnoticed.
+//
+// Scenarios drive the API from one goroutine: the trace is the
+// linearization the detector would record anyway, and the corpus stays
+// byte-for-byte reproducible.
+type Scenario struct {
+	Name string
+	Racy bool
+	Run  func(d *pacer.Detector)
+}
+
+// Scenarios returns the corpus scenario slice, in corpus order.
+func Scenarios() []Scenario {
+	return scenarios
+}
+
+var scenarios = []Scenario{
+	// --- plain shared-memory shapes ---
+	{"NoRaceIntRW", false, func(d *pacer.Detector) {
+		// x guarded by a mutex in both goroutines (NoRaceIntRWGlobalFuncs).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		m := d.NewMutex()
+		m.Lock(t0)
+		d.Write(t0, x, 1)
+		m.Unlock(t0)
+		m.Lock(t1)
+		d.Read(t1, x, 2)
+		m.Unlock(t1)
+	}},
+	{"RaceIntRW", true, func(d *pacer.Detector) {
+		// The same read/write pair with no synchronization (RaceIntRWGlobalFuncs).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		d.Write(t0, x, 1)
+		d.Read(t1, x, 2)
+	}},
+	{"RaceIntWW", true, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		d.Write(t0, x, 1)
+		d.Write(t1, x, 2)
+	}},
+	{"NoRaceReadOnly", false, func(d *pacer.Detector) {
+		// Concurrent readers of a value written before the forks.
+		t0 := d.NewThread()
+		x := d.NewVarID()
+		d.Write(t0, x, 1)
+		t1, t2 := d.Fork(t0), d.Fork(t0)
+		d.Read(t1, x, 2)
+		d.Read(t2, x, 3)
+		d.Read(t0, x, 4)
+	}},
+	{"RaceSameSiteMirror", true, func(d *pacer.Detector) {
+		// Both racing writes come from one program site (a single static
+		// store executed by two goroutines): the two temporal orders of
+		// the race collapse into one distinct (s, s) pair.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		d.Write(t0, x, 7)
+		d.Write(t1, x, 7)
+	}},
+	{"RaceBothKinds", true, func(d *pacer.Detector) {
+		// A write/write and a read/write race on one variable
+		// (RaceIntRWClosures shape).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		d.Write(t0, x, 1)
+		d.Read(t0, x, 2)
+		d.Write(t1, x, 3)
+	}},
+
+	// --- mutex shapes ---
+	{"NoRaceMutex", false, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		m := d.NewMutex()
+		m.Lock(t0)
+		d.Write(t0, x, 1)
+		m.Unlock(t0)
+		m.Lock(t1)
+		d.Write(t1, x, 2)
+		m.Unlock(t1)
+	}},
+	{"RaceMutexWrongLock", true, func(d *pacer.Detector) {
+		// Each goroutine locks, but not the same lock (RaceMutex2 shape).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		m1, m2 := d.NewMutex(), d.NewMutex()
+		m1.Lock(t0)
+		d.Write(t0, x, 1)
+		m1.Unlock(t0)
+		m2.Lock(t1)
+		d.Write(t1, x, 2)
+		m2.Unlock(t1)
+	}},
+	{"RaceMutexUnlockTooEarly", true, func(d *pacer.Detector) {
+		// t0 unlocks before its write, so the write escapes the critical
+		// section and races with t1's guarded read.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		m := d.NewMutex()
+		m.Lock(t0)
+		m.Unlock(t0)
+		d.Write(t0, x, 1)
+		m.Lock(t1)
+		d.Read(t1, x, 2)
+		m.Unlock(t1)
+	}},
+	{"NoRaceMutexChain", false, func(d *pacer.Detector) {
+		// Hand-over-hand: t0 → t1 → t2 through two different locks.
+		t0 := d.NewThread()
+		t1, t2 := d.Fork(t0), d.Fork(t0)
+		x := d.NewVarID()
+		ma, mb := d.NewMutex(), d.NewMutex()
+		ma.Lock(t0)
+		d.Write(t0, x, 1)
+		ma.Unlock(t0)
+		ma.Lock(t1)
+		mb.Lock(t1)
+		d.Write(t1, x, 2)
+		mb.Unlock(t1)
+		ma.Unlock(t1)
+		mb.Lock(t2)
+		d.Read(t2, x, 3)
+		mb.Unlock(t2)
+	}},
+	{"NoRaceNestedLocks", false, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x, y := d.NewVarID(), d.NewVarID()
+		mo, mi := d.NewMutex(), d.NewMutex()
+		mo.Lock(t0)
+		mi.Lock(t0)
+		d.Write(t0, x, 1)
+		d.Write(t0, y, 2)
+		mi.Unlock(t0)
+		mo.Unlock(t0)
+		mo.Lock(t1)
+		d.Read(t1, x, 3)
+		mi.Lock(t1)
+		d.Read(t1, y, 4)
+		mi.Unlock(t1)
+		mo.Unlock(t1)
+	}},
+	{"NoRaceFineGrained", false, func(d *pacer.Detector) {
+		// Per-variable locks (NoRaceMutexSemaphore shape, per element).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x, y := d.NewVarID(), d.NewVarID()
+		mx, my := d.NewMutex(), d.NewMutex()
+		mx.Lock(t0)
+		d.Write(t0, x, 1)
+		mx.Unlock(t0)
+		my.Lock(t1)
+		d.Write(t1, y, 2)
+		my.Unlock(t1)
+		mx.Lock(t1)
+		d.Read(t1, x, 3)
+		mx.Unlock(t1)
+		my.Lock(t0)
+		d.Read(t0, y, 4)
+		my.Unlock(t0)
+	}},
+	{"RaceFineGrainedMixup", true, func(d *pacer.Detector) {
+		// Per-variable locks, but one goroutine grabs the wrong one.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		mx, my := d.NewMutex(), d.NewMutex()
+		mx.Lock(t0)
+		d.Write(t0, x, 1)
+		mx.Unlock(t0)
+		my.Lock(t1)
+		d.Write(t1, x, 2)
+		my.Unlock(t1)
+	}},
+
+	// --- RWMutex shapes ---
+	{"NoRaceRWMutex", false, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		rw := d.NewRWMutex()
+		rw.Lock(t0)
+		d.Write(t0, x, 1)
+		rw.Unlock(t0)
+		rw.RLock(t1)
+		d.Read(t1, x, 2)
+		rw.RUnlock(t1)
+		rw.Lock(t0)
+		d.Write(t0, x, 3)
+		rw.Unlock(t0)
+	}},
+	{"RaceRWMutexSkippedRLock", true, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		rw := d.NewRWMutex()
+		rw.Lock(t0)
+		d.Write(t0, x, 1)
+		rw.Unlock(t0)
+		d.Read(t1, x, 2) // reader forgot RLock
+	}},
+	{"NoRaceRWMutexManyReaders", false, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1, t2 := d.Fork(t0), d.Fork(t0)
+		x := d.NewVarID()
+		rw := d.NewRWMutex()
+		rw.Lock(t0)
+		d.Write(t0, x, 1)
+		rw.Unlock(t0)
+		rw.RLock(t1)
+		rw.RLock(t2)
+		d.Read(t1, x, 2)
+		d.Read(t2, x, 3)
+		rw.RUnlock(t1)
+		rw.RUnlock(t2)
+		rw.Lock(t0)
+		d.Write(t0, x, 4)
+		rw.Unlock(t0)
+	}},
+	{"RaceRWMutexWriteUnderRLock", true, func(d *pacer.Detector) {
+		// A goroutine takes the read lock but writes (RaceRWMutexMultipleReaders
+		// shape): concurrent with another reader's read and a later write.
+		t0 := d.NewThread()
+		t1, t2 := d.Fork(t0), d.Fork(t0)
+		x := d.NewVarID()
+		rw := d.NewRWMutex()
+		rw.RLock(t1)
+		d.Write(t1, x, 1) // write under the read lock
+		rw.RUnlock(t1)
+		rw.RLock(t2)
+		d.Read(t2, x, 2)
+		rw.RUnlock(t2)
+		_ = t0
+	}},
+
+	// --- WaitGroup shapes ---
+	{"NoRaceWaitGroup", false, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1, t2 := d.Fork(t0), d.Fork(t0)
+		x1, x2 := d.NewVarID(), d.NewVarID()
+		wg := d.NewWaitGroup()
+		wg.Add(2)
+		d.Write(t1, x1, 1)
+		wg.Done(t1)
+		d.Write(t2, x2, 2)
+		wg.Done(t2)
+		wg.Wait(t0)
+		d.Read(t0, x1, 3)
+		d.Read(t0, x2, 4)
+	}},
+	{"RaceWaitGroupReadBeforeWait", true, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		wg := d.NewWaitGroup()
+		wg.Add(1)
+		d.Write(t1, x, 1)
+		wg.Done(t1)
+		d.Read(t0, x, 2) // before Wait
+		wg.Wait(t0)
+	}},
+	{"RaceWaitGroupMissedDone", true, func(d *pacer.Detector) {
+		// One worker writes after its Done (RaceWaitGroupAsMutex shape):
+		// the publication misses that write.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		wg := d.NewWaitGroup()
+		wg.Add(1)
+		wg.Done(t1)
+		d.Write(t1, x, 1) // after Done: not published
+		wg.Wait(t0)
+		d.Read(t0, x, 2)
+	}},
+	{"NoRaceWaitGroupTwoPhase", false, func(d *pacer.Detector) {
+		// Barrier reuse across two phases (NoRaceWaitGroupMultipleWait
+		// shape): phase 2 workers are forked only after phase 1's Wait.
+		t0 := d.NewThread()
+		x := d.NewVarID()
+		t1 := d.Fork(t0)
+		wg1 := d.NewWaitGroup()
+		wg1.Add(1)
+		d.Write(t1, x, 1)
+		wg1.Done(t1)
+		wg1.Wait(t0)
+		t2 := d.Fork(t0)
+		wg2 := d.NewWaitGroup()
+		wg2.Add(1)
+		d.Write(t2, x, 2)
+		wg2.Done(t2)
+		wg2.Wait(t0)
+		d.Read(t0, x, 3)
+	}},
+
+	// --- channel-shaped volatile handoffs ---
+	{"NoRaceChan", false, func(d *pacer.Detector) {
+		// c <- struct{}{} / <-c handoff publishing x (NoRaceChanSync).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		ch := d.NewVolatileID()
+		d.Write(t1, x, 1)
+		d.VolWrite(t1, ch) // send
+		d.VolRead(t0, ch)  // receive
+		d.Read(t0, x, 2)
+	}},
+	{"RaceChanWrongDirection", true, func(d *pacer.Detector) {
+		// The "receiver" sends instead of receiving: no edge from the
+		// writer to the reader (RaceChanWrongSend shape).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		ch := d.NewVolatileID()
+		d.Write(t1, x, 1)
+		d.VolWrite(t1, ch)
+		d.VolWrite(t0, ch) // should have been a receive
+		d.Read(t0, x, 2)
+	}},
+	{"NoRaceChanPingPong", false, func(d *pacer.Detector) {
+		// Two goroutines alternate ownership of x through two channels.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		ping, pong := d.NewVolatileID(), d.NewVolatileID()
+		d.Write(t0, x, 1)
+		d.VolWrite(t0, ping)
+		d.VolRead(t1, ping)
+		d.Write(t1, x, 2)
+		d.VolWrite(t1, pong)
+		d.VolRead(t0, pong)
+		d.Read(t0, x, 3)
+	}},
+	{"NoRaceProducerConsumer", false, func(d *pacer.Detector) {
+		// A mutex-guarded queue carries items from producer to consumer
+		// (NoRaceProducerConsumerUnbuffered shape, lock-based queue).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		item, q := d.NewVarID(), d.NewVarID()
+		m := d.NewMutex()
+		d.Write(t1, item, 1) // producer fills the item
+		m.Lock(t1)
+		d.Write(t1, q, 2) // enqueue
+		m.Unlock(t1)
+		m.Lock(t0)
+		d.Read(t0, q, 3) // dequeue
+		d.Read(t0, item, 4)
+		m.Unlock(t0)
+	}},
+	{"RaceChanMissingHandoff", true, func(d *pacer.Detector) {
+		// The consumer reads the payload without consuming the channel.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		ch := d.NewVolatileID()
+		d.Write(t1, x, 1)
+		d.VolWrite(t1, ch)
+		d.Read(t0, x, 2) // no VolRead first
+	}},
+
+	// --- atomic / volatile publication shapes ---
+	{"NoRaceAtomicPublish", false, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		flag := d.NewVolatileID()
+		d.Write(t0, x, 1)
+		d.VolWrite(t0, flag)
+		d.VolRead(t1, flag)
+		d.Read(t1, x, 2)
+	}},
+	{"RaceAtomicMissingLoad", true, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		flag := d.NewVolatileID()
+		d.Write(t0, x, 1)
+		d.VolWrite(t0, flag)
+		d.Read(t1, x, 2) // reader skipped the atomic load
+	}},
+	{"NoRaceAtomicSpin", false, func(d *pacer.Detector) {
+		// Spin on an atomic flag: several loads, the last one after the
+		// publishing store carries the edge.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		flag := d.NewVolatileID()
+		d.VolRead(t1, flag) // spin iteration before the store
+		d.Write(t0, x, 1)
+		d.VolWrite(t0, flag)
+		d.VolRead(t1, flag) // observes the store
+		d.Read(t1, x, 2)
+	}},
+	{"RaceAtomicStoreStore", true, func(d *pacer.Detector) {
+		// Both goroutines publish through the same atomic but race on the
+		// plain payload they both write first (RaceAtomicAddInt shape for
+		// the non-atomic field).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		flag := d.NewVolatileID()
+		d.Write(t0, x, 1)
+		d.VolWrite(t0, flag)
+		d.Write(t1, x, 2) // before consuming t0's store
+		d.VolWrite(t1, flag)
+	}},
+
+	// --- fork/join lifecycle shapes ---
+	{"NoRaceForkJoin", false, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		x := d.NewVarID()
+		d.Write(t0, x, 1)
+		t1 := d.Fork(t0)
+		d.Write(t1, x, 2)
+		d.Join(t0, t1)
+		d.Read(t0, x, 3)
+	}},
+	{"RaceForkConcurrentParent", true, func(d *pacer.Detector) {
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		d.Write(t0, x, 1)
+		d.Read(t1, x, 2)
+	}},
+	{"RaceMissingJoin", true, func(d *pacer.Detector) {
+		// Parent reads the child's result without joining (RaceGoroutine
+		// leak shape).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		d.Write(t1, x, 1)
+		d.Read(t0, x, 2) // no Join(t0, t1)
+	}},
+	{"NoRaceForkTree", false, func(d *pacer.Detector) {
+		// A tree of forks and joins: grandchild's write is published to
+		// the root through two joins.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		t2 := d.Fork(t1)
+		x := d.NewVarID()
+		d.Write(t2, x, 1)
+		d.Join(t1, t2)
+		d.Write(t1, x, 2)
+		d.Join(t0, t1)
+		d.Read(t0, x, 3)
+	}},
+	{"NoRaceThreadChurn", false, func(d *pacer.Detector) {
+		// Sequential short-lived workers, each joined before the next is
+		// forked, all touching one variable.
+		t0 := d.NewThread()
+		x := d.NewVarID()
+		for i := 0; i < 4; i++ {
+			u := d.Fork(t0)
+			d.Write(u, x, pacer.SiteID(10+i))
+			d.Join(t0, u)
+		}
+		d.Read(t0, x, 20)
+	}},
+	{"RaceThreadChurnOneEscapes", true, func(d *pacer.Detector) {
+		// Same churn, but one worker is never joined.
+		t0 := d.NewThread()
+		x := d.NewVarID()
+		u1 := d.Fork(t0)
+		d.Write(u1, x, 10)
+		d.Join(t0, u1)
+		u2 := d.Fork(t0)
+		d.Write(u2, x, 11) // u2 never joined
+		d.Read(t0, x, 20)
+	}},
+
+	// --- mixed / adversarial shapes ---
+	{"RaceSameEpochRepeat", true, func(d *pacer.Detector) {
+		// One unsynchronized write, then many same-epoch reads by another
+		// thread: the race must be found although every read after the
+		// first repeats the reader's epoch (same-epoch fast-path bait).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		d.Write(t0, x, 1)
+		for i := 0; i < 8; i++ {
+			d.Read(t1, x, 2)
+		}
+	}},
+	{"NoRaceSameEpochRepeat", false, func(d *pacer.Detector) {
+		// The same burst shape, properly handed off.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		m := d.NewMutex()
+		m.Lock(t0)
+		d.Write(t0, x, 1)
+		m.Unlock(t0)
+		m.Lock(t1)
+		for i := 0; i < 8; i++ {
+			d.Read(t1, x, 2)
+		}
+		m.Unlock(t1)
+	}},
+	{"RaceInitTwice", true, func(d *pacer.Detector) {
+		// Double-checked init without synchronization: both goroutines
+		// initialize the same slot (RaceOnce-gone-wrong shape).
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		d.Read(t0, x, 1) // check
+		d.Write(t0, x, 2)
+		d.Read(t1, x, 3) // check
+		d.Write(t1, x, 4)
+	}},
+	{"NoRaceOnce", false, func(d *pacer.Detector) {
+		// Once-style init: the winner initializes under a lock, everyone
+		// reads after acquiring it.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		x := d.NewVarID()
+		m := d.NewMutex()
+		m.Lock(t0)
+		d.Write(t0, x, 1)
+		m.Unlock(t0)
+		m.Lock(t1)
+		d.Read(t1, x, 2)
+		m.Unlock(t1)
+		m.Lock(t0)
+		d.Read(t0, x, 3)
+		m.Unlock(t0)
+	}},
+	{"RaceShardClusterPair", true, func(d *pacer.Detector) {
+		// Unsynchronized writes to two variables that collide into one
+		// metadata shard of the 64-shard sharded backends, plus a guarded
+		// control variable in the same cluster.
+		t0 := d.NewThread()
+		t1 := d.Fork(t0)
+		cluster := ShardClusterVars(3)
+		m := d.NewMutex()
+		d.Write(t0, cluster[0], 1)
+		d.Write(t1, cluster[0], 2)
+		d.Write(t1, cluster[1], 3)
+		d.Read(t0, cluster[1], 4)
+		m.Lock(t0)
+		d.Write(t0, cluster[2], 5)
+		m.Unlock(t0)
+		m.Lock(t1)
+		d.Write(t1, cluster[2], 6)
+		m.Unlock(t1)
+	}},
+	{"NoRaceMixedPrimitives", false, func(d *pacer.Detector) {
+		// Mutex + channel + waitgroup cooperating on three variables.
+		t0 := d.NewThread()
+		t1, t2 := d.Fork(t0), d.Fork(t0)
+		a, b, c := d.NewVarID(), d.NewVarID(), d.NewVarID()
+		m := d.NewMutex()
+		ch := d.NewVolatileID()
+		wg := d.NewWaitGroup()
+		wg.Add(2)
+		m.Lock(t1)
+		d.Write(t1, a, 1)
+		m.Unlock(t1)
+		d.Write(t1, b, 2)
+		d.VolWrite(t1, ch)
+		wg.Done(t1)
+		d.VolRead(t2, ch)
+		d.Read(t2, b, 3)
+		d.Write(t2, c, 4)
+		wg.Done(t2)
+		wg.Wait(t0)
+		m.Lock(t0)
+		d.Read(t0, a, 5)
+		m.Unlock(t0)
+		d.Read(t0, c, 6)
+	}},
+	{"RaceMixedPrimitivesOneHole", true, func(d *pacer.Detector) {
+		// The same cooperation with the channel edge removed: b races.
+		t0 := d.NewThread()
+		t1, t2 := d.Fork(t0), d.Fork(t0)
+		a, b := d.NewVarID(), d.NewVarID()
+		m := d.NewMutex()
+		wg := d.NewWaitGroup()
+		wg.Add(2)
+		m.Lock(t1)
+		d.Write(t1, a, 1)
+		m.Unlock(t1)
+		d.Write(t1, b, 2)
+		wg.Done(t1)
+		d.Read(t2, b, 3) // no edge from t1's write
+		wg.Done(t2)
+		wg.Wait(t0)
+		m.Lock(t0)
+		d.Read(t0, a, 5)
+		m.Unlock(t0)
+	}},
+}

@@ -175,6 +175,15 @@ type Options struct {
 	// Recommended for long-running processes with nonzero sampling rates;
 	// see docs/arena.md. Ignored by backends that do not support arenas.
 	Arena bool
+	// EpochFastVarCap bounds the direct-indexed variable table behind the
+	// lock-free same-epoch fast path of backends that expose one
+	// (FASTTRACK): variables with identifiers at or above the cap are
+	// analyzed through the locked path instead — same reports, no
+	// fast-path table growth. 0 keeps the backend default (1<<22);
+	// negative disables the index. Useful when variable identifiers are
+	// drawn from a huge sparse space (e.g. hashed addresses) and the
+	// table's worst-case memory must stay bounded.
+	EpochFastVarCap int
 	// Serialized disables the concurrent front-end: every operation takes
 	// the epoch lock exclusively and the lock-free fast path is off,
 	// reproducing the classic single-mutex behavior. Useful as a
@@ -342,7 +351,7 @@ func New(opts Options) *Detector {
 		if opts.OnRace != nil {
 			opts.OnRace(r)
 		}
-	}, backends.Config{Seed: opts.Seed, Core: copts})
+	}, backends.Config{Seed: opts.Seed, Core: copts, EpochFastIndexCap: opts.EpochFastVarCap})
 	if err != nil {
 		panic("pacer: " + err.Error())
 	}
