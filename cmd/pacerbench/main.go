@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pacerbench [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|frontend|arena|fasttrack]
+//	pacerbench [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|frontend|arena|fasttrack|contention]
 //	           [-bench eclipse|hsqldb|xalan|pseudojbb] [-scale 0.2] [-seed 0]
 //
 // The frontend, arena, and fasttrack experiments are different in kind:
@@ -13,7 +13,10 @@
 // allocations/op and metadata-words columns); arena compares the
 // slab-allocated metadata arena (Options.Arena) against the default heap
 // allocator; fasttrack compares the always-on FASTTRACK backend mounted
-// sharded against the same backend driven serialized.
+// sharded against the same backend driven serialized; contention runs
+// FASTTRACK on shared-read and sync-heavy mixes three ways — serialized,
+// sharded without the owned-access path, and the full sharded mount with
+// CAS read-map updates.
 //
 // -scale multiplies the paper's trial counts (1.0 reproduces the full
 // protocol: 50 fully sampled trials per benchmark, up to 500 trials per
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: all, table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, ablation, frontend, arena, fasttrack")
+		"experiment to run: all, table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, ablation, frontend, arena, fasttrack, contention")
 	benchName := flag.String("bench", "", "restrict to one benchmark (eclipse, hsqldb, xalan, pseudojbb)")
 	scale := flag.Float64("scale", 0.2, "trial-count scale factor (1.0 = the paper's protocol)")
 	seed := flag.Int64("seed", 0, "base seed for all trials")
@@ -214,11 +217,19 @@ func main() {
 		harness.FastTrackScaling(harness.FastTrackConfig{Ops: ops}).Render(os.Stdout)
 		return nil
 	})
+	section("contention", func() error {
+		ops := int(200_000 * *scale)
+		if ops < 20_000 {
+			ops = 20_000
+		}
+		harness.Contention(harness.ContentionConfig{Ops: ops}).Render(os.Stdout)
+		return nil
+	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "pacerbench: unknown experiment %q (try: %s)\n",
 			*experiment, strings.Join([]string{"all", "table1", "table2", "table3",
-				"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "lineage", "frontend", "arena", "fasttrack"}, ", "))
+				"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "lineage", "frontend", "arena", "fasttrack", "contention"}, ", "))
 		os.Exit(2)
 	}
 	fmt.Printf("pacerbench: done in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)

@@ -53,8 +53,45 @@ func main() {
 		corpus(os.Args[2:])
 	case "stat":
 		stat(os.Args[2:])
+	case "backends":
+		printBackends()
 	default:
 		usage()
+	}
+}
+
+// printBackends prints the live mount/arena/capability matrix straight
+// from the backend registry — the authoritative version of the
+// docs/backends.md table (a test pins the two together).
+func printBackends() {
+	fmt.Printf("%-12s %-11s %-6s %-10s %s\n", "backend", "mount", "arena", "sampling", "lock-free dismissals")
+	for _, c := range backends.All() {
+		var extras []string
+		if c.Sharded && c.Sampler {
+			extras = append(extras, "no-metadata")
+		}
+		if c.EpochFast {
+			extras = append(extras, "same-epoch")
+		}
+		if c.OwnedAccess {
+			extras = append(extras, "owned-access")
+		}
+		if c.BurstSampler {
+			extras = append(extras, "burst-skip")
+		}
+		ex := strings.Join(extras, ", ")
+		if ex == "" {
+			ex = "—"
+		}
+		arena := "no"
+		if c.Arena {
+			arena = "yes"
+		}
+		sampling := "always-on"
+		if c.Sampler {
+			sampling = "periods"
+		}
+		fmt.Printf("%-12s %-11s %-6s %-10s %s\n", c.Name, c.Mount(), arena, sampling, ex)
 	}
 }
 
@@ -65,6 +102,7 @@ func usage() {
   racereplay verify [-detector <name>|all] (<file> | -seed N)
   racereplay corpus [-o <dir>]
   racereplay stat <file>
+  racereplay backends
 
 replay detectors: %s
 replay is reproducible: the same -detector, -rate, -period, and -seed
@@ -302,14 +340,13 @@ func verify(args []string) {
 type verifyCell struct{ serialized, arena bool }
 
 // verifyCells mirrors the conformance suite's matrix slice per backend:
-// the sharded backends exercise all four front-end configurations, the
-// rest only the configurations that differ behaviorally for them.
+// the sharded arena-capable backends exercise all four front-end
+// configurations, the rest only the configurations that differ
+// behaviorally for them.
 func verifyCells(algo string) []verifyCell {
 	switch algo {
-	case "pacer", "fasttrack":
+	case "pacer", "fasttrack", "literace", "djit", "djit+":
 		return []verifyCell{{true, false}, {true, true}, {false, false}, {false, true}}
-	case "literace":
-		return []verifyCell{{true, false}, {false, false}}
 	default:
 		return []verifyCell{{true, false}}
 	}

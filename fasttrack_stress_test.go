@@ -155,3 +155,67 @@ func TestFastTrackShardedMatchesSerializedRaces(t *testing.T) {
 		t.Fatal("workload produced no races")
 	}
 }
+
+// TestOwnedStressStatsConservation hammers the owned-access CAS path: the
+// workload is almost entirely reads of variables shared by every
+// goroutine, whose multi-entry read maps publish no epoch mirror — the
+// same-epoch dismissal cannot serve them, so every lock-free dismissal
+// here is an ownership claim (or, early on, a single-entry mirror hit).
+// The assertions pin conservation — CAS dismissals and slow-path analyses
+// must sum to exactly the issued counts — and that the lock-free side
+// carries a meaningful share of the load. The workload is race-free by
+// construction (the only writes happen before the forks), so any report
+// would be a false positive from a torn owned update.
+func TestOwnedStressStatsConservation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		arena bool
+	}{{"heap", false}, {"arena", true}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const goroutines = 8
+			const opsPer = 4000
+			d := pacer.New(pacer.Options{
+				Algorithm: "fasttrack",
+				Seed:      5,
+				Shards:    8,
+				Arena:     tc.arena,
+				OnRace:    func(r pacer.Race) { t.Errorf("false race on read-only workload: %+v", r) },
+			})
+			main := d.NewThread()
+			shared := make([]pacer.VarID, 4)
+			for i := range shared {
+				shared[i] = d.NewVarID()
+				d.Write(main, shared[i], 1) // ordered before every fork
+			}
+			m := d.NewMutex()
+			var issuedReads atomic.Uint64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				tid := d.Fork(main)
+				wg.Add(1)
+				go func(tid pacer.ThreadID, g int) {
+					defer wg.Done()
+					for i := 0; i < opsPer; i++ {
+						if i%512 == 511 { // epoch churn: republication keeps claims valid
+							m.Lock(tid)
+							m.Unlock(tid)
+							continue
+						}
+						d.Read(tid, shared[i%len(shared)], pacer.SiteID(g+1))
+						issuedReads.Add(1)
+					}
+				}(tid, g)
+			}
+			wg.Wait()
+			s := d.Stats()
+			if s.Reads != issuedReads.Load() {
+				t.Errorf("Stats.Reads = %d, issued %d", s.Reads, issuedReads.Load())
+			}
+			if s.FastPathReads < issuedReads.Load()/4 {
+				t.Errorf("owned fast path carried %d of %d shared reads — CAS claims are not firing",
+					s.FastPathReads, issuedReads.Load())
+			}
+		})
+	}
+}

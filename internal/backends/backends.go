@@ -41,6 +41,9 @@ type Config struct {
 	// the backend default, negative disables the index). Variables past
 	// the cap still detect races through the locked path.
 	EpochFastIndexCap int
+	// DisableOwnedFastPath ablates the FASTTRACK backend's owned-access
+	// (CAS read-map) fast path, leaving the epoch mirrors active.
+	DisableOwnedFastPath bool
 }
 
 // Factory constructs one backend.
@@ -99,16 +102,20 @@ func init() {
 	})
 	Register("fasttrack", func(report detector.Reporter, cfg Config) detector.Detector {
 		return fasttrack.NewWithOptions(report, fasttrack.Options{
-			Shards:   cfg.Core.Shards,
-			Arena:    cfg.Core.Arena,
-			IndexCap: cfg.EpochFastIndexCap,
+			Shards:               cfg.Core.Shards,
+			Arena:                cfg.Core.Arena,
+			IndexCap:             cfg.EpochFastIndexCap,
+			DisableOwnedFastPath: cfg.DisableOwnedFastPath,
 		})
 	})
 	Register("generic", func(report detector.Reporter, _ Config) detector.Detector {
 		return generic.New(report)
 	})
-	djitFactory := func(report detector.Reporter, _ Config) detector.Detector {
-		return djit.New(report)
+	djitFactory := func(report detector.Reporter, cfg Config) detector.Detector {
+		return djit.NewWithOptions(report, djit.Options{
+			Shards: cfg.Core.Shards,
+			Arena:  cfg.Core.Arena,
+		})
 	}
 	Register("djit", djitFactory)
 	Register("djit+", djitFactory) // the detector's own Name()
@@ -120,6 +127,9 @@ func init() {
 		if cfg.Seed != 0 {
 			o.Seed = cfg.Seed
 		}
+		o.Shards = cfg.Core.Shards
+		o.Arena = cfg.Core.Arena
+		o.IndexCap = cfg.EpochFastIndexCap
 		return literace.New(report, o)
 	})
 	Register("goldilocks", func(report detector.Reporter, _ Config) detector.Detector {

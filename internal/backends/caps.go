@@ -1,0 +1,77 @@
+package backends
+
+import (
+	"fmt"
+
+	"pacer/internal/core"
+	"pacer/internal/detector"
+)
+
+// Caps describes one registered backend's mount and capability surface,
+// derived the same way the front-end derives it: construct the backend and
+// type-assert the capability interfaces. Because it is computed from the
+// live registry, it cannot drift from the code — the docs/backends.md
+// matrix is tested against it, and `racereplay backends` prints it.
+type Caps struct {
+	// Name is the registry name ("djit" and "djit+" are distinct entries
+	// for the same factory).
+	Name string
+	// Sharded reports the concurrent mount (detector.Sharded): false means
+	// the front-end drives the backend fully serialized.
+	Sharded bool
+	// Arena reports that Config.Core.Arena actually enables a slab arena
+	// (detector.ArenaAccounted with an enabled arena), not merely that the
+	// interface exists.
+	Arena bool
+	// Sampler reports sampling periods (detector.Sampler); always-on
+	// backends analyze every access.
+	Sampler bool
+	// EpochFast, OwnedAccess, and BurstSampler report the lock-free
+	// dismissal capabilities the front-end can discover.
+	EpochFast    bool
+	OwnedAccess  bool
+	BurstSampler bool
+}
+
+// Probe constructs the named backend (with the arena requested, so the
+// Arena field reports real adoption) and reports its capability surface.
+func Probe(name string) (Caps, error) {
+	d, err := New(name, nil, Config{Core: core.Options{Arena: true}})
+	if err != nil {
+		return Caps{}, err
+	}
+	c := Caps{Name: name}
+	_, c.Sharded = d.(detector.Sharded)
+	_, c.Sampler = d.(detector.Sampler)
+	_, c.EpochFast = d.(detector.EpochFast)
+	_, c.OwnedAccess = d.(detector.OwnedAccess)
+	_, c.BurstSampler = d.(detector.BurstSampler)
+	if aa, ok := d.(detector.ArenaAccounted); ok {
+		_, c.Arena = aa.ArenaStats()
+	}
+	return c, nil
+}
+
+// All probes every registered backend, in Names() order.
+func All() []Caps {
+	names := Names()
+	out := make([]Caps, 0, len(names))
+	for _, name := range names {
+		c, err := Probe(name)
+		if err != nil {
+			// Names() and New share the registry, so this cannot happen
+			// short of a concurrent deregistration, which does not exist.
+			panic(fmt.Sprintf("backends: probing %q: %v", name, err))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Mount returns the mount column of the capability matrix.
+func (c Caps) Mount() string {
+	if c.Sharded {
+		return "sharded"
+	}
+	return "serialized"
+}

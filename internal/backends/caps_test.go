@@ -1,0 +1,109 @@
+package backends_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"pacer/internal/backends"
+)
+
+// TestCapabilityMatrixMatchesDocs pins the docs/backends.md mounting
+// matrix to the live registry: every registered backend has a row, and the
+// row's mount, arena, and capability columns state exactly what probing
+// the constructed backend reports. The matrix cannot silently drift from
+// the code.
+func TestCapabilityMatrixMatchesDocs(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/backends.md")
+	if err != nil {
+		t.Fatalf("reading docs: %v", err)
+	}
+	rows := parseMatrix(t, string(raw))
+
+	for _, c := range backends.All() {
+		row, ok := rows[c.Name]
+		if !ok {
+			t.Errorf("backend %q registered but missing from the docs matrix", c.Name)
+			continue
+		}
+		if row.mount != c.Mount() {
+			t.Errorf("%s: docs say mount %q, registry probe says %q", c.Name, row.mount, c.Mount())
+		}
+		wantArena := "no"
+		if c.Arena {
+			wantArena = "yes"
+		}
+		if !strings.HasPrefix(row.arena, wantArena) {
+			t.Errorf("%s: docs arena column %q, registry probe says %q", c.Name, row.arena, wantArena)
+		}
+		for iface, have := range map[string]bool{
+			"detector.EpochFast":    c.EpochFast,
+			"detector.OwnedAccess":  c.OwnedAccess,
+			"detector.BurstSampler": c.BurstSampler,
+		} {
+			if mentioned := strings.Contains(row.extras, iface); mentioned != have {
+				t.Errorf("%s: docs extras %q mention %s=%v, registry probe says %v",
+					c.Name, row.extras, iface, mentioned, have)
+			}
+		}
+	}
+	for name := range rows {
+		if !backends.Known(name) {
+			t.Errorf("docs matrix lists %q, which is not a registered backend", name)
+		}
+	}
+}
+
+type matrixRow struct{ mount, arena, extras string }
+
+// parseMatrix extracts the backend table: rows of the form
+// `| `name` | mount | arena | extras |`, with multiple backtick-quoted
+// names per first cell allowed (the djit/djit+ row).
+func parseMatrix(t *testing.T, doc string) map[string]matrixRow {
+	t.Helper()
+	rows := map[string]matrixRow{}
+	for _, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		if len(cells) != 4 {
+			continue
+		}
+		row := matrixRow{
+			mount:  strings.TrimSpace(cells[1]),
+			arena:  strings.TrimSpace(cells[2]),
+			extras: strings.TrimSpace(cells[3]),
+		}
+		// Every backtick-quoted token in the first cell names a backend.
+		parts := strings.Split(cells[0], "`")
+		for i := 1; i < len(parts); i += 2 {
+			rows[strings.TrimSpace(parts[i])] = row
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("no matrix rows parsed from docs/backends.md")
+	}
+	return rows
+}
+
+// TestShardedMatrixComplete pins the tentpole: every precise backend
+// (everything but the imprecise lockset and the O(n^2) teaching baselines)
+// mounts sharded, and every sharded backend adopts the arena.
+func TestShardedMatrixComplete(t *testing.T) {
+	wantSharded := map[string]bool{
+		"pacer": true, "fasttrack": true, "literace": true,
+		"djit": true, "djit+": true,
+	}
+	for _, c := range backends.All() {
+		if wantSharded[c.Name] {
+			if !c.Sharded {
+				t.Errorf("%s: must mount sharded", c.Name)
+			}
+			if !c.Arena {
+				t.Errorf("%s: must adopt the arena under Config.Core.Arena", c.Name)
+			}
+		}
+	}
+}

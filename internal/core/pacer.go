@@ -22,10 +22,9 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"pacer/internal/arena"
 	"pacer/internal/detector"
+	"pacer/internal/detector/shardbase"
 	"pacer/internal/event"
 	"pacer/internal/vclock"
 )
@@ -64,15 +63,6 @@ type Options struct {
 	// serializes every acquire and release).
 	ArenaDebug bool
 }
-
-const (
-	defaultShards = 64
-	// presenceBuckets sizes the lock-free metadata presence filter: a
-	// count of tracked variables per hash bucket, readable without any
-	// lock. A zero bucket proves the variables hashing to it hold no
-	// metadata; a nonzero bucket only sends the caller to the slow path.
-	presenceBuckets = 1 << 12
-)
 
 // varShard is one slice of the variable-metadata table together with the
 // access-path counters accumulated for it. The trailing pad keeps shards
@@ -138,18 +128,18 @@ type Detector struct {
 	// state publishes the sampling flag (bit 0) and a transition count
 	// (upper bits) so a lock-free reader can both test sampling and detect
 	// that no transition intervened between two loads.
-	state      atomic.Uint64
-	threads    []*threadMeta
-	dead       map[vclock.Thread]bool
-	joined     map[vclock.Thread]bool
-	locks      map[event.Lock]*syncMeta
-	vols       map[event.Volatile]*syncMeta
-	shards     []varShard
-	shardShift uint32 // 32 - log2(len(shards)): ShardOf keeps the hash's high bits
+	state   shardbase.State
+	threads []*threadMeta
+	dead    map[vclock.Thread]bool
+	joined  map[vclock.Thread]bool
+	locks   map[event.Lock]*syncMeta
+	vols    map[event.Volatile]*syncMeta
+	geo     shardbase.Geometry
+	shards  []varShard
 	// presence counts tracked variables per hash bucket, maintained
 	// increment-before-insert / delete-before-decrement so a zero read
 	// proves absence at the instant of the load.
-	presence []atomic.Int32
+	presence *shardbase.Presence
 	report   detector.Reporter
 	stats    detector.Counters // sync-path counters; access counters live per shard
 	snap     detector.Counters // Stats() aggregation scratch
@@ -179,23 +169,16 @@ func New(report detector.Reporter) *Detector {
 
 // NewWithOptions returns a PACER detector with explicit options.
 func NewWithOptions(report detector.Reporter, opts Options) *Detector {
-	n := opts.Shards
-	if n <= 0 {
-		n = defaultShards
-	}
-	bits := uint32(0)
-	for 1<<bits < n {
-		bits++
-	}
+	geo := shardbase.NewGeometry(opts.Shards)
 	d := &Detector{
-		dead:       make(map[vclock.Thread]bool),
-		locks:      make(map[event.Lock]*syncMeta),
-		vols:       make(map[event.Volatile]*syncMeta),
-		shards:     make([]varShard, 1<<bits),
-		shardShift: 32 - bits,
-		presence:   make([]atomic.Int32, presenceBuckets),
-		report:     report,
-		opts:       opts,
+		dead:     make(map[vclock.Thread]bool),
+		locks:    make(map[event.Lock]*syncMeta),
+		vols:     make(map[event.Volatile]*syncMeta),
+		geo:      geo,
+		shards:   make([]varShard, geo.Shards()),
+		presence: shardbase.NewPresence(),
+		report:   report,
+		opts:     opts,
 	}
 	for i := range d.shards {
 		d.shards[i].vars = make(map[event.Var]*varMeta)
@@ -230,29 +213,23 @@ func (d *Detector) Stats() *detector.Counters {
 
 // Shards returns the number of variable-metadata shards; the caller's
 // striped locks must cover indices [0, Shards()).
-func (d *Detector) Shards() int { return len(d.shards) }
+func (d *Detector) Shards() int { return d.geo.Shards() }
 
 // ShardOf maps a variable to its metadata shard (Fibonacci hashing on the
 // identifier's high output bits).
-func (d *Detector) ShardOf(x event.Var) int {
-	return int((uint32(x) * 2654435761) >> d.shardShift)
-}
-
-func (d *Detector) presenceOf(x event.Var) *atomic.Int32 {
-	return &d.presence[(uint32(x)*2654435761)&(presenceBuckets-1)]
-}
+func (d *Detector) ShardOf(x event.Var) int { return d.geo.ShardOf(x) }
 
 // StateWord returns the atomically published sampling state: bit 0 is the
 // sampling flag and the upper bits count transitions, so two equal loads
 // bracketing another atomic load prove the sampling flag held throughout.
-func (d *Detector) StateWord() uint64 { return d.state.Load() }
+func (d *Detector) StateWord() uint64 { return d.state.Word() }
 
 // MetaPossible reports whether variable x might currently hold metadata.
 // It is safe to call without any lock: a false result proves x held no
 // metadata at the instant of the internal load; a true result may be a
 // hash collision and only obliges the caller to take the slow path.
 func (d *Detector) MetaPossible(x event.Var) bool {
-	return d.presenceOf(x).Load() > 0
+	return d.presence.Possible(x)
 }
 
 // EnsureThreadSlots pre-grows the thread table to hold identifiers below
@@ -325,13 +302,7 @@ func (d *Detector) SampleEnd() {
 
 // publishState mirrors d.sampling into the atomic state word, bumping the
 // transition count.
-func (d *Detector) publishState() {
-	w := (d.state.Load()>>1 + 1) << 1
-	if d.sampling {
-		w |= 1
-	}
-	d.state.Store(w)
-}
+func (d *Detector) publishState() { d.state.Publish(d.sampling) }
 
 // vcAlloc returns stripe i's slab allocator, or nil on the heap path. The
 // stripe only determines which free list serves the object; the arena mods
@@ -635,7 +606,7 @@ func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32)
 		// Rules 2-4, sampling column: exactly FASTTRACK's update.
 		if m == nil {
 			m = d.newVarMeta(si)
-			d.presenceOf(x).Add(1) // before insert: zero presence proves absence
+			d.presence.Add(x) // before insert: zero presence proves absence
 			sh.vars[x] = m
 		}
 		if m.r.Size() <= 1 && m.r.Leq(ct) {
@@ -702,7 +673,7 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 		// Rules 6-7, sampling column: W_x ← epoch(t), R_x cleared.
 		if m == nil {
 			m = d.newVarMeta(si)
-			d.presenceOf(x).Add(1) // before insert: zero presence proves absence
+			d.presence.Add(x) // before insert: zero presence proves absence
 			sh.vars[x] = m
 		}
 		m.r.Clear()
@@ -717,7 +688,7 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	}
 	if exists {
 		delete(sh.vars, x)
-		d.presenceOf(x).Add(-1) // after delete: presence covers the metadata's lifetime
+		d.presence.Remove(x) // after delete: presence covers the metadata's lifetime
 		d.freeVarMeta(si, m)
 	}
 }
@@ -727,7 +698,7 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 func (d *Detector) maybeDiscard(sh *varShard, si int, x event.Var, m *varMeta) {
 	if m.w.IsZero() && m.r.IsEmpty() {
 		delete(sh.vars, x)
-		d.presenceOf(x).Add(-1)
+		d.presence.Remove(x)
 		d.freeVarMeta(si, m)
 	}
 }

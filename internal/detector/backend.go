@@ -90,6 +90,34 @@ type EpochFast interface {
 	TrySameEpoch(t vclock.Thread, x event.Var, write bool) bool
 }
 
+// OwnedAccess is implemented by Sharded detectors that can perform the
+// full analysis and metadata update of an access without the caller's
+// locks, by claiming a per-variable ownership word with a single
+// CompareAndSwap (the SmartTrack-style exclusive writer/reader ownership
+// transition). It serves what EpochFast cannot: accesses that mutate
+// metadata but report no race — chiefly the shared-read case, where a
+// multi-entry read map publishes no epoch mirror and every read would
+// otherwise serialize on the variable's shard lock.
+//
+// TryOwnedAccess returns true when the access was fully handled: the
+// analysis ran against the thread's published clock, no race was found,
+// and the metadata update was performed under ownership with the same
+// mirror publication discipline the locked path uses. It returns false —
+// with the variable's record untouched — when the ownership claim fails
+// (contention), when the thread or variable has no published state, or
+// when a race would have to be reported; the caller then routes the access
+// through the locked path, which redoes the analysis from the same settled
+// state and reports through its usual channel.
+//
+// The implementation must guarantee that every other path that mutates or
+// inspects a variable's record claims the same ownership word, so a
+// successful claim confers exclusive access to the record; the caller
+// keeps its standing rule that a single thread's operations are
+// serialized, which keeps the thread's clock stable across the call.
+type OwnedAccess interface {
+	TryOwnedAccess(t vclock.Thread, x event.Var, site event.Site, write bool) bool
+}
+
 // ThreadReuser is implemented by detectors that can soundly recycle the
 // identifiers of dead, joined threads whose metadata has been discarded
 // (the accordion-clocks direction the paper recommends for production).

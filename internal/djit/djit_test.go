@@ -45,16 +45,16 @@ func TestSameFrameSkipFires(t *testing.T) {
 	d.Read(0, 1, 11, 0) // same frame: skipped
 	d.Write(0, 1, 12, 0)
 	d.Write(0, 1, 13, 0) // same frame: skipped
-	if d.SameFrameSkips != 2 {
-		t.Fatalf("skips = %d, want 2", d.SameFrameSkips)
+	if d.FrameSkips() != 2 {
+		t.Fatalf("skips = %d, want 2", d.FrameSkips())
 	}
 	// A release advances the frame; the next accesses analyze again.
 	d.Acquire(0, 1)
 	d.Release(0, 1)
 	d.Read(0, 1, 14, 0)
 	d.Write(0, 1, 15, 0)
-	if d.SameFrameSkips != 2 {
-		t.Fatalf("skips = %d after frame advance, want 2", d.SameFrameSkips)
+	if d.FrameSkips() != 2 {
+		t.Fatalf("skips = %d after frame advance, want 2", d.FrameSkips())
 	}
 }
 
@@ -84,8 +84,8 @@ func TestSkipsReduceWorkOnHotLoops(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		d.Read(0, 1, 1, 0)
 	}
-	if d.SameFrameSkips != 999 {
-		t.Fatalf("skips = %d, want 999", d.SameFrameSkips)
+	if d.FrameSkips() != 999 {
+		t.Fatalf("skips = %d, want 999", d.FrameSkips())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"pacer"
+	"pacer/internal/backends"
 	"pacer/internal/core"
 	"pacer/internal/detector"
 	"pacer/internal/dtest"
@@ -83,6 +84,44 @@ func TestDifferentialArenaPrecision(t *testing.T) {
 				t.Errorf("seed %d: arena-backed detector reported a false race %+v", seed, r)
 			}
 		}
+	}
+}
+
+// TestDifferentialArenaShardedBackends covers the full
+// {serialized, sharded} × {heap, arena} square for every backend that
+// newly mounts sharded with arena metadata (fasttrack with the owned-
+// access path live, djit+, literace): a concurrent arena-backed live run
+// is recorded and replayed through serialized same-backend references on
+// both allocators — all three race multisets must coincide.
+func TestDifferentialArenaShardedBackends(t *testing.T) {
+	for _, algo := range []string{"fasttrack", "djit", "literace"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				trace, races := recordedRunAlgo(algo, 1.0, seed, 4, 500, withArena)
+				replay := func(arena bool) []detector.Race {
+					c := dtest.Run(trace, func(rep detector.Reporter) detector.Detector {
+						d, err := backends.New(algo, rep, backends.Config{
+							Seed: seed,
+							Core: core.Options{Arena: arena},
+						})
+						if err != nil {
+							t.Fatalf("backend %q not in registry: %v", algo, err)
+						}
+						return d
+					})
+					return c.Dynamic
+				}
+				live := dtest.KeySet(append([]detector.Race(nil), races...))
+				heapRef := dtest.KeySet(replay(false))
+				arenaRef := dtest.KeySet(replay(true))
+				requireSameKeys(t, algo+" live(arena,sharded) vs heap serialized replay", live, heapRef)
+				requireSameKeys(t, algo+" arena serialized replay vs heap serialized replay", arenaRef, heapRef)
+				if seed == 1 && len(live) == 0 {
+					t.Fatalf("%s: fully sampled arena run found no races", algo)
+				}
+			}
+		})
 	}
 }
 

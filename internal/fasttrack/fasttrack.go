@@ -8,19 +8,27 @@
 // with PACER; the original FastTrack behaviour is available via Options for
 // the ablation benchmarks.
 //
-// The detector implements the detector.Sharded contract, so the concurrent
-// public front-end drives it with the same striped reader-writer discipline
-// as the PACER core: accesses to variables in distinct shards proceed in
-// parallel while synchronization operations retain exclusive access. Unlike
-// PACER, FASTTRACK has no non-sampling periods — every access creates or
-// updates metadata — so the published sampling flag is constantly set and
-// the front-end's lock-free no-metadata dismissal never fires (dismissing a
+// The detector implements the detector.Sharded contract (stripe geometry,
+// presence filter, state word, and thread publication all mounted from
+// internal/detector/shardbase), so the concurrent public front-end drives
+// it with the same striped reader-writer discipline as the PACER core:
+// accesses to variables in distinct shards proceed in parallel while
+// synchronization operations retain exclusive access. Unlike PACER,
+// FASTTRACK has no non-sampling periods — every access creates or updates
+// metadata — so the published sampling flag is constantly set and the
+// front-end's lock-free no-metadata dismissal never fires (dismissing a
 // first access would lose the read-map entry or write epoch it must
 // install). What an always-on detector can dismiss without a lock is its
 // own same-epoch no-op, the dominant case FastTrack was built around; the
 // detector.EpochFast capability publishes per-variable epoch mirrors so the
-// front-end serves exactly that case with a handful of atomic loads, and
-// everything else goes through the sharded slow path.
+// front-end serves exactly that case with a handful of atomic loads.
+//
+// What EpochFast cannot dismiss — chiefly the shared-read case, where a
+// multi-entry read map publishes no mirror — is served by the SmartTrack-
+// style owned-access path (detector.OwnedAccess): a per-variable ownership
+// word claimed by CompareAndSwap lets one access run the full analysis and
+// update lock-free, falling back to the locked slow path on contention or
+// whenever a race would have to be reported.
 package fasttrack
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"pacer/internal/arena"
 	"pacer/internal/detector"
+	"pacer/internal/detector/shardbase"
 	"pacer/internal/event"
 	"pacer/internal/vclock"
 )
@@ -38,12 +47,19 @@ import (
 type Options struct {
 	// KeepReadEpochOnWrite restores the original FastTrack behaviour of
 	// leaving a single-entry read map in place at a write (the paper's
-	// modified algorithm clears it).
+	// modified algorithm clears it). It also disables the owned-access
+	// fast path, whose repeat-read dismissal relies on writes clearing the
+	// read map.
 	KeepReadEpochOnWrite bool
 	// DisableEpochFastPath forces the full analysis even when the access
 	// matches the variable's current epoch, for the ablation benchmark
-	// measuring the value of FastTrack's same-epoch check.
+	// measuring the value of FastTrack's same-epoch check. It also
+	// disables the owned-access fast path, which extends the same check.
 	DisableEpochFastPath bool
+	// DisableOwnedFastPath ablates the owned-access (CAS read-map) fast
+	// path only, leaving the epoch mirrors active — the middle column of
+	// the contention benchmark.
+	DisableOwnedFastPath bool
 	// Shards is the number of independent variable-metadata shards
 	// (rounded up to a power of two, default 64). Accesses to variables in
 	// distinct shards may run concurrently under the locking contract
@@ -65,22 +81,6 @@ type Options struct {
 	IndexCap int
 }
 
-const (
-	defaultShards = 64
-	// presenceBuckets sizes the lock-free metadata presence filter: a
-	// count of tracked variables per hash bucket, readable without any
-	// lock. A zero bucket proves the variables hashing to it hold no
-	// metadata; a nonzero bucket only sends the caller to the slow path.
-	presenceBuckets = 1 << 12
-	// indexCap is the default bound on the direct-indexed variable table
-	// behind the same-epoch fast path (see Options.IndexCap). Identifiers
-	// at or above the cap (rarely produced by the front-end's sequential
-	// allocator) simply take the locked path.
-	indexCap = 1 << 22
-	// indexMin is the initial direct-index capacity.
-	indexMin = 1 << 10
-)
-
 // varShard is one slice of the variable-metadata table together with the
 // access-path counters accumulated for it. The trailing pad keeps shards
 // on distinct cache lines so parallel accesses do not false-share.
@@ -94,17 +94,25 @@ type varMeta struct {
 	w     vclock.Epoch
 	wSite event.Site
 	r     vclock.ReadMap
+	// own is the per-variable ownership word of the owned-access fast
+	// path. The lock-free side claims it with a single CompareAndSwap
+	// (TryLock) and falls back to the locked path when the claim fails;
+	// the locked paths and exclusive accessors claim it blocking, so any
+	// holder has exclusive access to w/wSite/r without the shard lock.
+	own sync.Mutex
 	// aw and ar are lock-free mirrors of the write epoch and the
 	// single-entry read epoch (packed, zero meaning "no dismissal
-	// possible"), read by TrySameEpoch without any lock. The locked access
-	// paths maintain them conservatively: cleared before the underlying
-	// state mutates, republished only after it settles, so a nonzero value
-	// always equals the settled state of the last locked operation.
+	// possible"), read by TrySameEpoch without any lock. The paths that
+	// mutate this record maintain them conservatively: cleared before the
+	// underlying state mutates, republished only after it settles, so a
+	// nonzero value always equals the settled state of the last mutating
+	// operation.
 	aw, ar atomic.Uint64
 }
 
 // publishMirrors republishes both epoch mirrors from the record's settled
-// state. Called with the owning shard lock held, after every mutation.
+// state. Called with the record owned (shard lock or ownership word),
+// after every mutation.
 func (m *varMeta) publishMirrors() {
 	m.aw.Store(uint64(m.w))
 	if m.r.Size() == 1 {
@@ -120,7 +128,8 @@ func (m *varMeta) publishMirrors() {
 //
 //   - Synchronization operations (Acquire, Release, Fork, Join, VolRead,
 //     VolWrite), Stats, VarsTracked, and MetadataWords require exclusive
-//     access (no other call in flight).
+//     access (no other call in flight, owned accesses excepted — see
+//     below).
 //   - Read and Write may run concurrently with each other provided (a)
 //     calls whose variables share a shard (ShardOf) are serialized by the
 //     caller, (b) no exclusive-class call is in flight, (c) every thread
@@ -133,46 +142,50 @@ func (m *varMeta) publishMirrors() {
 // interleaving is equivalent to some serialized execution of the same
 // operations.
 //
-// StateWord, MetaPossible, and TrySameEpoch may be called lock-free at any
-// time. Because FASTTRACK analyzes every access, the state word's sampling
-// flag is constantly set — callers implementing the PACER-shaped "skip when
-// not sampling" dismissal therefore always fall through, which is the only
+// StateWord, MetaPossible, TrySameEpoch, and TryOwnedAccess may be called
+// lock-free at any time (TryOwnedAccess still under rule (d)). Because
+// FASTTRACK analyzes every access, the state word's sampling flag is
+// constantly set — callers implementing the PACER-shaped "skip when not
+// sampling" dismissal therefore always fall through, which is the only
 // sound behavior for an always-on detector whose first accesses install
 // metadata. TrySameEpoch is the dismissal that is sound: it proves from the
 // published epoch mirrors that the access repeats the variable's current
-// epoch, making the analysis a guaranteed no-op.
+// epoch, making the analysis a guaranteed no-op. TryOwnedAccess goes one
+// step further: it claims the variable's ownership word and, when the
+// analysis reports no race, performs the full metadata update in place —
+// every path that mutates or inspects a variable record (locked accesses,
+// MetadataWords) claims the same word, so ownership confers exclusive
+// access to the record without the shard lock.
 type Detector struct {
 	sync *detector.BaseSync
 	// state publishes the sampling flag (bit 0) and a transition count
 	// (upper bits). FASTTRACK never transitions, so the word is the
 	// constant 1: flag set, zero transitions, trivially satisfying the
 	// two-equal-loads protocol of the Sharded contract.
-	state      atomic.Uint64
-	shards     []varShard
-	shardShift uint32 // 32 - log2(len(shards)): ShardOf keeps the hash's high bits
+	state  shardbase.State
+	geo    shardbase.Geometry
+	shards []varShard
 	// presence counts tracked variables per hash bucket, maintained
 	// increment-before-insert so a zero read proves absence at the instant
 	// of the load. FASTTRACK never discards metadata, so buckets never
 	// decrement.
-	presence []atomic.Int32
-	// idx is the grow-only direct index behind the same-epoch fast path:
+	presence *shardbase.Presence
+	// idx is the grow-only direct index behind the lock-free fast paths:
 	// variable identifier → metadata record, readable without any lock.
-	// All writes (slot stores and growth) serialize on growMu; growth
-	// copies and republishes, so readers always hold a consistent array.
-	idx    atomic.Pointer[[]atomic.Pointer[varMeta]]
-	growMu sync.Mutex
-	// idxCap is Options.IndexCap after defaulting: identifiers at or
-	// above it are never direct-indexed.
-	idxCap uint32
-	// tepochs publishes each thread's own epoch c@t for the same-epoch
-	// probe. Grown only by EnsureThreadSlots (exclusive access); entries
-	// are written by the owning thread's operations — which the caller
-	// serializes — and read lock-free only by that thread's own probes.
-	tepochs atomic.Pointer[[]atomic.Uint64]
-	report  detector.Reporter
-	stats    detector.Counters // sync-path counters; access counters live per shard
-	snap     detector.Counters // Stats() aggregation scratch
-	opts     Options
+	idx *shardbase.Index[varMeta]
+	// tpub publishes each thread's own epoch c@t (for the same-epoch
+	// probe) and clock pointer (for the owned-access analysis). Grown only
+	// by EnsureThreadSlots (exclusive access); slots are written by the
+	// owning thread's operations — which the caller serializes — and read
+	// lock-free only by that thread's own probes.
+	tpub   shardbase.ThreadPub
+	report detector.Reporter
+	stats  detector.Counters // sync-path counters; access counters live per shard
+	snap   detector.Counters // Stats() aggregation scratch
+	opts   Options
+	// ownedOK caches the option combination under which the owned-access
+	// fast path is sound and enabled.
+	ownedOK bool
 	// arena and varPool back metadata allocation behind Options.Arena;
 	// both nil on the default heap path.
 	arena   *arena.Arena
@@ -186,6 +199,7 @@ var (
 	_ detector.VarAccounted    = (*Detector)(nil)
 	_ detector.Sharded         = (*Detector)(nil)
 	_ detector.EpochFast       = (*Detector)(nil)
+	_ detector.OwnedAccess     = (*Detector)(nil)
 	_ detector.ArenaAccounted  = (*Detector)(nil)
 )
 
@@ -196,31 +210,19 @@ func New(report detector.Reporter) *Detector {
 
 // NewWithOptions returns a FASTTRACK detector with explicit options.
 func NewWithOptions(report detector.Reporter, opts Options) *Detector {
-	n := opts.Shards
-	if n <= 0 {
-		n = defaultShards
-	}
-	bits := uint32(0)
-	for 1<<bits < n {
-		bits++
-	}
+	geo := shardbase.NewGeometry(opts.Shards)
 	d := &Detector{
-		shards:     make([]varShard, 1<<bits),
-		shardShift: 32 - bits,
-		presence:   make([]atomic.Int32, presenceBuckets),
-		report:     report,
-		opts:       opts,
+		geo:      geo,
+		shards:   make([]varShard, geo.Shards()),
+		presence: shardbase.NewPresence(),
+		idx:      shardbase.NewIndex[varMeta](opts.IndexCap),
+		report:   report,
+		opts:     opts,
+		ownedOK: !opts.DisableOwnedFastPath && !opts.DisableEpochFastPath &&
+			!opts.KeepReadEpochOnWrite,
 	}
 	for i := range d.shards {
 		d.shards[i].vars = make(map[event.Var]*varMeta)
-	}
-	switch {
-	case opts.IndexCap > 0:
-		d.idxCap = uint32(opts.IndexCap)
-	case opts.IndexCap < 0:
-		d.idxCap = 0
-	default:
-		d.idxCap = indexCap
 	}
 	d.sync = detector.NewBaseSync(&d.stats)
 	if opts.Arena {
@@ -235,7 +237,7 @@ func NewWithOptions(report detector.Reporter, opts Options) *Detector {
 		d.sync.SetAllocator(d.arena.Shard)
 	}
 	// Always-on: the sampling flag is set for the detector's whole life.
-	d.state.Store(1)
+	d.state.SetAlwaysOn()
 	return d
 }
 
@@ -255,22 +257,15 @@ func (d *Detector) Stats() *detector.Counters {
 
 // Shards returns the number of variable-metadata shards; the caller's
 // striped locks must cover indices [0, Shards()).
-func (d *Detector) Shards() int { return len(d.shards) }
+func (d *Detector) Shards() int { return d.geo.Shards() }
 
-// ShardOf maps a variable to its metadata shard (Fibonacci hashing on the
-// identifier's high output bits).
-func (d *Detector) ShardOf(x event.Var) int {
-	return int((uint32(x) * 2654435761) >> d.shardShift)
-}
-
-func (d *Detector) presenceOf(x event.Var) *atomic.Int32 {
-	return &d.presence[(uint32(x)*2654435761)&(presenceBuckets-1)]
-}
+// ShardOf maps a variable to its metadata shard.
+func (d *Detector) ShardOf(x event.Var) int { return d.geo.ShardOf(x) }
 
 // StateWord returns the atomically published sampling state. For FASTTRACK
 // it is the constant 1 — flag bit set, zero transitions — because every
 // access is analyzed.
-func (d *Detector) StateWord() uint64 { return d.state.Load() }
+func (d *Detector) StateWord() uint64 { return d.state.Word() }
 
 // MetaPossible reports whether variable x might currently hold metadata.
 // It is safe to call without any lock: a false result proves x held no
@@ -279,42 +274,27 @@ func (d *Detector) StateWord() uint64 { return d.state.Load() }
 // the sampling flag constantly set, the front-end never consults this to
 // dismiss an access; the filter is maintained so the Sharded contract's
 // invariants hold regardless of the caller's probe order.)
-func (d *Detector) MetaPossible(x event.Var) bool {
-	return d.presenceOf(x).Load() > 0
-}
+func (d *Detector) MetaPossible(x event.Var) bool { return d.presence.Possible(x) }
 
 // EnsureThreadSlots pre-grows the thread table to hold identifiers below
 // n, so that shared-mode Read/Write calls never resize it. It also grows
-// the published thread-epoch table the same-epoch fast path reads (a
-// thread with no slot simply never fast-paths). Requires exclusive access.
+// the published thread table the fast paths read (a thread with no slot
+// simply never fast-paths). Requires exclusive access.
 func (d *Detector) EnsureThreadSlots(n int) {
 	d.sync.EnsureThreadSlots(n)
-	te := d.tepochs.Load()
-	cur := 0
-	if te != nil {
-		cur = len(*te)
-	}
-	if cur >= n {
-		return
-	}
-	grown := make([]atomic.Uint64, n)
-	for i := 0; i < cur; i++ {
-		grown[i].Store((*te)[i].Load())
-	}
-	d.tepochs.Store(&grown)
+	d.tpub.Ensure(n)
 }
 
-// publishEpoch republishes thread t's own packed epoch c@t after an
-// operation that may have advanced it. Entries are only ever written by
-// operations of thread t itself (or operations ordered before t's first
-// use, like the fork that created it), which the caller serializes.
+// publishEpoch republishes thread t's own packed epoch c@t and clock
+// pointer after an operation that may have advanced the epoch. The store
+// is skipped when the published epoch is already current (shardbase does
+// the compare), so republication is batched at the operations that
+// actually advance t's clock — an acquire-heavy mix performs no stores.
+// Entries are only ever written by operations of thread t itself (or
+// operations ordered before t's first use, like the fork that created t),
+// which the caller serializes.
 func (d *Detector) publishEpoch(t vclock.Thread) {
-	te := d.tepochs.Load()
-	if te == nil || int(t) >= len(*te) {
-		return
-	}
-	c := d.sync.ThreadClock(t)
-	(*te)[t].Store(uint64(vclock.MakeEpoch(t, c.Get(t))))
+	d.tpub.Publish(t, d.sync.ThreadClock(t))
 }
 
 // TrySameEpoch implements detector.EpochFast: a lock-free proof that the
@@ -322,26 +302,18 @@ func (d *Detector) publishEpoch(t vclock.Thread) {
 // no-op (Algorithm 7/8, line 1 — the overwhelmingly common case). The
 // thread's published epoch is stable during the call (only t's own
 // operations advance it); a nonzero variable mirror equals the settled
-// state of the last locked operation on the variable, so a match
+// state of the last mutating operation on the variable, so a match
 // linearizes the access right after that operation, where the serialized
 // detector dismisses it without touching metadata.
 func (d *Detector) TrySameEpoch(t vclock.Thread, x event.Var, write bool) bool {
 	if d.opts.DisableEpochFastPath {
 		return false
 	}
-	te := d.tepochs.Load()
-	if te == nil || int(t) >= len(*te) {
-		return false
-	}
-	e := (*te)[t].Load()
+	e := d.tpub.Epoch(t)
 	if e == 0 {
 		return false
 	}
-	ix := d.idx.Load()
-	if ix == nil || int(uint32(x)) >= len(*ix) {
-		return false
-	}
-	m := (*ix)[x].Load()
+	m := d.idx.Lookup(x)
 	if m == nil {
 		return false
 	}
@@ -351,34 +323,93 @@ func (d *Detector) TrySameEpoch(t vclock.Thread, x event.Var, write bool) bool {
 	return m.ar.Load() == e
 }
 
-// indexMeta publishes x's metadata record in the direct index. Called
-// once per variable, from under its shard lock; growMu serializes with
-// inserts from other shards and makes growth copy-then-republish safe.
-func (d *Detector) indexMeta(x event.Var, m *varMeta) {
-	if uint32(x) >= d.idxCap {
-		return
+// TryOwnedAccess implements detector.OwnedAccess, the SmartTrack-style
+// exclusive-ownership fast path for what the epoch mirrors cannot dismiss
+// — chiefly the shared-read case, where a multi-entry read map publishes
+// no mirror. The variable's ownership word is claimed with one
+// CompareAndSwap; on success the full FastTrack analysis runs against the
+// thread's published clock (stable during the call: only t's own
+// serialized operations mutate it), and when no race would be reported the
+// metadata update is performed in place under the same mirror discipline
+// as the locked path. Any potential race, a failed claim, or missing
+// publication returns false with the record untouched — the locked path
+// then redoes the analysis from the same settled state and reports through
+// its usual channel.
+func (d *Detector) TryOwnedAccess(t vclock.Thread, x event.Var, site event.Site, write bool) bool {
+	if !d.ownedOK {
+		return false
 	}
-	d.growMu.Lock()
-	ix := d.idx.Load()
-	if ix == nil || int(uint32(x)) >= len(*ix) {
-		n := indexMin
-		if ix != nil {
-			n = len(*ix)
-		}
-		for n <= int(uint32(x)) {
-			n *= 2
-		}
-		grown := make([]atomic.Pointer[varMeta], n)
-		if ix != nil {
-			for i := range *ix {
-				grown[i].Store((*ix)[i].Load())
-			}
-		}
-		d.idx.Store(&grown)
-		ix = &grown
+	if d.tpub.Epoch(t) == 0 {
+		return false
 	}
-	(*ix)[x].Store(m)
-	d.growMu.Unlock()
+	m := d.idx.Lookup(x)
+	if m == nil {
+		return false
+	}
+	ct := d.tpub.Clock(t)
+	if ct == nil {
+		return false
+	}
+	if !m.own.TryLock() {
+		return false // contention: fall back to the locked path
+	}
+	var handled bool
+	if write {
+		handled = d.ownedWrite(m, t, ct, site)
+	} else {
+		handled = d.ownedRead(m, t, ct, site)
+	}
+	m.own.Unlock()
+	return handled
+}
+
+// ownedRead is the owned-access read analysis. Caller holds m.own.
+func (d *Detector) ownedRead(m *varMeta, t vclock.Thread, ct *vclock.VC, site event.Site) bool {
+	c := ct.Get(t)
+	// Same epoch, single entry: R_x = epoch(t) → no action, mirroring the
+	// locked path's dismissal exactly (a multi-entry repeat read falls
+	// through to the update so its recorded site is refreshed, like the
+	// locked path and the PACER core).
+	if m.r.Size() == 1 {
+		if e := m.r.Single(); e.T == t && e.C == c {
+			return true
+		}
+	}
+	// check W_x ⊑ C_t; a racing write is reported by the locked path.
+	if !m.w.Leq(ct) {
+		return false
+	}
+	// The read map is about to change: close the lock-free read dismissal
+	// until the new state is settled and republished.
+	m.ar.Store(0)
+	if m.r.Size() <= 1 && m.r.Leq(ct) {
+		m.r.SetEpoch(vclock.ReadEntry{T: t, C: c, Site: uint32(site)})
+	} else {
+		m.r.Set(t, c, uint32(site))
+	}
+	m.publishMirrors()
+	return true
+}
+
+// ownedWrite is the owned-access write analysis. Caller holds m.own.
+func (d *Detector) ownedWrite(m *varMeta, t vclock.Thread, ct *vclock.VC, site event.Site) bool {
+	c := ct.Get(t)
+	// Same epoch: W_x = epoch(t) → no action.
+	if !m.w.IsZero() && m.w.Thread() == t && m.w.Clock() == c {
+		return true
+	}
+	// Check W_x ⊑ C_t and R_x ⊑ C_t; any racer is reported by the locked
+	// path, which redoes the analysis from this same settled state.
+	if !m.w.Leq(ct) || !m.r.Leq(ct) {
+		return false
+	}
+	m.aw.Store(0)
+	m.ar.Store(0)
+	m.r.Clear() // ownedOK excludes KeepReadEpochOnWrite
+	m.w = vclock.MakeEpoch(t, c)
+	m.wSite = site
+	m.publishMirrors()
+	return true
 }
 
 // varMetaFor returns x's metadata record in shard si, creating it on first
@@ -392,9 +423,9 @@ func (d *Detector) varMetaFor(si int, x event.Var) *varMeta {
 		} else {
 			m = &varMeta{}
 		}
-		d.presenceOf(x).Add(1) // before insert: a zero presence read proves absence
+		d.presence.Add(x) // before insert: a zero presence read proves absence
 		sh.vars[x] = m
-		d.indexMeta(x, m) // mirrors are still zero: not yet dismissable
+		d.idx.Publish(x, m) // mirrors are still zero: not yet dismissable
 	}
 	return m
 }
@@ -414,8 +445,14 @@ func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32)
 	ct := d.sync.ThreadClock(t)
 	d.publishEpoch(t)
 	m := d.varMetaFor(si, x)
+	m.own.Lock()
+	defer m.own.Unlock()
 
-	// Same epoch: R_x = epoch(t) → no action (mirrors already settled).
+	// Same epoch: R_x = epoch(t) → no action (mirrors already settled). The
+	// dismissal is single-entry only: a repeat read while the map is shared
+	// still runs the update below so the entry's recorded site is refreshed,
+	// exactly like the PACER core's sampling path (the equivalence suite
+	// pins the reported sites).
 	if !d.opts.DisableEpochFastPath && m.r.Size() == 1 {
 		if e := m.r.Single(); e.T == t && e.C == ct.Get(t) {
 			return
@@ -450,6 +487,8 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	ct := d.sync.ThreadClock(t)
 	d.publishEpoch(t)
 	m := d.varMetaFor(si, x)
+	m.own.Lock()
+	defer m.own.Unlock()
 
 	// Same epoch: W_x = epoch(t) → no action (mirrors already settled).
 	if !d.opts.DisableEpochFastPath && !m.w.IsZero() &&
@@ -486,16 +525,18 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	m.publishMirrors()
 }
 
-// The synchronization wrappers republish the involved threads' epochs
-// after the clock updates: a release (or fork, join, volatile write)
-// advances the issuing thread's epoch, and a stale published epoch could
-// let TrySameEpoch dismiss an access from the new epoch against
-// metadata recorded in the old one.
+// The synchronization wrappers republish the issuing threads' epochs after
+// the clock updates: a release (or fork, join, volatile write) advances
+// the issuing thread's epoch, and a stale published epoch could let
+// TrySameEpoch dismiss an access from the new epoch against metadata
+// recorded in the old one. Acquire and VolRead only join other clocks
+// *into* C_t — the thread's own component never advances — so they skip
+// republication entirely; together with the store-elision inside Publish,
+// sync-heavy mixes stop hammering the publication cachelines.
 
 // Acquire implements Algorithm 1.
 func (d *Detector) Acquire(t vclock.Thread, m event.Lock) {
 	d.sync.Acquire(t, m)
-	d.publishEpoch(t)
 }
 
 // Release implements Algorithm 2.
@@ -521,7 +562,6 @@ func (d *Detector) Join(t, u vclock.Thread) {
 // VolRead implements Algorithm 14.
 func (d *Detector) VolRead(t vclock.Thread, vx event.Volatile) {
 	d.sync.VolRead(t, vx)
-	d.publishEpoch(t)
 }
 
 // VolWrite implements Algorithm 15.
@@ -540,14 +580,18 @@ func (d *Detector) VarsTracked() int {
 	return n
 }
 
-// MetadataWords implements detector.MemoryAccounted.
+// MetadataWords implements detector.MemoryAccounted. Each record is
+// briefly claimed via its ownership word, so a concurrent owned access
+// (which takes no other lock) cannot race the read-map inspection.
 func (d *Detector) MetadataWords() int {
 	w := d.sync.MetadataWords()
 	for i := range d.shards {
 		for _, m := range d.shards[i].vars {
-			// Write epoch + site, the two published epoch mirrors, and
-			// the read map.
-			w += 4 + m.r.MemoryWords()
+			// Write epoch + site, the two published epoch mirrors, the
+			// ownership word, and the read map.
+			m.own.Lock()
+			w += 5 + m.r.MemoryWords()
+			m.own.Unlock()
 		}
 	}
 	return w

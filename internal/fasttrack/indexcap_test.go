@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pacer/internal/detector"
+	"pacer/internal/detector/shardbase"
 	"pacer/internal/event"
 )
 
@@ -62,8 +63,9 @@ func TestFastTrackIndexCapDisabled(t *testing.T) {
 // original behavior: sequentially allocated identifiers are indexed.
 func TestFastTrackIndexCapDefault(t *testing.T) {
 	d := NewWithOptions(func(detector.Race) {}, Options{})
-	if d.idxCap != indexCap {
-		t.Fatalf("zero Options.IndexCap resolved to %d, want the %d default", d.idxCap, indexCap)
+	if d.idx.Cap() != shardbase.DefaultIndexCap {
+		t.Fatalf("zero Options.IndexCap resolved to %d, want the %d default",
+			d.idx.Cap(), shardbase.DefaultIndexCap)
 	}
 	d.EnsureThreadSlots(1)
 	d.Write(0, 7, 1, 0)

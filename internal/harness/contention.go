@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"pacer"
+)
+
+// Contention measures the real (wall-clock, this machine) throughput of
+// the always-on FASTTRACK backend on the workloads the sharded mount is
+// weakest at: accesses the same-epoch mirrors cannot dismiss. Two mixes:
+//
+//   - shared-read: every analysis-bound access reads a variable shared by
+//     all goroutines, so its read map is multi-entry, publishes no epoch
+//     mirror, and (without the owned-access path) every reader serializes
+//     on the variable's shard lock.
+//   - sync-heavy: frequent instrumented lock operations, each an exclusive
+//     epoch-lock hold plus a thread-epoch republication, interleaved with
+//     shared reads — the mix that punishes a slow republication discipline.
+//
+// Each mix runs three ways: serialized (the single-mutex baseline),
+// sharded with Options.DisableOwnedFastPath (shard locks only — what the
+// mount was before the CAS read-map path), and the full sharded mount with
+// owned-access updates. The last column is the headline: shared readers
+// claim the variable's ownership word with one CompareAndSwap and update
+// the read map in place, so throughput holds up where the locked mount
+// collapses onto hot shard locks.
+//
+// Unlike the simulator experiments this one measures this process on this
+// hardware; numbers vary across machines, the shape (sharded+CAS ahead of
+// serialized at every level, and ahead of the locked mount on the
+// shared-read mix) should not.
+
+// ContentionMix is one access mix of the contention measurement.
+type ContentionMix struct {
+	// Name labels the mix in the rendered table.
+	Name string
+	// SharedEvery makes one in N analysis-bound accesses read a shared
+	// variable (1 = every access).
+	SharedEvery int
+	// SyncEvery makes one in N operations a lock-guarded shared write
+	// (acquire, write, release). Zero disables lock operations.
+	SyncEvery int
+}
+
+// ContentionConfig configures the contention measurement.
+type ContentionConfig struct {
+	// Goroutines lists the parallelism levels to measure (default 1,2,4,8).
+	Goroutines []int
+	// Ops is the per-goroutine operation count (default 200_000).
+	Ops int
+	// Mixes lists the access mixes (default shared-read and sync-heavy).
+	Mixes []ContentionMix
+}
+
+func (c *ContentionConfig) fill() {
+	if c.Goroutines == nil {
+		c.Goroutines = []int{1, 2, 4, 8}
+	}
+	if c.Ops <= 0 {
+		c.Ops = 200_000
+	}
+	if c.Mixes == nil {
+		c.Mixes = []ContentionMix{
+			{Name: "shared-read", SharedEvery: 1, SyncEvery: 512},
+			{Name: "sync-heavy", SharedEvery: 4, SyncEvery: 16},
+		}
+	}
+}
+
+// ContentionRow is one parallelism level's three-way measurement.
+type ContentionRow struct {
+	Goroutines int
+	// Serial, Locked, CAS are the serialized mount, the sharded mount with
+	// the owned-access path disabled, and the full sharded mount.
+	Serial, Locked, CAS Measure
+}
+
+// ContentionMixResult holds one mix's table.
+type ContentionMixResult struct {
+	Mix  ContentionMix
+	Rows []ContentionRow
+}
+
+// ContentionResult holds the contention tables.
+type ContentionResult struct {
+	Ops   int
+	Mixes []ContentionMixResult
+}
+
+// contentionRun drives one (mix, goroutines, mount) configuration. The
+// identifier setup mirrors frontendRun; the loop body differs in routing
+// most reads at a small set of variables shared by every goroutine.
+func contentionRun(cfg ContentionConfig, mix ContentionMix, goroutines int, serialized, disableOwned bool) Measure {
+	d := pacer.New(pacer.Options{
+		Algorithm:            "fasttrack",
+		Seed:                 11,
+		Serialized:           serialized,
+		DisableOwnedFastPath: disableOwned,
+	})
+	main := d.NewThread()
+	shared := make([]pacer.VarID, 8)
+	for i := range shared {
+		shared[i] = d.NewVarID()
+	}
+	guarded := d.NewVarID()
+	m := d.NewMutex()
+	workers := make([]pacer.ThreadID, goroutines)
+	privates := make([][]pacer.VarID, goroutines)
+	for g := range workers {
+		workers[g] = d.Fork(main)
+		privates[g] = make([]pacer.VarID, 8)
+		for i := range privates[g] {
+			privates[g][i] = d.NewVarID()
+		}
+	}
+	var wg sync.WaitGroup
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for g, tid := range workers {
+		wg.Add(1)
+		go func(tid pacer.ThreadID, g int) {
+			defer wg.Done()
+			private := privates[g]
+			site := pacer.SiteID(g * 1000)
+			for i := 0; i < cfg.Ops; i++ {
+				switch {
+				case mix.SyncEvery > 0 && i%mix.SyncEvery == 0:
+					m.Lock(tid)
+					d.Write(tid, guarded, site)
+					m.Unlock(tid)
+				case i%mix.SharedEvery == 0:
+					d.Read(tid, shared[i%len(shared)], site)
+				default:
+					d.Read(tid, private[i%len(private)], site)
+				}
+			}
+		}(tid, g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	totalOps := float64(goroutines) * float64(cfg.Ops)
+	st := d.Stats()
+	return Measure{
+		OpsPerSec:   totalOps / elapsed,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / totalOps,
+		MetaWords:   st.MetadataWords,
+		Stats:       st,
+	}
+}
+
+// Contention runs the three-way contention measurement for every mix.
+func Contention(cfg ContentionConfig) *ContentionResult {
+	cfg.fill()
+	res := &ContentionResult{Ops: cfg.Ops}
+	for _, mix := range cfg.Mixes {
+		mr := ContentionMixResult{Mix: mix}
+		for _, g := range cfg.Goroutines {
+			// The three mounts interleave per level so thermal/load drift
+			// hits all sides roughly equally.
+			mr.Rows = append(mr.Rows, ContentionRow{
+				Goroutines: g,
+				Serial:     contentionRun(cfg, mix, g, true, false),
+				Locked:     contentionRun(cfg, mix, g, false, true),
+				CAS:        contentionRun(cfg, mix, g, false, false),
+			})
+		}
+		res.Mixes = append(res.Mixes, mr)
+	}
+	return res
+}
+
+// Render prints one table per mix.
+func (c *ContentionResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "FASTTRACK contention throughput (real wall clock, %d ops/goroutine)\n", c.Ops)
+	for _, mr := range c.Mixes {
+		fmt.Fprintf(w, "\nmix %s (shared read 1/%d, lock op 1/%d)\n",
+			mr.Mix.Name, mr.Mix.SharedEvery, mr.Mix.SyncEvery)
+		fmt.Fprintf(w, "%-11s  %15s  %15s  %15s  %8s  %11s\n",
+			"goroutines", "serialized op/s", "shard-lock op/s", "sharded+CAS op/s", "speedup", "cas alloc/op")
+		rule(w, 86)
+		for _, r := range mr.Rows {
+			fmt.Fprintf(w, "%-11d  %15.3e  %15.3e  %15.3e  %7.2fx  %11.4f\n",
+				r.Goroutines, r.Serial.OpsPerSec, r.Locked.OpsPerSec, r.CAS.OpsPerSec,
+				r.CAS.OpsPerSec/r.Serial.OpsPerSec, r.CAS.AllocsPerOp)
+		}
+	}
+}

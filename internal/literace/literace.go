@@ -21,6 +21,15 @@
 // decisions lock-free (TrySkip) while other threads are mid-analysis, and
 // a serialized replay of the recorded trace still reproduces every
 // decision exactly.
+//
+// The detector implements detector.Sharded by delegating the contract to
+// its wrapped FASTTRACK core, whose shards hold all variable metadata, and
+// keeps the sampler state on its own striped locks so concurrent TrySkip
+// probes and sampled analyses of different (method, thread) keys do not
+// serialize on one mutex. It deliberately does NOT forward the EpochFast
+// or OwnedAccess capabilities: those dismiss accesses without consulting
+// the sampler, which would leave burst decisions unconsumed and break the
+// decision-stream determinism a serialized replay relies on.
 package literace
 
 import (
@@ -33,7 +42,7 @@ import (
 	"pacer/internal/vclock"
 )
 
-// Options configure the sampler.
+// Options configure the sampler and the wrapped FASTTRACK core.
 type Options struct {
 	// BurstLength is the number of consecutive accesses sampled per burst.
 	// The paper initially used 10 and switched to 1000 to reach ~1%
@@ -46,6 +55,15 @@ type Options struct {
 	Backoff float64
 	// Seed drives the randomized counter resets.
 	Seed int64
+	// Shards is the wrapped FASTTRACK core's variable-shard count (rounded
+	// up to a power of two, default 64).
+	Shards int
+	// Arena backs the wrapped core's vector clocks and variable records
+	// with a slab arena (internal/arena).
+	Arena bool
+	// IndexCap bounds the wrapped core's direct-indexed variable table
+	// (0 default, negative disables).
+	IndexCap int
 }
 
 // DefaultOptions returns the configuration used for the paper's comparison
@@ -66,29 +84,37 @@ type samplerState struct {
 	rng   *rand.Rand // per-key reset stream, deterministic in (Seed, key)
 }
 
-// Detector is the online LITERACE analysis. Like its underlying FASTTRACK
-// core it requires exclusive access for analysis and synchronization
-// calls; the one exception is TrySkip (detector.BurstSampler), which takes
-// only the detector's own sampler lock and so may run concurrently with
-// any operation of other threads.
-type Detector struct {
-	ft   *fasttrack.Detector
-	opts Options
+// samplerStripes is the number of independent sampler-state stripes. The
+// stripe is chosen by hashing the (method, thread) key, so concurrent
+// decisions for different keys rarely contend.
+const samplerStripes = 64
 
-	// mu guards the sampler state and decision counters: TrySkip is called
-	// lock-free by the front-end while other threads are mid-analysis, so
-	// the burst bookkeeping cannot rely on the caller's exclusive lock.
+// samplerStripe is one stripe of the sampler-state table with its decision
+// tallies. The trailing pad keeps stripes on distinct cache lines.
+type samplerStripe struct {
 	mu    sync.Mutex
 	state map[methodThread]*samplerState
-
-	// Sampled and Skipped count data accesses by sampling decision.
-	Sampled, Skipped uint64
-
-	// skipped accumulates the fast-path counters for accesses this
+	// sampled and skipped count data accesses by sampling decision.
+	sampled, skipped uint64
+	// skippedOps accumulates the fast-path counters for accesses this
 	// detector's own Read/Write skipped. (FASTTRACK's Stats is an
 	// aggregated snapshot, so skips are recorded here and merged in
 	// Stats rather than written through the snapshot pointer.)
-	skipped detector.Counters
+	skippedOps detector.Counters
+	_          [64]byte
+}
+
+// Detector is the online LITERACE analysis. Like its underlying FASTTRACK
+// core it admits the detector.Sharded reader-writer discipline for Read
+// and Write (variable metadata lives in the core's shards; the sampler
+// decision takes only the key's stripe lock) and requires exclusive access
+// for synchronization and accounting calls. TrySkip (detector.BurstSampler)
+// takes only the key's stripe lock and so may run concurrently with any
+// operation of other threads.
+type Detector struct {
+	ft      *fasttrack.Detector
+	opts    Options
+	stripes [samplerStripes]samplerStripe
 	snap    detector.Counters // Stats() merge scratch
 }
 
@@ -97,7 +123,9 @@ var (
 	_ detector.Counted         = (*Detector)(nil)
 	_ detector.MemoryAccounted = (*Detector)(nil)
 	_ detector.VarAccounted    = (*Detector)(nil)
+	_ detector.Sharded         = (*Detector)(nil)
 	_ detector.BurstSampler    = (*Detector)(nil)
+	_ detector.ArenaAccounted  = (*Detector)(nil)
 )
 
 // New returns an online LITERACE detector.
@@ -111,15 +139,30 @@ func New(report detector.Reporter, opts Options) *Detector {
 	if opts.Backoff <= 1 {
 		opts.Backoff = 10
 	}
-	return &Detector{
-		ft:    fasttrack.New(report),
-		opts:  opts,
-		state: make(map[methodThread]*samplerState),
+	d := &Detector{
+		ft: fasttrack.NewWithOptions(report, fasttrack.Options{
+			Shards:   opts.Shards,
+			Arena:    opts.Arena,
+			IndexCap: opts.IndexCap,
+		}),
+		opts: opts,
 	}
+	for i := range d.stripes {
+		d.stripes[i].state = make(map[methodThread]*samplerState)
+	}
+	return d
 }
 
 // Name implements detector.Detector.
 func (d *Detector) Name() string { return "literace" }
+
+// stripeFor hashes the (method, thread) key onto its sampler stripe
+// (seed-independent, so stripe placement never changes decisions).
+func (d *Detector) stripeFor(key methodThread) *samplerStripe {
+	h := (uint64(key.method)+1)*0xBF58476D1CE4E5B9 ^
+		(uint64(key.thread)+1)*0x94D049BB133111EB
+	return &d.stripes[(h>>32)&(samplerStripes-1)]
+}
 
 // Stats returns the operation counters: the underlying FASTTRACK snapshot
 // (sync operations and sampled accesses) plus this sampler's skipped
@@ -127,27 +170,77 @@ func (d *Detector) Name() string { return "literace" }
 // pointer is to a snapshot the next call overwrites.
 func (d *Detector) Stats() *detector.Counters {
 	d.snap = *d.ft.Stats()
-	d.mu.Lock()
-	d.snap.Add(&d.skipped)
-	d.mu.Unlock()
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.Lock()
+		d.snap.Add(&st.skippedOps)
+		st.mu.Unlock()
+	}
 	return &d.snap
+}
+
+// Sampled returns the number of data accesses the sampler decided to
+// analyze, summed across stripes.
+func (d *Detector) Sampled() uint64 {
+	n := uint64(0)
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.Lock()
+		n += st.sampled
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Skipped returns the number of data accesses the sampler dismissed,
+// summed across stripes (including decisions consumed via TrySkip).
+func (d *Detector) Skipped() uint64 {
+	n := uint64(0)
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.Lock()
+		n += st.skipped
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // EffectiveRate returns the fraction of data accesses actually sampled.
 func (d *Detector) EffectiveRate() float64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	total := d.Sampled + d.Skipped
+	sampled, skipped := d.Sampled(), d.Skipped()
+	total := sampled + skipped
 	if total == 0 {
 		return 0
 	}
-	return float64(d.Sampled) / float64(total)
+	return float64(sampled) / float64(total)
 }
 
-// stateLocked returns (method, thread)'s sampler state, creating it cold
-// (100% rate, full burst) on first use. Callers hold d.mu.
-func (d *Detector) stateLocked(key methodThread) *samplerState {
-	s, ok := d.state[key]
+// Shards returns the wrapped core's variable-shard count.
+func (d *Detector) Shards() int { return d.ft.Shards() }
+
+// ShardOf maps a variable to its metadata shard in the wrapped core.
+func (d *Detector) ShardOf(x event.Var) int { return d.ft.ShardOf(x) }
+
+// StateWord returns the published sampling state: the wrapped core's
+// constant always-on word. LITERACE's sampling is per-(method, thread),
+// not global, so the global flag must stay set — the front-end's
+// "skip when not sampling" dismissal would bypass the burst sampler and
+// leave decisions unconsumed. Per-access skips flow through TrySkip, which
+// does consume them.
+func (d *Detector) StateWord() uint64 { return d.ft.StateWord() }
+
+// MetaPossible reports whether x might hold metadata in the wrapped core.
+func (d *Detector) MetaPossible(x event.Var) bool { return d.ft.MetaPossible(x) }
+
+// EnsureThreadSlots pre-grows the wrapped core's thread tables. Requires
+// exclusive access.
+func (d *Detector) EnsureThreadSlots(n int) { d.ft.EnsureThreadSlots(n) }
+
+// stateLocked returns (method, thread)'s sampler state in stripe st,
+// creating it cold (100% rate, full burst) on first use. Callers hold
+// st.mu.
+func (d *Detector) stateLocked(st *samplerStripe, key methodThread) *samplerState {
+	s, ok := st.state[key]
 	if !ok {
 		// Mix the key into the seed (odd multipliers, xor-fold) so each
 		// (method, thread) pair gets its own deterministic reset stream.
@@ -159,13 +252,14 @@ func (d *Detector) stateLocked(key methodThread) *samplerState {
 			burst: d.opts.BurstLength,
 			rng:   rand.New(rand.NewSource(int64(h))),
 		}
-		d.state[key] = s
+		st.state[key] = s
 	}
 	return s
 }
 
 // sampleLocked decides whether to analyze this access of (method, thread),
-// advancing the bursty adaptive sampler. Callers hold d.mu.
+// advancing the bursty adaptive sampler. Callers hold the key's stripe
+// lock.
 func (d *Detector) sampleLocked(s *samplerState) bool {
 	if s.burst > 0 {
 		s.burst--
@@ -191,17 +285,19 @@ func (d *Detector) sampleLocked(s *samplerState) bool {
 
 // decide takes and records one sampling decision for an access.
 func (d *Detector) decide(method uint32, t vclock.Thread, write bool) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.sampleLocked(d.stateLocked(methodThread{method, t})) {
-		d.Sampled++
+	key := methodThread{method, t}
+	st := d.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if d.sampleLocked(d.stateLocked(st, key)) {
+		st.sampled++
 		return true
 	}
-	d.Skipped++
+	st.skipped++
 	if write {
-		d.skipped.WriteFast[detector.NonSampling]++
+		st.skippedOps.WriteFast[detector.NonSampling]++
 	} else {
-		d.skipped.ReadFast[detector.NonSampling]++
+		st.skippedOps.ReadFast[detector.NonSampling]++
 	}
 	return false
 }
@@ -216,14 +312,16 @@ func (d *Detector) decide(method uint32, t vclock.Thread, write bool) bool {
 // operations must be serialized by the caller, which is what keeps the
 // probe-then-analyze sequence atomic per key.
 func (d *Detector) TrySkip(method uint32, t vclock.Thread) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	s := d.stateLocked(methodThread{method, t})
+	key := methodThread{method, t}
+	st := d.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := d.stateLocked(st, key)
 	if s.burst > 0 || s.skip == 0 {
 		return false
 	}
 	s.skip--
-	d.Skipped++
+	st.skipped++
 	// The caller dismissed the access itself, so it owns the operation
 	// accounting (the front-end counts dismissals in its sharded fast
 	// counters); only the decision tally is recorded here.
@@ -270,8 +368,16 @@ func (d *Detector) VarsTracked() int { return d.ft.VarsTracked() }
 // discards metadata, so this grows with the data the program touches, not
 // with the sampling rate.
 func (d *Detector) MetadataWords() int {
-	d.mu.Lock()
-	n := len(d.state)
-	d.mu.Unlock()
+	n := 0
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.Lock()
+		n += len(st.state)
+		st.mu.Unlock()
+	}
 	return d.ft.MetadataWords() + 5*n
 }
+
+// ArenaStats implements detector.ArenaAccounted, delegating to the wrapped
+// core's arena (false on the default heap path).
+func (d *Detector) ArenaStats() (detector.ArenaStats, bool) { return d.ft.ArenaStats() }

@@ -63,12 +63,12 @@ func TestPerMethodThreadStateIsIndependent(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		d.Read(0, 1, 5, 1)
 	}
-	s0 := d.Sampled
+	s0 := d.Sampled()
 	// Method 2 on thread 0 and method 1 on thread 1 both start fresh at 100%.
 	d.Read(0, 2, 6, 2)
 	d.Read(1, 3, 7, 1)
-	if d.Sampled != s0+2 {
-		t.Errorf("fresh method-thread pairs were not sampled (sampled=%d, want %d)", d.Sampled, s0+2)
+	if d.Sampled() != s0+2 {
+		t.Errorf("fresh method-thread pairs were not sampled (sampled=%d, want %d)", d.Sampled(), s0+2)
 	}
 }
 
@@ -135,7 +135,7 @@ func TestEffectiveRateTracksSampledFraction(t *testing.T) {
 	for i := 0; i < 50000; i++ {
 		d.Read(0, 1, 1, 1)
 	}
-	total := d.Sampled + d.Skipped
+	total := d.Sampled() + d.Skipped()
 	if total != 50000 {
 		t.Fatalf("accounted accesses = %d, want 50000", total)
 	}

@@ -47,19 +47,17 @@ func (c matrixCell) String() string {
 }
 
 // matrixCellsFor returns the cells that are behaviorally distinct for a
-// backend. The sharded backends (pacer, fasttrack) exercise all four;
-// literace has a lock-free burst path toggled by Serialized but no arena;
-// the remaining backends are driven serialized with heap metadata whatever
-// the options say, so one cell covers them.
+// backend. Every sharded arena-capable backend (pacer, fasttrack,
+// literace, djit+) exercises all four configurations; the remaining
+// backends are driven serialized with heap metadata whatever the options
+// say, so one cell covers them.
 func matrixCellsFor(algo string) []matrixCell {
 	switch algo {
-	case "pacer", "fasttrack":
+	case "pacer", "fasttrack", "literace", "djit", "djit+":
 		return []matrixCell{
 			{serialized: true}, {serialized: true, arena: true},
 			{serialized: false}, {serialized: false, arena: true},
 		}
-	case "literace":
-		return []matrixCell{{serialized: true}, {serialized: false}}
 	default:
 		return []matrixCell{{serialized: true}}
 	}
@@ -357,7 +355,7 @@ func TestConformanceShardInvariance(t *testing.T) {
 	for seed := int64(0); seed < 24; seed++ {
 		tr := tracegen.Generate(tracegen.CorpusConfig(seed))
 		rep := oracle.Analyze(tr)
-		for _, algo := range []string{"pacer", "fasttrack"} {
+		for _, algo := range []string{"pacer", "fasttrack", "literace", "djit"} {
 			var base map[racePair]bool
 			for _, shards := range []int{1, 8, 256} {
 				got := pairSet(replayOracle(algo, tr, matrixCell{}, shards))

@@ -184,6 +184,14 @@ type Options struct {
 	// drawn from a huge sparse space (e.g. hashed addresses) and the
 	// table's worst-case memory must stay bounded.
 	EpochFastVarCap int
+	// DisableOwnedFastPath turns off the owned-access (CAS read-map)
+	// dismissal of backends that expose one (FASTTRACK): the SmartTrack-
+	// style path that claims a per-variable ownership word and performs the
+	// full analysis and metadata update without the epoch or shard locks —
+	// the shared-read case the same-epoch mirrors cannot serve. Reports are
+	// identical either way; this is the middle column of the contention
+	// benchmark.
+	DisableOwnedFastPath bool
 	// Serialized disables the concurrent front-end: every operation takes
 	// the epoch lock exclusively and the lock-free fast path is off,
 	// reproducing the classic single-mutex behavior. Useful as a
@@ -212,7 +220,7 @@ type Stats struct {
 	// FastPathReads/Writes count accesses dismissed by an O(1) fast path:
 	// the backend's own no-metadata dismissal plus the front-end's
 	// lock-free dismissals (non-sampling no-metadata probes, same-epoch
-	// proofs, burst-sampler skips).
+	// proofs, owned-access CAS updates, burst-sampler skips).
 	FastPathReads, FastPathWrites uint64
 	// SlowJoins and FastJoins count O(n) versus version-skipped joins.
 	SlowJoins, FastJoins uint64
@@ -254,6 +262,7 @@ type Detector struct {
 	sampler   detector.Sampler
 	burst     detector.BurstSampler
 	epoch     detector.EpochFast
+	owned     detector.OwnedAccess
 	counted   detector.Counted
 	memory    detector.MemoryAccounted
 	varsAcct  detector.VarAccounted
@@ -351,7 +360,12 @@ func New(opts Options) *Detector {
 		if opts.OnRace != nil {
 			opts.OnRace(r)
 		}
-	}, backends.Config{Seed: opts.Seed, Core: copts, EpochFastIndexCap: opts.EpochFastVarCap})
+	}, backends.Config{
+		Seed:                 opts.Seed,
+		Core:                 copts,
+		EpochFastIndexCap:    opts.EpochFastVarCap,
+		DisableOwnedFastPath: opts.DisableOwnedFastPath,
+	})
 	if err != nil {
 		panic("pacer: " + err.Error())
 	}
@@ -363,6 +377,9 @@ func New(opts Options) *Detector {
 	}
 	if det.sharded != nil && !opts.Serialized {
 		det.epoch, _ = back.(detector.EpochFast)
+		if !opts.DisableOwnedFastPath {
+			det.owned, _ = back.(detector.OwnedAccess)
+		}
 	}
 	det.counted, _ = back.(detector.Counted)
 	det.memory, _ = back.(detector.MemoryAccounted)
@@ -714,6 +731,40 @@ func (p *Detector) tryEpochFast(t ThreadID, v VarID, s SiteID, method uint32, wr
 	return true
 }
 
+// tryOwned attempts the lock-free owned-access dismissal: backends
+// exposing detector.OwnedAccess (FASTTRACK) claim the variable's ownership
+// word with one CompareAndSwap and, when the analysis finds no race,
+// perform the full metadata update in place — serving what the same-epoch
+// mirrors cannot, chiefly the shared-read case whose multi-entry read map
+// publishes no mirror and would otherwise serialize every reader on the
+// variable's shard lock. Unlike the other lock-free dismissals this one
+// mutates backend state, so with a TraceSink configured the claim runs
+// under the sink lock and the slow path holds the same lock across its
+// backend call (see access), keeping the recorded order identical to the
+// metadata mutation order. Disabled by Options.Serialized and
+// Options.DisableOwnedFastPath (p.owned stays nil).
+func (p *Detector) tryOwned(t ThreadID, v VarID, s SiteID, method uint32, write bool) bool {
+	if p.opts.TraceSink != nil {
+		p.sinkMu.Lock()
+		if !p.owned.TryOwnedAccess(t, v, s, write) {
+			p.sinkMu.Unlock()
+			return false
+		}
+		p.opts.TraceSink(accessEvent(t, v, s, method, write))
+		p.sinkMu.Unlock()
+	} else if !p.owned.TryOwnedAccess(t, v, s, write) {
+		return false
+	}
+	shard := p.sharded.ShardOf(v)
+	if write {
+		p.fastWrites.Inc(shard)
+	} else {
+		p.fastReads.Inc(shard)
+	}
+	p.countOp(t)
+	return true
+}
+
 func accessEvent(t ThreadID, v VarID, s SiteID, method uint32, write bool) Event {
 	k := event.Read
 	if write {
@@ -743,6 +794,9 @@ func (p *Detector) access(t ThreadID, v VarID, s SiteID, method uint32, write bo
 	if p.epoch != nil && p.tryEpochFast(t, v, s, method, write) {
 		return
 	}
+	if p.owned != nil && p.tryOwned(t, v, s, method, write) {
+		return
+	}
 	if p.burst != nil && p.tryBurstSkip(t, v, s, method, write) {
 		return
 	}
@@ -762,15 +816,27 @@ func (p *Detector) access(t ThreadID, v VarID, s SiteID, method uint32, write bo
 		p.record(accessEvent(t, v, s, method, write))
 	}
 	t0 := p.enter()
+	// With an owned-access backend mounted, lock-free dismissals can mutate
+	// metadata under the sink lock; holding the same lock across this
+	// backend call keeps every recorded sampled access at exactly the
+	// instant its metadata effect takes place, so the recorded order stays
+	// a faithful linearization. (Lock order sinkMu → ownership word matches
+	// the owned path's claim order; sink mode is a testing configuration,
+	// so the lost slow-path parallelism is acceptable.)
+	sink := sampling && p.opts.TraceSink != nil
+	if sink {
+		p.sinkMu.Lock()
+	}
 	if write {
 		p.back.Write(t, v, s, method)
 	} else {
 		p.back.Read(t, v, s, method)
 	}
-	p.exit(t0)
-	if sampling {
-		p.record(accessEvent(t, v, s, method, write))
+	if sink {
+		p.opts.TraceSink(accessEvent(t, v, s, method, write))
+		p.sinkMu.Unlock()
 	}
+	p.exit(t0)
 	p.varMu[sh].Unlock()
 	if p.serialized {
 		p.tickLocked()
