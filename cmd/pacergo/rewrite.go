@@ -1,0 +1,1032 @@
+package main
+
+// The rewriter: given a type-checked package, thread pacer runtime hooks
+// through its function bodies. The rules keep the detector's precision
+// pitch intact — a hook placement that could manufacture a false positive
+// is always resolved the other way (an extra or missing happens-before
+// edge may hide a race, never invent one):
+//
+//   - read hooks run BEFORE the statement that performs the read, write
+//     hooks AFTER it. A statement like `x = <-ch` synchronizes before the
+//     write lands, so hooking the write first would report races the
+//     program cannot have.
+//   - only shared memory is instrumented: package-level variables,
+//     closure-captured and address-taken locals, pointer dereferences,
+//     slice/array elements, and fields reached through pointers. A local
+//     that never escapes cannot race.
+//   - sync operations are hooked on the side of the real operation that
+//     makes the edge sound: Lock after it returns, Unlock before it runs,
+//     channel sends publish before the send, receives acquire after.
+//   - expressions that the statement may not evaluate (the right side of
+//     && and ||) get no hooks: a hook must never evaluate — and possibly
+//     panic on — an expression the program would have skipped.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+const (
+	rtName     = "__pacer_rt"
+	unsafeName = "__pacer_unsafe"
+	rtPath     = "pacer/internal/rt"
+)
+
+// instrumenter rewrites one type-checked package.
+type instrumenter struct {
+	fset  *token.FileSet
+	info  *types.Info
+	pkg   *types.Package
+	sizes types.Sizes
+
+	// shared marks objects whose memory is reachable from more than one
+	// goroutine: address-taken or closure-captured variables (package
+	// level variables are shared by definition and checked dynamically).
+	shared map[types.Object]bool
+
+	// done guards against rewriting a block twice (function literals are
+	// reachable both through statement recursion and expression walks).
+	done map[*ast.BlockStmt]bool
+
+	// siteSeq numbers generated site variables. Package-level: site vars
+	// from every file of a package land in the same scope, so the counter
+	// must never reset between files.
+	siteSeq int
+
+	// per-file state
+	fileName  string            // site prefix, e.g. "examples/planted/main.go"
+	sites     map[string]string // "line:col" -> generated var name
+	siteOrder []string
+	needRT    bool
+	tmpSeq    int
+}
+
+// --- site interning ---
+
+// site returns the generated site variable name for pos, interning it.
+func (in *instrumenter) site(pos token.Pos) *ast.Ident {
+	p := in.fset.Position(pos)
+	key := fmt.Sprintf("%d:%d", p.Line, p.Column)
+	name, ok := in.sites[key]
+	if !ok {
+		in.siteSeq++
+		name = fmt.Sprintf("__pacer_s%d", in.siteSeq)
+		in.sites[key] = name
+		in.siteOrder = append(in.siteOrder, key)
+	}
+	in.needRT = true
+	return ast.NewIdent(name)
+}
+
+func (in *instrumenter) temp(kind string) string {
+	in.tmpSeq++
+	return fmt.Sprintf("__pacer_%s%d", kind, in.tmpSeq)
+}
+
+// --- AST construction helpers (all nodes position-free) ---
+
+func rtSel(name string) ast.Expr {
+	return &ast.SelectorExpr{X: ast.NewIdent(rtName), Sel: ast.NewIdent(name)}
+}
+
+func rtCall(name string, args ...ast.Expr) *ast.ExprStmt {
+	return &ast.ExprStmt{X: &ast.CallExpr{Fun: rtSel(name), Args: args}}
+}
+
+func intLit(n int64) ast.Expr {
+	return &ast.BasicLit{Kind: token.INT, Value: strconv.FormatInt(n, 10)}
+}
+
+// unsafeAddr builds __pacer_unsafe.Pointer(&lv).
+func unsafeAddr(lv ast.Expr) ast.Expr {
+	return &ast.CallExpr{
+		Fun:  &ast.SelectorExpr{X: ast.NewIdent(unsafeName), Sel: ast.NewIdent("Pointer")},
+		Args: []ast.Expr{&ast.UnaryExpr{Op: token.AND, X: &ast.ParenExpr{X: lv}}},
+	}
+}
+
+// accessHook builds rt.R/rt.W(unsafe.Pointer(&lv), size, site).
+func (in *instrumenter) accessHook(fn string, lv ast.Expr, t types.Type, pos token.Pos) ast.Stmt {
+	size, ok := in.safeSize(t)
+	if !ok {
+		size = 1
+	}
+	return rtCall(fn, unsafeAddr(lv), intLit(size), in.site(pos))
+}
+
+// safeSize is Sizeof with generics guarded: a type containing type
+// parameters has no size at instrumentation time.
+func (in *instrumenter) safeSize(t types.Type) (n int64, ok bool) {
+	if t == nil {
+		return 0, false
+	}
+	defer func() {
+		if recover() != nil {
+			n, ok = 0, false
+		}
+	}()
+	return in.sizes.Sizeof(t), true
+}
+
+// --- shared-variable analysis ---
+
+// analyzeShared walks the package's files marking locals whose address
+// escapes their goroutine: explicit &x, capture by a function literal,
+// and the implicit &x of calling a pointer-receiver method on an
+// addressable value.
+func (in *instrumenter) analyzeShared(files []*ast.File) {
+	in.shared = make(map[types.Object]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					in.markRoot(x.X)
+				}
+			case *ast.FuncLit:
+				in.markCaptured(x)
+			case *ast.SelectorExpr:
+				if sel, ok := in.info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+					if sig, ok := sel.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
+						if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+							if _, isPtr := sel.Recv().(*types.Pointer); !isPtr {
+								in.markRoot(x.X) // implicit &recv
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// markRoot marks the variable at the base of an lvalue chain as shared.
+func (in *instrumenter) markRoot(e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := in.objOf(x).(*types.Var); ok && !v.IsField() {
+				in.shared[v] = true
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// markCaptured marks every variable a function literal uses that was
+// declared outside the literal.
+func (in *instrumenter) markCaptured(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := in.objOf(id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			in.shared[v] = true
+		}
+		return true
+	})
+}
+
+func (in *instrumenter) objOf(id *ast.Ident) types.Object {
+	if o := in.info.Uses[id]; o != nil {
+		return o
+	}
+	return in.info.Defs[id]
+}
+
+// sharedVar reports whether a variable's memory can be reached by another
+// goroutine: package-level, or locally marked by analyzeShared.
+func (in *instrumenter) sharedVar(v *types.Var) bool {
+	if v.IsField() {
+		return false
+	}
+	if in.shared[v] {
+		return true
+	}
+	// Package-level variables live in the package scope.
+	return v.Parent() != nil && (v.Parent() == in.pkg.Scope() ||
+		(v.Pkg() != nil && v.Parent() == v.Pkg().Scope()))
+}
+
+// --- hookable lvalues ---
+
+// target resolves e to the lvalue to hook and its type, or ok=false when
+// the expression is not instrumentable shared memory. Map element
+// accesses hook the map variable itself (elements have no address).
+func (in *instrumenter) target(e ast.Expr) (lv ast.Expr, t types.Type, ok bool) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return in.target(x.X)
+	case *ast.Ident:
+		if v, okv := in.objOf(x).(*types.Var); okv && v.Name() != "_" && in.sharedVar(v) {
+			return e, v.Type(), true
+		}
+	case *ast.StarExpr:
+		if t := in.info.TypeOf(e); t != nil {
+			return e, t, true
+		}
+	case *ast.SelectorExpr:
+		if sel, oks := in.info.Selections[x]; oks {
+			if sel.Kind() != types.FieldVal {
+				return nil, nil, false
+			}
+			if _, ptr := in.info.TypeOf(x.X).Underlying().(*types.Pointer); ptr {
+				return e, in.info.TypeOf(e), true
+			}
+			if _, _, okb := in.target(x.X); okb && in.addressable(x.X) {
+				return e, in.info.TypeOf(e), true
+			}
+			return nil, nil, false
+		}
+		// Qualified identifier: another package's variable is package
+		// level, hence shared.
+		if v, okv := in.info.Uses[x.Sel].(*types.Var); okv && !v.IsField() {
+			return e, v.Type(), true
+		}
+	case *ast.IndexExpr:
+		bt := in.info.TypeOf(x.X)
+		if bt == nil {
+			return nil, nil, false
+		}
+		switch u := bt.Underlying().(type) {
+		case *types.Slice:
+			return e, u.Elem(), true
+		case *types.Pointer:
+			if arr, oka := u.Elem().Underlying().(*types.Array); oka {
+				return e, arr.Elem(), true
+			}
+		case *types.Array:
+			if _, _, okb := in.target(x.X); okb && in.addressable(x.X) {
+				return e, u.Elem(), true
+			}
+		case *types.Map:
+			return in.target(x.X)
+		}
+	}
+	return nil, nil, false
+}
+
+// addressable approximates the spec's addressability for the lvalues the
+// rewriter hooks (&lv must compile).
+func (in *instrumenter) addressable(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return in.addressable(x.X)
+	case *ast.Ident:
+		v, ok := in.objOf(x).(*types.Var)
+		return ok && !v.IsField()
+	case *ast.StarExpr:
+		return true
+	case *ast.SelectorExpr:
+		if sel, ok := in.info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if _, ptr := in.info.TypeOf(x.X).Underlying().(*types.Pointer); ptr {
+				return true
+			}
+			return in.addressable(x.X)
+		}
+		_, ok := in.info.Uses[x.Sel].(*types.Var)
+		return ok
+	case *ast.IndexExpr:
+		bt := in.info.TypeOf(x.X)
+		if bt == nil {
+			return false
+		}
+		switch u := bt.Underlying().(type) {
+		case *types.Slice:
+			return true
+		case *types.Pointer:
+			_, ok := u.Elem().Underlying().(*types.Array)
+			return ok
+		case *types.Array:
+			return in.addressable(x.X)
+		}
+	}
+	return false
+}
+
+// --- read collection ---
+
+// readHooks appends R hooks for every hookable read in e that the
+// enclosing statement unconditionally evaluates.
+func (in *instrumenter) readHooks(e ast.Expr, out *[]ast.Stmt) {
+	if e == nil {
+		return
+	}
+	if lv, t, ok := in.target(e); ok && in.addressable(lv) {
+		*out = append(*out, in.accessHook("R", lv, t, e.Pos()))
+		// The index of an element access is itself evaluated.
+		if ix, oki := e.(*ast.IndexExpr); oki {
+			in.readHooks(ix.Index, out)
+		}
+		return
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		in.readHooks(x.X, out)
+	case *ast.BinaryExpr:
+		in.readHooks(x.X, out)
+		// The right side of a short-circuit operator may never run; a
+		// hook there could evaluate (and panic on) a skipped expression.
+		if x.Op != token.LAND && x.Op != token.LOR {
+			in.readHooks(x.Y, out)
+		}
+	case *ast.UnaryExpr:
+		// &x is not a read of x; a nested <-ch is handled only at
+		// statement level (documented gap).
+		if x.Op != token.AND && x.Op != token.ARROW {
+			in.readHooks(x.X, out)
+		}
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			in.readHooks(a, out)
+		}
+		// A value-receiver method call copies — reads — its receiver; a
+		// pointer-receiver call only takes the address, which is not a
+		// read (hooking it could report a race the program cannot have).
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			if in.valueReceiverCall(sel) {
+				in.readHooks(sel.X, out)
+			}
+		}
+	case *ast.SelectorExpr:
+		in.readHooks(x.X, out)
+	case *ast.IndexExpr:
+		in.readHooks(x.X, out)
+		in.readHooks(x.Index, out)
+	case *ast.SliceExpr:
+		in.readHooks(x.X, out)
+		in.readHooks(x.Low, out)
+		in.readHooks(x.High, out)
+		in.readHooks(x.Max, out)
+	case *ast.TypeAssertExpr:
+		in.readHooks(x.X, out)
+	case *ast.StarExpr:
+		in.readHooks(x.X, out)
+	case *ast.CompositeLit:
+		isMap := false
+		if t := in.info.TypeOf(x); t != nil {
+			_, isMap = t.Underlying().(*types.Map)
+		}
+		for _, el := range x.Elts {
+			if kv, okkv := el.(*ast.KeyValueExpr); okkv {
+				if isMap {
+					in.readHooks(kv.Key, out)
+				}
+				in.readHooks(kv.Value, out)
+				continue
+			}
+			in.readHooks(el, out)
+		}
+	case *ast.FuncLit:
+		// Bodies are rewritten separately (funcLits); creating the
+		// closure reads nothing.
+	}
+}
+
+// writeHook returns the W hook for lv, or nil when it is not hookable.
+func (in *instrumenter) writeHook(e ast.Expr) ast.Stmt {
+	lv, t, ok := in.target(e)
+	if !ok || !in.addressable(lv) {
+		return nil
+	}
+	return in.accessHook("W", lv, t, e.Pos())
+}
+
+// funcLits rewrites the bodies of function literals appearing anywhere
+// inside n (each exactly once).
+func (in *instrumenter) funcLits(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if fl, ok := x.(*ast.FuncLit); ok {
+			in.rewriteBlock(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// --- statement rewriting ---
+
+func (in *instrumenter) rewriteBlock(b *ast.BlockStmt) {
+	if b == nil || in.done[b] {
+		return
+	}
+	in.done[b] = true
+	var out []ast.Stmt
+	for _, s := range b.List {
+		out = append(out, in.rewriteStmt(s)...)
+	}
+	b.List = out
+}
+
+func (in *instrumenter) rewriteStmt(s ast.Stmt) []ast.Stmt {
+	var pre, post []ast.Stmt
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		in.rewriteBlock(st)
+
+	case *ast.LabeledStmt:
+		inner := in.rewriteStmt(st.Stmt)
+		for i, x := range inner {
+			if x == st.Stmt {
+				st.Stmt = x
+				inner[i] = st
+				return inner
+			}
+		}
+		if len(inner) > 0 { // core was replaced (e.g. a go statement)
+			st.Stmt = inner[len(inner)-1]
+			inner[len(inner)-1] = st
+		}
+		return inner
+
+	case *ast.ExprStmt:
+		in.funcLits(st)
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if p, q, handled := in.syncCall(call); handled {
+				return concat(p, s, q)
+			}
+			in.readHooks(st.X, &pre)
+			break
+		}
+		if un, ok := st.X.(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			in.readHooks(un.X, &pre)
+			pre = append(pre, rtCall("ChanRecvPre", un.X))
+			post = append(post, rtCall("ChanRecv", un.X))
+			break
+		}
+		in.readHooks(st.X, &pre)
+
+	case *ast.SendStmt:
+		in.funcLits(st)
+		in.readHooks(st.Chan, &pre)
+		in.readHooks(st.Value, &pre)
+		pre = append(pre, rtCall("ChanSend", st.Chan))
+		post = append(post, rtCall("ChanSendDone", st.Chan))
+
+	case *ast.AssignStmt:
+		in.funcLits(st)
+		recv := (*ast.UnaryExpr)(nil)
+		if len(st.Rhs) == 1 {
+			if un, ok := st.Rhs[0].(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+				recv = un
+			}
+		}
+		if recv != nil {
+			in.readHooks(recv.X, &pre)
+			pre = append(pre, rtCall("ChanRecvPre", recv.X))
+			post = append(post, rtCall("ChanRecv", recv.X))
+		} else {
+			var atomicHandled bool
+			if len(st.Rhs) == 1 {
+				if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+					if p, q, handled := in.syncCall(call); handled {
+						pre, post, atomicHandled = p, q, true
+					}
+				}
+			}
+			if !atomicHandled {
+				for _, r := range st.Rhs {
+					in.readHooks(r, &pre)
+				}
+			}
+		}
+		if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+			// Compound assignment (+= etc.) also reads its target.
+			in.readHooks(st.Lhs[0], &pre)
+		}
+		for _, l := range st.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if st.Tok == token.DEFINE {
+				// A fresh variable is only worth hooking if it escapes.
+				if id, ok := l.(*ast.Ident); ok {
+					if v, okv := in.info.Defs[id].(*types.Var); !okv || !in.sharedVar(v) {
+						continue
+					}
+				}
+			} else {
+				// The indices of an element write are reads.
+				if ix, ok := l.(*ast.IndexExpr); ok {
+					in.readHooks(ix.Index, &pre)
+				}
+			}
+			if h := in.writeHook(l); h != nil {
+				post = append(post, h)
+			}
+		}
+
+	case *ast.IncDecStmt:
+		in.readHooks(st.X, &pre)
+		if h := in.writeHook(st.X); h != nil {
+			post = append(post, h)
+		}
+
+	case *ast.DeclStmt:
+		in.funcLits(st)
+		if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, okv := spec.(*ast.ValueSpec)
+				if !okv {
+					continue
+				}
+				for _, val := range vs.Values {
+					in.readHooks(val, &pre)
+				}
+				for _, name := range vs.Names {
+					if v, okd := in.info.Defs[name].(*types.Var); okd && in.sharedVar(v) {
+						if h := in.writeHook(name); h != nil {
+							post = append(post, h)
+						}
+					}
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		in.funcLits(st)
+		for _, r := range st.Results {
+			in.readHooks(r, &pre)
+		}
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			in.funcLits(st.Init)
+			in.initReads(st.Init, &pre)
+		}
+		in.funcLits(st.Cond)
+		in.readHooks(st.Cond, &pre)
+		in.rewriteBlock(st.Body)
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			in.rewriteBlock(e)
+		case *ast.IfStmt:
+			inner := in.rewriteStmt(e)
+			if len(inner) == 1 {
+				st.Else = inner[0]
+			} else {
+				st.Else = &ast.BlockStmt{List: inner}
+			}
+		}
+
+	case *ast.ForStmt:
+		// Cond and Post run once per iteration; hooks for them would
+		// need to run inside the loop header, which Go cannot express
+		// without restructuring the loop (documented gap).
+		in.funcLits(st.Init)
+		in.funcLits(st.Cond)
+		in.funcLits(st.Post)
+		if st.Init != nil {
+			in.initReads(st.Init, &pre)
+		}
+		in.rewriteBlock(st.Body)
+
+	case *ast.RangeStmt:
+		in.funcLits(st.X)
+		in.readHooks(st.X, &pre)
+		in.rewriteBlock(st.Body)
+		var top []ast.Stmt
+		if t := in.info.TypeOf(st.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				top = append(top, rtCall("ChanRange", st.X))
+			}
+		}
+		if st.Tok == token.ASSIGN {
+			for _, kv := range []ast.Expr{st.Key, st.Value} {
+				if kv == nil {
+					continue
+				}
+				if id, ok := kv.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if h := in.writeHook(kv); h != nil {
+					top = append(top, h)
+				}
+			}
+		}
+		if len(top) > 0 {
+			st.Body.List = append(top, st.Body.List...)
+		}
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			in.funcLits(st.Init)
+			in.initReads(st.Init, &pre)
+		}
+		in.funcLits(st.Tag)
+		in.readHooks(st.Tag, &pre)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cc.Body = in.rewriteStmts(cc.Body)
+			}
+		}
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			in.initReads(st.Init, &pre)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cc.Body = in.rewriteStmts(cc.Body)
+			}
+		}
+
+	case *ast.SelectStmt:
+		return in.rewriteSelect(st)
+
+	case *ast.GoStmt:
+		return concat(pre, in.rewriteGo(st), nil)
+
+	case *ast.DeferStmt:
+		if repl := in.rewriteDeferSync(st); repl != nil {
+			return []ast.Stmt{repl}
+		}
+		in.funcLits(st.Call)
+		for _, a := range st.Call.Args {
+			in.readHooks(a, &pre)
+		}
+	}
+	return concat(pre, s, post)
+}
+
+func (in *instrumenter) rewriteStmts(list []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range list {
+		out = append(out, in.rewriteStmt(s)...)
+	}
+	return out
+}
+
+// initReads collects read hooks from a one-statement init clause (if/for/
+// switch). Writes in init clauses are not hooked — their hook would have
+// to run between the init and the condition, which cannot be expressed
+// without restructuring (documented gap).
+func (in *instrumenter) initReads(s ast.Stmt, out *[]ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			in.readHooks(r, out)
+		}
+	case *ast.ExprStmt:
+		in.readHooks(st.X, out)
+	}
+}
+
+func concat(pre []ast.Stmt, s ast.Stmt, post []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(pre)+1+len(post))
+	out = append(out, pre...)
+	out = append(out, s)
+	out = append(out, post...)
+	return out
+}
+
+// rewriteGo turns `go f(a, b)` into a block that forks the detector
+// thread and evaluates the callee and arguments in the parent (where the
+// spec evaluates them), then spawns a wrapper that binds the child's
+// identity before running the call:
+//
+//	{
+//	    __pacer_g1 := rt.GoSpawn()
+//	    __pacer_t2 := a
+//	    go func() { rt.GoStart(__pacer_g1); defer rt.GoExit(); f(__pacer_t2, b) }()
+//	}
+func (in *instrumenter) rewriteGo(st *ast.GoStmt) ast.Stmt {
+	call := st.Call
+	var setup []ast.Stmt
+
+	// Argument reads happen in the parent.
+	for _, a := range call.Args {
+		in.readHooks(a, &setup)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if in.valueReceiverCall(sel) {
+			in.readHooks(sel.X, &setup)
+		}
+	}
+
+	gname := in.temp("g")
+	setup = append(setup, &ast.AssignStmt{
+		Lhs: []ast.Expr{ast.NewIdent(gname)},
+		Tok: token.DEFINE,
+		Rhs: []ast.Expr{&ast.CallExpr{Fun: rtSel("GoSpawn")}},
+	})
+	in.needRT = true
+
+	hoist := func(e ast.Expr) ast.Expr {
+		name := in.temp("t")
+		setup = append(setup, &ast.AssignStmt{
+			Lhs: []ast.Expr{ast.NewIdent(name)},
+			Tok: token.DEFINE,
+			Rhs: []ast.Expr{e},
+		})
+		return ast.NewIdent(name)
+	}
+
+	fn := call.Fun
+	switch f := fn.(type) {
+	case *ast.FuncLit:
+		in.rewriteBlock(f.Body)
+	case *ast.Ident:
+		if _, isFunc := in.objOf(f).(*types.Func); !isFunc {
+			if _, isBuiltin := in.objOf(f).(*types.Builtin); !isBuiltin {
+				fn = hoist(fn) // func-typed variable: evaluate in parent
+			}
+		}
+	default:
+		fn = hoist(fn) // method value / computed callee
+	}
+
+	args := make([]ast.Expr, len(call.Args))
+	for i, a := range call.Args {
+		switch a.(type) {
+		case *ast.BasicLit:
+			args[i] = a
+		case *ast.FuncLit:
+			in.funcLits(a)
+			args[i] = a
+		default:
+			args[i] = hoist(a)
+		}
+	}
+
+	body := []ast.Stmt{
+		rtCall("GoStart", ast.NewIdent(gname)),
+		&ast.DeferStmt{Call: &ast.CallExpr{Fun: rtSel("GoExit")}},
+		&ast.ExprStmt{X: &ast.CallExpr{Fun: fn, Args: args, Ellipsis: call.Ellipsis}},
+	}
+	setup = append(setup, &ast.GoStmt{Call: &ast.CallExpr{
+		Fun: &ast.FuncLit{
+			Type: &ast.FuncType{Params: &ast.FieldList{}},
+			Body: &ast.BlockStmt{List: body},
+		},
+	}})
+	return &ast.BlockStmt{List: setup}
+}
+
+// rewriteSelect hooks a select statement's channel operations. Send-side
+// publications run before the select (publishing without sending adds a
+// conservative edge that can only hide races, never invent one); the
+// acquisition side of whichever case fires runs at the top of its body.
+func (in *instrumenter) rewriteSelect(st *ast.SelectStmt) []ast.Stmt {
+	var pre []ast.Stmt
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		var top []ast.Stmt
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			in.funcLits(comm)
+			pre = append(pre, rtCall("ChanSend", comm.Chan))
+			top = append(top, rtCall("ChanSendDone", comm.Chan))
+		case *ast.ExprStmt:
+			if un, oku := comm.X.(*ast.UnaryExpr); oku && un.Op == token.ARROW {
+				pre = append(pre, rtCall("ChanRecvPre", un.X))
+				top = append(top, rtCall("ChanRecv", un.X))
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if un, oku := comm.Rhs[0].(*ast.UnaryExpr); oku && un.Op == token.ARROW {
+					pre = append(pre, rtCall("ChanRecvPre", un.X))
+					top = append(top, rtCall("ChanRecv", un.X))
+					if comm.Tok == token.ASSIGN {
+						for _, l := range comm.Lhs {
+							if h := in.writeHook(l); h != nil {
+								top = append(top, h)
+							}
+						}
+					}
+				}
+			}
+		}
+		cc.Body = append(top, in.rewriteStmts(cc.Body)...)
+	}
+	if len(pre) > 0 {
+		in.needRT = true
+	}
+	return concat(pre, st, nil)
+}
+
+// rewriteDeferSync replaces `defer mu.Unlock()` and friends with the
+// matching rt helper, which orders the hook around the real operation
+// while preserving defer-time receiver evaluation. Returns nil when the
+// deferred call is not a recognized sync operation.
+func (in *instrumenter) rewriteDeferSync(st *ast.DeferStmt) ast.Stmt {
+	sel, ok := st.Call.Fun.(*ast.SelectorExpr)
+	if !ok || len(st.Call.Args) != 0 {
+		return nil
+	}
+	kind, method := in.syncMethod(sel)
+	var helper string
+	switch {
+	case kind == "Mutex" && method == "Unlock":
+		helper = "DeferUnlock"
+	case kind == "RWMutex" && method == "Unlock":
+		helper = "DeferRWUnlock"
+	case kind == "RWMutex" && method == "RUnlock":
+		helper = "DeferRWRUnlock"
+	case kind == "WaitGroup" && method == "Done":
+		helper = "DeferWGDone"
+	case kind == "WaitGroup" && method == "Wait":
+		helper = "DeferWGWait"
+	default:
+		return nil
+	}
+	in.needRT = true
+	return &ast.DeferStmt{Call: &ast.CallExpr{
+		Fun:  rtSel(helper),
+		Args: []ast.Expr{in.recvPtr(sel.X)},
+	}}
+}
+
+// syncMethod classifies a method selector on a sync package type,
+// returning the type name ("Mutex", "RWMutex", "WaitGroup", "Once",
+// "Map", or an atomic type name) and the method name. Empty kind means
+// not a sync type.
+func (in *instrumenter) syncMethod(sel *ast.SelectorExpr) (kind, method string) {
+	s, ok := in.info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", ""
+	}
+	rt := s.Recv()
+	if p, okp := rt.(*types.Pointer); okp {
+		rt = p.Elem()
+	}
+	named, okn := rt.(*types.Named)
+	if !okn || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync":
+		return named.Obj().Name(), sel.Sel.Name
+	case "sync/atomic":
+		return "atomic." + named.Obj().Name(), sel.Sel.Name
+	}
+	return "", ""
+}
+
+// recvPtr builds the *T expression for a sync hook's receiver: the
+// receiver itself when it is already a pointer, &recv otherwise.
+func (in *instrumenter) recvPtr(recv ast.Expr) ast.Expr {
+	if t := in.info.TypeOf(recv); t != nil {
+		if _, ok := t.Underlying().(*types.Pointer); ok {
+			return recv
+		}
+	}
+	return &ast.UnaryExpr{Op: token.AND, X: &ast.ParenExpr{X: recv}}
+}
+
+// unsafeRecv wraps the receiver pointer for hooks taking unsafe.Pointer.
+func (in *instrumenter) unsafeRecv(recv ast.Expr) ast.Expr {
+	return &ast.CallExpr{
+		Fun:  &ast.SelectorExpr{X: ast.NewIdent(unsafeName), Sel: ast.NewIdent("Pointer")},
+		Args: []ast.Expr{in.recvPtr(recv)},
+	}
+}
+
+// syncCall classifies a call expression as a synchronization operation
+// and returns the hooks to place before and after the statement carrying
+// it. handled=false means an ordinary call.
+func (in *instrumenter) syncCall(call *ast.CallExpr) (pre, post []ast.Stmt, handled bool) {
+	// close(ch): publishes like a send, before the close.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if _, isBuiltin := in.objOf(id).(*types.Builtin); isBuiltin {
+			in.readHooks(call.Args[0], &pre)
+			pre = append(pre, rtCall("ChanClose", call.Args[0]))
+			in.needRT = true
+			return pre, nil, true
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+
+	// Package-level sync/atomic functions: atomic.LoadT(&x) and friends.
+	if pid, okp := sel.X.(*ast.Ident); okp {
+		if pn, okn := in.info.Uses[pid].(*types.PkgName); okn && pn.Imported().Path() == "sync/atomic" {
+			if len(call.Args) == 0 {
+				return nil, nil, false
+			}
+			ptr := call.Args[0]
+			name := sel.Sel.Name
+			in.needRT = true
+			switch {
+			case hasPrefix(name, "Load"):
+				return nil, []ast.Stmt{rtCall("AtomicLoad", unsafeCast(ptr))}, true
+			case hasPrefix(name, "Store"):
+				return []ast.Stmt{rtCall("AtomicStore", unsafeCast(ptr))}, nil, true
+			case hasPrefix(name, "Add"), hasPrefix(name, "Swap"),
+				hasPrefix(name, "CompareAndSwap"), hasPrefix(name, "Or"), hasPrefix(name, "And"):
+				return nil, []ast.Stmt{rtCall("AtomicRMW", unsafeCast(ptr))}, true
+			}
+			in.needRT = false
+			return nil, nil, false
+		}
+	}
+
+	kind, method := in.syncMethod(sel)
+	if kind == "" {
+		return nil, nil, false
+	}
+	h := func(name string) ast.Stmt { return rtCall(name, in.unsafeRecv(sel.X)) }
+	switch kind {
+	case "Mutex":
+		switch method {
+		case "Lock":
+			in.needRT = true
+			return nil, []ast.Stmt{h("LockAcquire")}, true
+		case "Unlock":
+			in.needRT = true
+			return []ast.Stmt{h("LockRelease")}, nil, true
+		}
+	case "RWMutex":
+		switch method {
+		case "Lock":
+			in.needRT = true
+			return nil, []ast.Stmt{h("RWLock")}, true
+		case "Unlock":
+			in.needRT = true
+			return []ast.Stmt{h("RWUnlock")}, nil, true
+		case "RLock":
+			in.needRT = true
+			return nil, []ast.Stmt{h("RWRLock")}, true
+		case "RUnlock":
+			in.needRT = true
+			return []ast.Stmt{h("RWRUnlock")}, nil, true
+		}
+	case "WaitGroup":
+		switch method {
+		case "Done":
+			in.needRT = true
+			return []ast.Stmt{h("WGDone")}, nil, true
+		case "Wait":
+			in.needRT = true
+			return nil, []ast.Stmt{h("WGWait")}, true
+		}
+	default:
+		if hasPrefix(kind, "atomic.") {
+			in.needRT = true
+			switch {
+			case method == "Load":
+				return nil, []ast.Stmt{h("AtomicLoad")}, true
+			case method == "Store":
+				return []ast.Stmt{h("AtomicStore")}, nil, true
+			case method == "Add" || method == "Swap" || method == "Or" ||
+				method == "And" || hasPrefix(method, "CompareAndSwap"):
+				return nil, []ast.Stmt{h("AtomicRMW")}, true
+			}
+			in.needRT = false
+		}
+	}
+	return nil, nil, false
+}
+
+// valueReceiverCall reports whether sel is a method call that copies its
+// receiver (value receiver), i.e. genuinely reads it.
+func (in *instrumenter) valueReceiverCall(sel *ast.SelectorExpr) bool {
+	s, ok := in.info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	sig, ok := s.Obj().Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ptr := sig.Recv().Type().(*types.Pointer)
+	return !ptr
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+// unsafeCast wraps an already-pointer expression (atomic's &x argument)
+// as unsafe.Pointer.
+func unsafeCast(p ast.Expr) ast.Expr {
+	return &ast.CallExpr{
+		Fun:  &ast.SelectorExpr{X: ast.NewIdent(unsafeName), Sel: ast.NewIdent("Pointer")},
+		Args: []ast.Expr{p},
+	}
+}

@@ -1,0 +1,53 @@
+// Command planted is the pacergo smoke target: a program with exactly one
+// data race, planted on purpose, next to a race-free lookalike.
+//
+// The race: two goroutines increment the package-level counter `racy`
+// with no synchronization between the increments (the WaitGroup only
+// orders both against main's final read). The lookalike: the same shape
+// on `guarded`, with a mutex around each increment.
+//
+// Run it through the front door:
+//
+//	pacergo run ./examples/planted
+//
+// At -rate 1 PACER must report the race on `racy` — and only that race —
+// with both access sites resolved to this file. The mutex keeps `guarded`
+// silent at any rate.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	racy    int
+	guarded int
+	mu      sync.Mutex
+)
+
+func bumpRacy() {
+	racy++ // the planted race: unsynchronized read-modify-write
+}
+
+func bumpGuarded() {
+	mu.Lock()
+	guarded++
+	mu.Unlock()
+}
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				bumpRacy()
+				bumpGuarded()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("racy=%d guarded=%d\n", racy, guarded)
+}

@@ -47,6 +47,7 @@ type instanceState struct {
 	lastSeen time.Time
 	races    []byte
 	arena    *ArenaGauges
+	shadow   *ShadowGauges
 }
 
 // Collector is the fleet-side half of the transport: an http.Handler that
@@ -159,6 +160,7 @@ func (c *Collector) handlePush(w http.ResponseWriter, req *http.Request) {
 	st.dropped = p.Dropped
 	st.races = p.Races
 	st.arena = p.Arena
+	st.shadow = p.Shadow
 	c.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -254,13 +256,14 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		dropped  uint64
 		lastSeen time.Time
 		arena    *ArenaGauges
+		shadow   *ShadowGauges
 	}
 	c.mu.Lock()
 	c.expireLocked()
 	pushes, bad, stale, unauth, expired := c.pushes, c.badPushes, c.stale, c.unauth, c.expired
 	rows := make([]instRow, 0, len(c.instances))
 	for name, st := range c.instances {
-		rows = append(rows, instRow{name, st.seq, st.dropped, st.lastSeen, st.arena})
+		rows = append(rows, instRow{name, st.seq, st.dropped, st.lastSeen, st.arena, st.shadow})
 	}
 	c.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
@@ -333,6 +336,30 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		for _, row := range rows {
 			if row.arena != nil {
 				fmt.Fprintf(w, "%s{instance=%q} %d\n", m.name, row.name, m.get(row.arena))
+			}
+		}
+	}
+
+	// Shadow-map resolution, per instrumented instance (instances running
+	// behind pacergo's front door; plain library instances emit no series).
+	shadowMetrics := []struct {
+		name, typ, help string
+		get             func(*ShadowGauges) uint64
+	}{
+		{"pacer_shadow_hits_total", "counter", "Lock-free shadow-map resolutions of known addresses.",
+			func(s *ShadowGauges) uint64 { return s.Hits }},
+		{"pacer_shadow_misses_total", "counter", "First-sight address registrations (fresh VarID allocated).",
+			func(s *ShadowGauges) uint64 { return s.Misses }},
+		{"pacer_shadow_evicts_total", "counter", "Explicit evictions of freed addresses.",
+			func(s *ShadowGauges) uint64 { return s.Evicts }},
+		{"pacer_shadow_vars", "gauge", "Addresses currently mapped to variable identifiers.",
+			func(s *ShadowGauges) uint64 { return s.Vars }},
+	}
+	for _, m := range shadowMetrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, row := range rows {
+			if row.shadow != nil {
+				fmt.Fprintf(w, "%s{instance=%q} %d\n", m.name, row.name, m.get(row.shadow))
 			}
 		}
 	}

@@ -885,3 +885,83 @@ func TestFleetCollectorInstanceTTL(t *testing.T) {
 		t.Errorf("expired counter after all evictions wrong:\n%s", m)
 	}
 }
+
+// fakeFrontDoor is a canned pacer.FrontDoorAccounted for testing the
+// shadow-gauge telemetry path without a real instrumented program.
+type fakeFrontDoor struct{ st pacer.FrontDoorStats }
+
+func (f fakeFrontDoor) FrontDoorStats() pacer.FrontDoorStats { return f.st }
+
+// TestFleetShadowGauges pins the front-door observability path end to
+// end: a reporter whose Stats callback reads a detector with a mounted
+// instrumentation front door ships the shadow-map counters on its pushes,
+// and the collector re-exports them as per-instance Prometheus series —
+// while a plain library instance emits no shadow series at all.
+func TestFleetShadowGauges(t *testing.T) {
+	col := fleet.NewCollector(fleet.CollectorOptions{})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	agg := pacer.NewAggregator()
+	d := pacer.New(pacer.Options{
+		SamplingRate: 1, Seed: 5,
+		OnRace: agg.Reporter("inst-shim"),
+	})
+	d.MountFrontDoor(fakeFrontDoor{st: pacer.FrontDoorStats{
+		ShadowHits: 640, ShadowMisses: 32, ShadowEvicts: 8, ShadowVars: 24,
+	}})
+	main := d.NewThread()
+	a, b := d.Fork(main), d.Fork(main)
+	v := d.NewVarID()
+	d.Write(a, v, 300)
+	d.Read(b, v, 301)
+	d.Join(main, a)
+	d.Join(main, b)
+	if st := d.Stats(); !st.FrontDoor || st.ShadowHits != 640 {
+		t.Fatalf("front door counters not folded into Stats: %+v", st)
+	}
+
+	plainAgg := pacer.NewAggregator()
+	runInstance(plainAgg.Reporter("inst-plain"), 8000, 1)
+	plain := pacer.New(pacer.Options{SamplingRate: 1, Seed: 6})
+
+	for _, inst := range []struct {
+		name  string
+		agg   *pacer.Aggregator
+		stats func() pacer.Stats
+	}{
+		{"inst-shim", agg, d.Stats},
+		{"inst-plain", plainAgg, plain.Stats},
+	} {
+		rep, err := fleet.NewReporter(inst.agg, fleet.ReporterOptions{
+			Collector: srv.URL,
+			Instance:  inst.name,
+			Stats:     inst.stats,
+			Interval:  time.Hour,
+			Timeout:   2 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("reporter %s: %v", inst.name, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := rep.Close(ctx); err != nil {
+			t.Fatalf("reporter %s: %v", inst.name, err)
+		}
+		cancel()
+	}
+
+	metrics := string(httpGet(t, srv.URL+"/metrics"))
+	for _, series := range []string{
+		`pacer_shadow_hits_total{instance="inst-shim"} 640`,
+		`pacer_shadow_misses_total{instance="inst-shim"} 32`,
+		`pacer_shadow_evicts_total{instance="inst-shim"} 8`,
+		`pacer_shadow_vars{instance="inst-shim"} 24`,
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("metrics missing %s:\n%s", series, metrics)
+		}
+	}
+	if strings.Contains(metrics, `pacer_shadow_hits_total{instance="inst-plain"}`) {
+		t.Errorf("plain library instance grew shadow series:\n%s", metrics)
+	}
+}

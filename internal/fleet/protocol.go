@@ -71,6 +71,11 @@ type Push struct {
 	// heap-backed instances and on pre-arena reporters, so the field does
 	// not bump SchemaVersion).
 	Arena *ArenaGauges `json:"arena,omitempty"`
+	// Shadow carries the instance's shadow-map accounting when the
+	// instance runs behind an instrumentation front door (pacergo's
+	// runtime shim). Absent on plain library instances and on older
+	// reporters, so the field does not bump SchemaVersion.
+	Shadow *ShadowGauges `json:"shadow,omitempty"`
 }
 
 // ArenaGauges is an instance's metadata-arena accounting as of its last
@@ -82,6 +87,16 @@ type ArenaGauges struct {
 	Recycles  uint64 `json:"recycles"`
 	Misses    uint64 `json:"misses"`
 	Trimmed   uint64 `json:"trimmed"`
+}
+
+// ShadowGauges is an instance's address-keyed shadow-map accounting as of
+// its last snapshot: how the instrumentation front door is resolving real
+// program addresses onto variable identifiers. Fields mirror pacer.Stats.
+type ShadowGauges struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Evicts uint64 `json:"evicts"`
+	Vars   uint64 `json:"vars"`
 }
 
 // EncodePush writes p to w as gzip-compressed JSON.

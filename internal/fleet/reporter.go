@@ -282,14 +282,24 @@ func (r *Reporter) snapshot() {
 		return
 	}
 	var arena *ArenaGauges
+	var shadow *ShadowGauges
 	if r.opts.Stats != nil { // outside r.mu: the callback reads detector state
-		if st := r.opts.Stats(); st.ArenaEnabled {
+		st := r.opts.Stats()
+		if st.ArenaEnabled {
 			arena = &ArenaGauges{
 				SlabsLive: st.ArenaSlabsLive,
 				SlabsFree: st.ArenaSlabsFree,
 				Recycles:  st.ArenaRecycles,
 				Misses:    st.ArenaMisses,
 				Trimmed:   st.ArenaTrimmed,
+			}
+		}
+		if st.FrontDoor {
+			shadow = &ShadowGauges{
+				Hits:   st.ShadowHits,
+				Misses: st.ShadowMisses,
+				Evicts: st.ShadowEvicts,
+				Vars:   uint64(st.ShadowVars),
 			}
 		}
 	}
@@ -308,6 +318,7 @@ func (r *Reporter) snapshot() {
 		Dropped:  r.stats.Dropped,
 		Races:    races,
 		Arena:    arena,
+		Shadow:   shadow,
 	}
 	if len(r.queue) >= r.opts.QueueLen {
 		r.queue = r.queue[1:]

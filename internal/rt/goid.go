@@ -1,0 +1,124 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+
+	"pacer"
+)
+
+// Goroutine identity. The shim maps runtime goroutine ids onto detector
+// ThreadIDs: a goroutine spawned by an instrumented `go` statement is
+// forked from its parent (GoSpawn runs in the parent, so the fork
+// happens-before edge is recorded at the real spawn point), while a
+// goroutine the shim has never seen (main, or one created by
+// uninstrumented code) registers lazily as a root thread with no inbound
+// edge — conservative in the direction of reporting, since missing edges
+// can only make accesses look concurrent.
+//
+// The goroutine id comes from parsing the runtime.Stack header, the only
+// portable, dependency-free source of goroutine identity. It costs about
+// a microsecond per hook; the successor papers' cheaper timestamping is
+// exactly the follow-up work this front door exists to measure.
+
+// G is one instrumented goroutine's identity: the detector thread it
+// operates as.
+type G struct {
+	t pacer.ThreadID
+}
+
+// Thread returns the detector thread this goroutine operates as.
+func (g *G) Thread() pacer.ThreadID { return g.t }
+
+const gShards = 64
+
+// gRegistry stripes goid → *G. Hooks hit it once per operation with a
+// read lock; binds and unbinds are per-goroutine-lifetime events.
+type gRegistry struct {
+	shards [gShards]struct {
+		mu sync.RWMutex
+		m  map[int64]*G
+		_  [24]byte
+	}
+}
+
+var goroutines = func() *gRegistry {
+	r := &gRegistry{}
+	for i := range r.shards {
+		r.shards[i].m = make(map[int64]*G)
+	}
+	return r
+}()
+
+func (r *gRegistry) get(id int64) *G {
+	sh := &r.shards[uint64(id)&(gShards-1)]
+	sh.mu.RLock()
+	g := sh.m[id]
+	sh.mu.RUnlock()
+	return g
+}
+
+func (r *gRegistry) put(id int64, g *G) {
+	sh := &r.shards[uint64(id)&(gShards-1)]
+	sh.mu.Lock()
+	sh.m[id] = g
+	sh.mu.Unlock()
+}
+
+func (r *gRegistry) drop(id int64) {
+	sh := &r.shards[uint64(id)&(gShards-1)]
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
+// goid parses the current goroutine's id from the runtime.Stack header
+// ("goroutine 123 [running]:").
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// len("goroutine ") == 10.
+	id := int64(0)
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// current returns the calling goroutine's identity, registering it as a
+// root thread on first sight.
+func current() *G {
+	id := goid()
+	if g := goroutines.get(id); g != nil {
+		return g
+	}
+	g := &G{t: D().NewThread()}
+	goroutines.put(id, g)
+	return g
+}
+
+// GoSpawn runs in the parent goroutine at a `go` statement, immediately
+// before the spawn: it forks a new detector thread from the parent, so
+// everything the parent did up to the spawn happens-before the child.
+// The returned handle is passed into the child, which binds it with
+// GoStart.
+func GoSpawn() *G {
+	parent := current()
+	return &G{t: D().Fork(parent.t)}
+}
+
+// GoStart runs first in a spawned goroutine, binding the handle GoSpawn
+// made to the new goroutine's runtime identity.
+func GoStart(g *G) {
+	goroutines.put(goid(), g)
+}
+
+// GoExit runs (deferred) last in a spawned goroutine, releasing its
+// registry entry so the runtime id can be reused by an unrelated
+// goroutine without inheriting this thread's identity.
+func GoExit() {
+	goroutines.drop(goid())
+}

@@ -1,0 +1,156 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"pacer"
+)
+
+// raceLog renders race reports for humans (stderr) and machines
+// (JSON-lines at PACER_OUT), once per distinct race. The aggregator and
+// fleet reporter see every dynamic report; the log exists so a terminal
+// run of an instrumented binary reads like the Go race detector's output.
+type raceLog struct {
+	mu    sync.Mutex
+	seen  map[distinctKey]bool
+	out   *os.File
+	quiet bool
+}
+
+// distinctKey mirrors the aggregator's static-race normalization: the
+// unordered site pair refined by kind, with the two temporal orders of
+// one static race collapsed.
+type distinctKey struct {
+	kind pacer.RaceKind
+	a, b pacer.SiteID
+}
+
+func keyOf(r pacer.Race) distinctKey {
+	a, b := r.FirstSite, r.SecondSite
+	k := r.Kind
+	if a > b {
+		a, b = b, a
+		switch k {
+		case pacer.WriteRead:
+			k = pacer.ReadWrite
+		case pacer.ReadWrite:
+			k = pacer.WriteRead
+		}
+	}
+	if a == b && k == pacer.WriteRead {
+		k = pacer.ReadWrite
+	}
+	return distinctKey{kind: k, a: a, b: b}
+}
+
+func newRaceLog(outPath string, quiet bool) *raceLog {
+	l := &raceLog{seen: make(map[distinctKey]bool), quiet: quiet}
+	if outPath != "" {
+		f, err := os.OpenFile(outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pacer/rt: cannot open PACER_OUT: %v\n", err)
+		} else {
+			l.out = f
+		}
+	}
+	return l
+}
+
+// jsonAccess is one access of a reported race in the JSON-lines schema.
+type jsonAccess struct {
+	Op     string   `json:"op"`
+	Site   string   `json:"site"` // "file:line" of the instrumented access
+	Thread uint32   `json:"thread"`
+	Stack  []string `json:"stack,omitempty"`
+}
+
+// jsonRace is one line of the PACER_OUT stream: a distinct race, written
+// the first time it is reported.
+type jsonRace struct {
+	Var    uint32     `json:"var"`
+	Kind   string     `json:"kind"`
+	First  jsonAccess `json:"first"`
+	Second jsonAccess `json:"second"`
+}
+
+// ops returns the operation names of the race's two accesses.
+func ops(k pacer.RaceKind) (string, string) {
+	switch k {
+	case pacer.WriteWrite:
+		return "write", "write"
+	case pacer.WriteRead:
+		return "write", "read"
+	default:
+		return "read", "write"
+	}
+}
+
+func stackStrings(frames []pacer.Frame) []string {
+	out := make([]string, len(frames))
+	for i, f := range frames {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// report handles one dynamic race: on the first occurrence of its
+// distinct key it registers both sites' stacks with the detector's label
+// tables, prints the symbolized report, and appends a JSON line. It runs
+// from OnRace (with a shard lock held), so everything slow happens only
+// on that first occurrence.
+func (l *raceLog) report(s *runtimeState, r pacer.Race) {
+	k := keyOf(r)
+	l.mu.Lock()
+	if l.seen[k] {
+		l.mu.Unlock()
+		return
+	}
+	l.seen[k] = true
+	l.mu.Unlock()
+
+	firstStack := SiteStack(int(r.FirstSite))
+	secondStack := SiteStack(int(r.SecondSite))
+	if firstStack != nil {
+		s.det.SiteFrames(r.FirstSite, firstStack)
+	}
+	if secondStack != nil {
+		s.det.SiteFrames(r.SecondSite, secondStack)
+	}
+
+	if !l.quiet {
+		fmt.Fprintf(os.Stderr, "==================\nPACER: DATA RACE (%s)\n%s\n==================\n",
+			r.Kind, s.det.DescribeStacks(r))
+	}
+	if l.out != nil {
+		op1, op2 := ops(r.Kind)
+		line := jsonRace{
+			Var:  uint32(r.Var),
+			Kind: r.Kind.String(),
+			First: jsonAccess{
+				Op: op1, Site: SiteLoc(int(r.FirstSite)),
+				Thread: uint32(r.FirstThread), Stack: stackStrings(firstStack),
+			},
+			Second: jsonAccess{
+				Op: op2, Site: SiteLoc(int(r.SecondSite)),
+				Thread: uint32(r.SecondThread), Stack: stackStrings(secondStack),
+			},
+		}
+		if b, err := json.Marshal(line); err == nil {
+			l.mu.Lock()
+			l.out.Write(append(b, '\n'))
+			l.mu.Unlock()
+		}
+	}
+}
+
+// sync flushes the JSON stream to disk.
+func (l *raceLog) sync() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.out != nil {
+		l.out.Sync()
+	}
+}

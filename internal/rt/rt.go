@@ -1,0 +1,481 @@
+package rt
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"sync"
+	"time"
+	"unsafe"
+
+	"pacer"
+	"pacer/internal/fleet"
+)
+
+// The process-global detector and the shadow state feeding it. Everything
+// initializes lazily on the first hook, so instrumented package-level
+// initializers work without ordering constraints.
+
+// varEntry is one shadow-mapped data address.
+type varEntry struct {
+	v    pacer.VarID
+	size uintptr
+}
+
+// syncKind tags what a shadow-mapped sync object is, which decides the
+// detector identifiers allocated for it.
+type syncKind uint8
+
+const (
+	kindMutex syncKind = iota
+	kindRWMutex
+	kindWaitGroup
+	kindChan
+	kindAtomic
+)
+
+// syncObj is one shadow-mapped synchronization object. Depending on kind:
+// mutex/rwmutex hold lock; rwmutex additionally v1 (writers publish) and
+// v2 (readers publish); waitgroup and atomic hold v1; channels hold v1
+// (senders publish) and v2 (receivers publish).
+type syncObj struct {
+	kind   syncKind
+	lock   pacer.LockID
+	v1, v2 pacer.VolatileID
+}
+
+// runtimeState is the mounted front door.
+type runtimeState struct {
+	det      *pacer.Detector
+	agg      *pacer.Aggregator
+	reporter *fleet.Reporter
+	instance string
+
+	vars  *ShadowMap[varEntry]
+	syncs *ShadowMap[syncObj]
+
+	rep *raceLog
+}
+
+var (
+	initOnce sync.Once
+	state    *runtimeState
+)
+
+// envStr returns the environment value or a default.
+func envStr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func envFloat(key string, def float64) float64 {
+	if v := os.Getenv(key); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+		fmt.Fprintf(os.Stderr, "pacer/rt: ignoring malformed %s=%q\n", key, v)
+	}
+	return def
+}
+
+func envInt(key string, def int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+		fmt.Fprintf(os.Stderr, "pacer/rt: ignoring malformed %s=%q\n", key, v)
+	}
+	return def
+}
+
+func envBool(key string) bool {
+	switch os.Getenv(key) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// Init mounts the process-global detector from the environment. It is
+// idempotent and implied by every hook; call it explicitly only to force
+// configuration errors to surface early.
+//
+// Configuration (all optional):
+//
+//	PACER_RATE        sampling rate in [0,1]           (default 1.0)
+//	PACER_ALGO        detection backend                (default "pacer")
+//	PACER_SEED        period-roll seed                 (default 1)
+//	PACER_PERIOD      operations per sampling period   (default 4096)
+//	PACER_SHARDS      variable-metadata shards         (default 64)
+//	PACER_ARENA       1 = slab arena for metadata      (default off)
+//	PACER_OUT         path for JSON-lines race reports (default none)
+//	PACER_QUIET       1 = no stderr race reports       (default off)
+//	PACER_FLEET       pacerd base URL to push reports to
+//	PACER_FLEET_TOKEN bearer token for PACER_FLEET
+//	PACER_INSTANCE    fleet instance name (default hostname-pid)
+func Init() { initOnce.Do(initState) }
+
+func initState() {
+	s := &runtimeState{
+		vars:  NewShadowMap[varEntry](),
+		syncs: NewShadowMap[syncObj](),
+	}
+	s.agg = pacer.NewAggregator()
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "unknown"
+	}
+	s.instance = envStr("PACER_INSTANCE", fmt.Sprintf("%s-%d", host, os.Getpid()))
+	s.rep = newRaceLog(os.Getenv("PACER_OUT"), envBool("PACER_QUIET"))
+	aggReport := s.agg.Reporter(s.instance)
+	s.det = pacer.New(pacer.Options{
+		Algorithm:    envStr("PACER_ALGO", "pacer"),
+		SamplingRate: envFloat("PACER_RATE", 1.0),
+		Seed:         int64(envInt("PACER_SEED", 1)),
+		PeriodOps:    envInt("PACER_PERIOD", 0),
+		Shards:       envInt("PACER_SHARDS", 0),
+		Arena:        envBool("PACER_ARENA"),
+		OnRace: func(r pacer.Race) {
+			aggReport(r)
+			s.rep.report(s, r)
+		},
+	})
+	s.det.MountFrontDoor(s)
+	if url := os.Getenv("PACER_FLEET"); url != "" {
+		rep, err := fleet.NewReporter(s.agg, fleet.ReporterOptions{
+			Collector: url,
+			Instance:  s.instance,
+			Interval:  2 * time.Second,
+			AuthToken: os.Getenv("PACER_FLEET_TOKEN"),
+			Stats:     func() pacer.Stats { return s.det.Stats() },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pacer/rt: fleet reporter disabled: %v\n", err)
+		} else {
+			s.reporter = rep
+		}
+	}
+	state = s
+}
+
+// D returns the process-global detector, mounting it on first use.
+// Exported for tests and custom integrations.
+func D() *pacer.Detector {
+	Init()
+	return state.det
+}
+
+// Aggregator returns the process-global triage aggregator.
+func Aggregator() *pacer.Aggregator {
+	Init()
+	return state.agg
+}
+
+// FrontDoorStats implements pacer.FrontDoorAccounted: the data shadow
+// map's counters (sync-object resolution is tracked separately and not
+// surfaced, matching the Stats contract's "variable identifiers").
+func (s *runtimeState) FrontDoorStats() pacer.FrontDoorStats {
+	st := s.vars.Stats()
+	return pacer.FrontDoorStats{
+		ShadowHits:   st.Hits,
+		ShadowMisses: st.Misses,
+		ShadowEvicts: st.Evicts,
+		ShadowVars:   st.Live,
+	}
+}
+
+// resolveVar maps a data address to its VarID, registering on first
+// sight. The hit path creates no closure and allocates nothing.
+func resolveVar(addr, size uintptr) pacer.VarID {
+	if e := state.vars.Get(addr); e != nil {
+		return e.v
+	}
+	e := state.vars.SetIfAbsent(addr, func() *varEntry {
+		return &varEntry{v: state.det.NewVarID(), size: size}
+	})
+	return e.v
+}
+
+// resolveSync maps a sync object's address to its detector identifiers.
+func resolveSync(addr uintptr, kind syncKind) *syncObj {
+	if o := state.syncs.Get(addr); o != nil {
+		return o
+	}
+	return state.syncs.SetIfAbsent(addr, func() *syncObj {
+		o := &syncObj{kind: kind}
+		d := state.det
+		switch kind {
+		case kindMutex:
+			o.lock = d.NewLockID()
+		case kindRWMutex:
+			o.lock = d.NewLockID()
+			o.v1 = d.NewVolatileID()
+			o.v2 = d.NewVolatileID()
+		case kindWaitGroup, kindAtomic:
+			o.v1 = d.NewVolatileID()
+		case kindChan:
+			o.v1 = d.NewVolatileID()
+			o.v2 = d.NewVolatileID()
+		}
+		return o
+	})
+}
+
+// FreeVar evicts a data address from the shadow map: a later access to
+// the same (reused) address registers as a fresh variable instead of
+// inheriting the dead one's metadata. Instrumentation does not emit this
+// automatically (Go frees memory invisibly); long-running integrations
+// can call it from arena/pool recycling points.
+func FreeVar(p unsafe.Pointer) {
+	Init()
+	state.vars.Evict(uintptr(p))
+}
+
+// --- data access hooks (emitted by pacergo) ---
+
+// R observes the calling goroutine reading size bytes at p, as the
+// instrumented source position site (from Site).
+func R(p unsafe.Pointer, size uintptr, site int) {
+	Init()
+	g := current()
+	v := resolveVar(uintptr(p), size)
+	noteCapture(site)
+	state.det.Read(g.t, v, pacer.SiteID(site))
+}
+
+// W observes the calling goroutine writing size bytes at p.
+func W(p unsafe.Pointer, size uintptr, site int) {
+	Init()
+	g := current()
+	v := resolveVar(uintptr(p), size)
+	noteCapture(site)
+	state.det.Write(g.t, v, pacer.SiteID(site))
+}
+
+// --- sync.Mutex / sync.RWMutex hooks ---
+
+// LockAcquire observes mu.Lock() returning; call it after the real lock
+// is held.
+func LockAcquire(p unsafe.Pointer) {
+	Init()
+	g := current()
+	state.det.Acquire(g.t, resolveSync(uintptr(p), kindMutex).lock)
+}
+
+// LockRelease observes mu.Unlock(); call it before the real unlock.
+func LockRelease(p unsafe.Pointer) {
+	Init()
+	g := current()
+	state.det.Release(g.t, resolveSync(uintptr(p), kindMutex).lock)
+}
+
+// RWLock observes rw.Lock() returning. The model mirrors pacer.RWMutex:
+// writers hold the lock and consume both the previous writer's and every
+// reader's publication.
+func RWLock(p unsafe.Pointer) {
+	Init()
+	g := current()
+	o := resolveSync(uintptr(p), kindRWMutex)
+	d := state.det
+	d.Acquire(g.t, o.lock)
+	d.VolRead(g.t, o.v2) // readers' publications
+	d.VolRead(g.t, o.v1) // previous writer's
+}
+
+// RWUnlock observes rw.Unlock(); call before the real unlock.
+func RWUnlock(p unsafe.Pointer) {
+	Init()
+	g := current()
+	o := resolveSync(uintptr(p), kindRWMutex)
+	d := state.det
+	d.VolWrite(g.t, o.v1)
+	d.Release(g.t, o.lock)
+}
+
+// RWRLock observes rw.RLock() returning.
+func RWRLock(p unsafe.Pointer) {
+	Init()
+	g := current()
+	o := resolveSync(uintptr(p), kindRWMutex)
+	state.det.VolRead(g.t, o.v1)
+}
+
+// RWRUnlock observes rw.RUnlock(); call before the real unlock.
+func RWRUnlock(p unsafe.Pointer) {
+	Init()
+	g := current()
+	o := resolveSync(uintptr(p), kindRWMutex)
+	state.det.VolWrite(g.t, o.v2)
+}
+
+// --- sync.WaitGroup hooks ---
+
+// WGDone observes wg.Done(), publishing the worker's history; call before
+// the real Done.
+func WGDone(p unsafe.Pointer) {
+	Init()
+	g := current()
+	state.det.VolWrite(g.t, resolveSync(uintptr(p), kindWaitGroup).v1)
+}
+
+// WGWait observes wg.Wait() returning, receiving every Done-er's history;
+// call after the real Wait.
+func WGWait(p unsafe.Pointer) {
+	Init()
+	g := current()
+	state.det.VolRead(g.t, resolveSync(uintptr(p), kindWaitGroup).v1)
+}
+
+// --- channel hooks ---
+
+// chanObj resolves a channel value's identity (the runtime channel
+// object, not the variable holding it). Nil channels resolve to nil.
+func chanObj(ch any) *syncObj {
+	if ch == nil {
+		return nil
+	}
+	rv := reflect.ValueOf(ch)
+	if rv.Kind() != reflect.Chan || rv.IsNil() {
+		return nil
+	}
+	return resolveSync(rv.Pointer(), kindChan)
+}
+
+// ChanSend observes `ch <- v` about to run: the sender publishes its
+// history. Call before the real send.
+func ChanSend(ch any) {
+	Init()
+	g := current()
+	if o := chanObj(ch); o != nil {
+		state.det.VolWrite(g.t, o.v1)
+	}
+}
+
+// ChanSendDone observes a send completing: for unbuffered channels the
+// rendezvous also hands the receiver's prior history to the sender. Call
+// after the real send.
+func ChanSendDone(ch any) {
+	Init()
+	g := current()
+	if o := chanObj(ch); o != nil {
+		state.det.VolRead(g.t, o.v2)
+	}
+}
+
+// ChanRecvPre observes a receive about to block: the receiver publishes
+// its prior history for the rendezvous edge. Call before the real
+// receive.
+func ChanRecvPre(ch any) {
+	Init()
+	g := current()
+	if o := chanObj(ch); o != nil {
+		state.det.VolWrite(g.t, o.v2)
+	}
+}
+
+// ChanRecv observes a completed receive: the receiver acquires the
+// senders' published history. Call after the real receive.
+func ChanRecv(ch any) {
+	Init()
+	g := current()
+	if o := chanObj(ch); o != nil {
+		state.det.VolRead(g.t, o.v1)
+	}
+}
+
+// ChanClose observes close(ch): closing publishes like a send. Call
+// before the real close.
+func ChanClose(ch any) {
+	Init()
+	g := current()
+	if o := chanObj(ch); o != nil {
+		state.det.VolWrite(g.t, o.v1)
+	}
+}
+
+// ChanRange observes one delivery of a range-over-channel loop: the body
+// acquires the senders' history and republishes the receiver's. Emitted
+// at the top of the loop body.
+func ChanRange(ch any) {
+	Init()
+	g := current()
+	if o := chanObj(ch); o != nil {
+		state.det.VolRead(g.t, o.v1)
+		state.det.VolWrite(g.t, o.v2)
+	}
+}
+
+// --- sync/atomic hooks ---
+
+// AtomicLoad observes an atomic load from p; call after the real load.
+func AtomicLoad(p unsafe.Pointer) {
+	Init()
+	g := current()
+	state.det.VolRead(g.t, resolveSync(uintptr(p), kindAtomic).v1)
+}
+
+// AtomicStore observes an atomic store to p; call before the real store.
+func AtomicStore(p unsafe.Pointer) {
+	Init()
+	g := current()
+	state.det.VolWrite(g.t, resolveSync(uintptr(p), kindAtomic).v1)
+}
+
+// AtomicRMW observes an atomic read-modify-write (Add, Swap,
+// CompareAndSwap) on p: it both consumes and republishes the volatile's
+// history. Call after the real operation.
+func AtomicRMW(p unsafe.Pointer) {
+	Init()
+	g := current()
+	o := resolveSync(uintptr(p), kindAtomic)
+	state.det.VolRead(g.t, o.v1)
+	state.det.VolWrite(g.t, o.v1)
+}
+
+// --- deferred sync helpers ---
+//
+// pacergo rewrites `defer mu.Unlock()` (and friends) to `defer
+// rt.DeferUnlock(&mu)`: the helper performs the real operation with the
+// hook in the right order, and taking the pointer at defer time preserves
+// the original receiver-evaluation semantics.
+
+// DeferUnlock releases mu with the unlock hook ordered before it.
+func DeferUnlock(mu *sync.Mutex) { LockRelease(unsafe.Pointer(mu)); mu.Unlock() }
+
+// DeferRWUnlock releases rw's write lock with the hook ordered before it.
+func DeferRWUnlock(rw *sync.RWMutex) { RWUnlock(unsafe.Pointer(rw)); rw.Unlock() }
+
+// DeferRWRUnlock releases rw's read lock with the hook ordered before it.
+func DeferRWRUnlock(rw *sync.RWMutex) { RWRUnlock(unsafe.Pointer(rw)); rw.RUnlock() }
+
+// DeferWGDone counts wg down with the publication hook ordered before it.
+func DeferWGDone(wg *sync.WaitGroup) { WGDone(unsafe.Pointer(wg)); wg.Done() }
+
+// DeferWGWait waits on wg with the acquisition hook ordered after it.
+func DeferWGWait(wg *sync.WaitGroup) { wg.Wait(); WGWait(unsafe.Pointer(wg)) }
+
+// Flush drains buffered reporting: the JSON report stream is synced and,
+// when a fleet collector is configured, the reporter pushes its final
+// snapshot and shuts down. pacergo injects `defer rt.Flush()` at the top
+// of instrumented main functions.
+func Flush() {
+	Init()
+	if state.reporter != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		state.reporter.Close(ctx)
+		cancel()
+		state.reporter = nil
+	}
+	state.rep.sync()
+}
+
+// Races returns the number of distinct races reported so far in this
+// process.
+func Races() int {
+	Init()
+	return state.agg.Distinct()
+}

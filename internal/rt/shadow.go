@@ -1,0 +1,265 @@
+// Package rt is the runtime shim behind pacergo-instrumented programs:
+// the layer that turns real program state — memory addresses, goroutines,
+// sync primitives, channels — into the identifier vocabulary the pacer
+// detector ingests (VarID, ThreadID, LockID, VolatileID, SiteID).
+//
+// Instrumented code calls the hook functions in this package (R, W,
+// GoSpawn/GoStart/GoExit, LockAcquire/LockRelease, ChanSend/ChanRecv, …);
+// nothing here is meant to be called by hand except in tests and custom
+// integrations. The process-global detector is mounted lazily from the
+// environment (PACER_RATE, PACER_ALGO, …; see Init) so an instrumented
+// binary needs no setup code beyond what pacergo injects.
+//
+// The address-keyed shadow map follows the publication discipline of
+// internal/detector/shardbase: the resolve hit path is lock-free (shard
+// table pointer, probed slots, and entry pointers are all published with
+// atomic stores after their contents settle), inserts and evictions
+// serialize on a per-shard mutex, and table growth copies then
+// republishes so lock-free readers always hold a consistent table.
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// shadowShards stripes the address map; addresses hash onto shards
+	// with the same Fibonacci multiplier shardbase uses, extended to 64
+	// bits.
+	shadowShards = 256
+	// shadowMinSlots is a fresh shard table's capacity (power of two).
+	shadowMinSlots = 64
+	// fib64 is the 64-bit Fibonacci-hashing multiplier (2^64 / φ).
+	fib64 = 0x9E3779B97F4A7C15
+	// tombstone marks a slot whose address was evicted: probes continue
+	// past it, inserts may reclaim it. The zero address marks a never-used
+	// slot and terminates probes.
+	tombstone = ^uintptr(0)
+)
+
+// shadowSlot is one open-addressing slot: the address is published last
+// on insert, so a reader that matches addr always finds ent set.
+type shadowSlot[T any] struct {
+	addr atomic.Uintptr
+	ent  atomic.Pointer[T]
+}
+
+// shadowTable is one shard's slot array plus its occupancy accounting
+// (mutated only under the shard lock).
+type shadowTable[T any] struct {
+	slots []shadowSlot[T]
+	mask  uintptr
+	live  int // slots holding a published address
+	used  int // live + tombstones: the probe-length bound
+}
+
+// shadowShard is one stripe: a lock-free published table and the mutex
+// serializing inserts, evictions, and growth.
+type shadowShard[T any] struct {
+	table atomic.Pointer[shadowTable[T]]
+	mu    sync.Mutex
+	_     [32]byte // keep neighboring shard locks off one cache line
+}
+
+// ShadowMap resolves addresses to interned values of type T with a
+// lock-free hit path. New returns the value built by the constructor
+// passed to Resolve, called at most once per live address (under the
+// shard lock).
+type ShadowMap[T any] struct {
+	shards [shadowShards]shadowShard[T]
+
+	// hits is sharded to keep the hot path contention-free; misses and
+	// evicts are cold (they take the shard lock anyway).
+	hits   [shadowShards]paddedCount
+	misses atomic.Uint64
+	evicts atomic.Uint64
+	live   atomic.Int64
+}
+
+type paddedCount struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// NewShadowMap returns an empty map.
+func NewShadowMap[T any]() *ShadowMap[T] {
+	return &ShadowMap[T]{}
+}
+
+func shadowShardOf(addr uintptr) int {
+	return int((uint64(addr) * fib64) >> 56 & (shadowShards - 1))
+}
+
+func shadowHash(addr uintptr, mask uintptr) uintptr {
+	// Addresses share low alignment bits; the multiplier spreads them.
+	return uintptr((uint64(addr)*fib64)>>32) & mask
+}
+
+// lookup probes tab for addr lock-free. It returns the entry, or nil when
+// addr is absent from this table snapshot.
+func lookup[T any](tab *shadowTable[T], addr uintptr) *T {
+	mask := tab.mask
+	for i := shadowHash(addr, mask); ; i = (i + 1) & mask {
+		got := tab.slots[i].addr.Load()
+		if got == addr {
+			return tab.slots[i].ent.Load()
+		}
+		if got == 0 {
+			return nil
+		}
+		// Occupied by another address or a tombstone: keep probing. The
+		// insert path bounds used/len, so the probe always terminates.
+	}
+}
+
+// Get returns the value registered for addr, or nil. This is the
+// lock-free, allocation-free hit path; callers that see nil fall back to
+// SetIfAbsent. Keeping the two separate lets the hot caller avoid even
+// constructing the builder closure on hits.
+func (m *ShadowMap[T]) Get(addr uintptr) *T {
+	sh := shadowShardOf(addr)
+	if tab := m.shards[sh].table.Load(); tab != nil {
+		if e := lookup(tab, addr); e != nil {
+			m.hits[sh].n.Add(1)
+			return e
+		}
+	}
+	return nil
+}
+
+// SetIfAbsent returns the value registered for addr, building one with
+// build on first sight. It takes the shard lock, re-probes (a racing
+// registrar's insert wins), and inserts. build runs under the shard lock
+// and must not call back into the same map.
+func (m *ShadowMap[T]) SetIfAbsent(addr uintptr, build func() *T) *T {
+	sh := &m.shards[shadowShardOf(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tab := sh.table.Load()
+	if tab != nil {
+		if e := lookup(tab, addr); e != nil {
+			// Raced with another registrar: their insert is ours.
+			m.hits[shadowShardOf(addr)].n.Add(1)
+			return e
+		}
+	}
+	e := build()
+	m.insertLocked(sh, addr, e)
+	m.misses.Add(1)
+	m.live.Add(1)
+	return e
+}
+
+// insertLocked publishes addr→e, growing (or compacting tombstones) when
+// the table is past 3/4 occupancy. Callers hold sh.mu.
+func (m *ShadowMap[T]) insertLocked(sh *shadowShard[T], addr uintptr, e *T) {
+	tab := sh.table.Load()
+	if tab == nil || (tab.used+1)*4 > len(tab.slots)*3 {
+		tab = m.rebuildLocked(sh, tab)
+	}
+	mask := tab.mask
+	for i := shadowHash(addr, mask); ; i = (i + 1) & mask {
+		got := tab.slots[i].addr.Load()
+		if got == 0 || got == tombstone {
+			if got == 0 {
+				tab.used++
+			}
+			tab.live++
+			// Publication order: entry first, then the address readers
+			// match on — a lock-free probe that sees addr sees e.
+			tab.slots[i].ent.Store(e)
+			tab.slots[i].addr.Store(addr)
+			return
+		}
+	}
+}
+
+// rebuildLocked copies live entries into a fresh table (doubling when the
+// live set, as opposed to tombstone slack, fills half the table) and
+// republishes it. Callers hold sh.mu; lock-free readers keep probing the
+// old table until they reload the pointer, which stays consistent because
+// old slots are never recycled.
+func (m *ShadowMap[T]) rebuildLocked(sh *shadowShard[T], old *shadowTable[T]) *shadowTable[T] {
+	n := shadowMinSlots
+	if old != nil {
+		n = len(old.slots)
+		if (old.live+1)*2 > n {
+			n *= 2
+		}
+	}
+	fresh := &shadowTable[T]{slots: make([]shadowSlot[T], n), mask: uintptr(n - 1)}
+	if old != nil {
+		for i := range old.slots {
+			addr := old.slots[i].addr.Load()
+			if addr == 0 || addr == tombstone {
+				continue
+			}
+			e := old.slots[i].ent.Load()
+			mask := fresh.mask
+			for j := shadowHash(addr, mask); ; j = (j + 1) & mask {
+				if fresh.slots[j].addr.Load() == 0 {
+					fresh.slots[j].ent.Store(e)
+					fresh.slots[j].addr.Store(addr)
+					fresh.used++
+					fresh.live++
+					break
+				}
+			}
+		}
+	}
+	sh.table.Store(fresh)
+	return fresh
+}
+
+// Evict removes addr's mapping, so a later Resolve of the same address
+// builds a fresh value — the reuse discipline for freed memory. It
+// reports whether a mapping was present. A Resolve racing an Evict may
+// return the evicted value (it linearizes before the eviction).
+func (m *ShadowMap[T]) Evict(addr uintptr) bool {
+	sh := &m.shards[shadowShardOf(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tab := sh.table.Load()
+	if tab == nil {
+		return false
+	}
+	mask := tab.mask
+	for i := shadowHash(addr, mask); ; i = (i + 1) & mask {
+		got := tab.slots[i].addr.Load()
+		if got == addr {
+			// Tombstone first: a reader that still matches the address
+			// afterward resolves the old entry, which linearizes its
+			// resolve before this eviction.
+			tab.slots[i].addr.Store(tombstone)
+			tab.slots[i].ent.Store(nil)
+			tab.live--
+			m.evicts.Add(1)
+			m.live.Add(-1)
+			return true
+		}
+		if got == 0 {
+			return false
+		}
+	}
+}
+
+// ShadowMapStats is a ShadowMap's counter snapshot.
+type ShadowMapStats struct {
+	Hits, Misses, Evicts uint64
+	Live                 int
+}
+
+// Stats returns a snapshot of the map's counters.
+func (m *ShadowMap[T]) Stats() ShadowMapStats {
+	var h uint64
+	for i := range m.hits {
+		h += m.hits[i].n.Load()
+	}
+	return ShadowMapStats{
+		Hits:   h,
+		Misses: m.misses.Load(),
+		Evicts: m.evicts.Load(),
+		Live:   int(m.live.Load()),
+	}
+}

@@ -1,0 +1,167 @@
+package rt
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pacer"
+)
+
+// TestShadowMapBasics checks register/hit/evict bookkeeping on one
+// goroutine.
+func TestShadowMapBasics(t *testing.T) {
+	m := NewShadowMap[varEntry]()
+	if got := m.Get(0x1000); got != nil {
+		t.Fatalf("empty map resolved %v", got)
+	}
+	e := m.SetIfAbsent(0x1000, func() *varEntry { return &varEntry{v: 1, size: 8} })
+	if e == nil || e.v != 1 {
+		t.Fatalf("SetIfAbsent returned %+v", e)
+	}
+	if got := m.Get(0x1000); got != e {
+		t.Fatalf("Get returned %p, want %p", got, e)
+	}
+	if got := m.SetIfAbsent(0x1000, func() *varEntry { t.Fatal("build called for present address"); return nil }); got != e {
+		t.Fatalf("SetIfAbsent returned %p, want existing %p", got, e)
+	}
+	if !m.Evict(0x1000) {
+		t.Fatal("Evict of present address reported absent")
+	}
+	if m.Evict(0x1000) {
+		t.Fatal("Evict of absent address reported present")
+	}
+	if got := m.Get(0x1000); got != nil {
+		t.Fatalf("evicted address still resolves %+v", got)
+	}
+	st := m.Stats()
+	if st.Misses != 1 || st.Evicts != 1 || st.Live != 0 || st.Hits < 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestShadowMapFreshAfterEvict is the address-reuse discipline: once an
+// address is evicted (its memory was freed), re-registering it must build
+// a fresh value instead of resurrecting the dead mapping.
+func TestShadowMapFreshAfterEvict(t *testing.T) {
+	m := NewShadowMap[varEntry]()
+	mk := func(v uint32) func() *varEntry {
+		return func() *varEntry { return &varEntry{v: pacer.VarID(v)} }
+	}
+	first := m.SetIfAbsent(0xbeef00, mk(7))
+	m.Evict(0xbeef00)
+	second := m.SetIfAbsent(0xbeef00, mk(8))
+	if second == first {
+		t.Fatal("re-registration after evict returned the dead entry")
+	}
+	if second.v != 8 {
+		t.Fatalf("re-registration kept stale value %d", second.v)
+	}
+}
+
+// TestShadowMapGrowth pushes enough addresses through one map to force
+// repeated table rebuilds, including tombstone compaction, and checks
+// every live address still resolves to its own entry.
+func TestShadowMapGrowth(t *testing.T) {
+	m := NewShadowMap[varEntry]()
+	const n = 20000
+	entries := make(map[uintptr]*varEntry, n)
+	for i := 0; i < n; i++ {
+		addr := uintptr(0x10000 + 16*i)
+		v := uint32(i)
+		entries[addr] = m.SetIfAbsent(addr, func() *varEntry { return &varEntry{v: pacer.VarID(v)} })
+	}
+	// Evict every third address, then re-register half of those.
+	for i := 0; i < n; i += 3 {
+		addr := uintptr(0x10000 + 16*i)
+		m.Evict(addr)
+		delete(entries, addr)
+	}
+	for i := 0; i < n; i += 6 {
+		addr := uintptr(0x10000 + 16*i)
+		v := uint32(n + i)
+		entries[addr] = m.SetIfAbsent(addr, func() *varEntry { return &varEntry{v: pacer.VarID(v)} })
+	}
+	for addr, want := range entries {
+		if got := m.Get(addr); got != want {
+			t.Fatalf("addr %#x resolved %p, want %p", addr, got, want)
+		}
+	}
+	st := m.Stats()
+	if st.Live != len(entries) {
+		t.Fatalf("live %d, want %d", st.Live, len(entries))
+	}
+}
+
+// TestShadowMapConcurrent hammers register/resolve/evict from many
+// goroutines under the Go race detector: the lock-free hit path must
+// never observe a torn slot, and the conservation invariant
+// live == misses - evicts must hold once the dust settles.
+func TestShadowMapConcurrent(t *testing.T) {
+	m := NewShadowMap[varEntry]()
+	const (
+		workers = 8
+		addrs   = 512
+		rounds  = 2000
+	)
+	var next atomic.Uint32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < rounds; i++ {
+				addr := uintptr(0x4000 + 8*rng.Intn(addrs))
+				switch rng.Intn(10) {
+				case 0:
+					m.Evict(addr)
+				default:
+					e := m.Get(addr)
+					if e == nil {
+						e = m.SetIfAbsent(addr, func() *varEntry {
+							return &varEntry{v: pacer.VarID(next.Add(1))}
+						})
+					}
+					if e == nil || e.v == 0 {
+						t.Error("resolve returned unpublished entry")
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	st := m.Stats()
+	if got := int(st.Misses) - int(st.Evicts); got != st.Live {
+		t.Fatalf("conservation violated: misses %d - evicts %d = %d, live %d",
+			st.Misses, st.Evicts, got, st.Live)
+	}
+	if st.Live < 0 || st.Live > addrs {
+		t.Fatalf("implausible live count %d", st.Live)
+	}
+}
+
+// TestShadowMapResolveHitNoAllocs pins the resolve hit path at zero
+// allocations: an instrumented program's steady state is hits, and the
+// front door must not feed the garbage collector from it.
+func TestShadowMapResolveHitNoAllocs(t *testing.T) {
+	m := NewShadowMap[varEntry]()
+	addrs := make([]uintptr, 64)
+	for i := range addrs {
+		addrs[i] = uintptr(0x9000 + 8*i)
+		v := uint32(i + 1)
+		m.SetIfAbsent(addrs[i], func() *varEntry { return &varEntry{v: pacer.VarID(v)} })
+	}
+	var sink *varEntry
+	avg := testing.AllocsPerRun(200, func() {
+		for _, a := range addrs {
+			sink = m.Get(a)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("resolve hit path allocates %.2f per run, want 0", avg)
+	}
+	_ = sink
+}

@@ -242,6 +242,46 @@ type Stats struct {
 	// ArenaTrimmed counts free slabs handed back to the garbage collector
 	// at sampling-period boundaries.
 	ArenaTrimmed uint64
+	// ShadowHits, ShadowMisses, and ShadowEvicts count address-keyed
+	// variable resolution by a mounted instrumentation front door (see
+	// MountFrontDoor): lock-free resolve hits, registrations of addresses
+	// seen for the first time, and explicit evictions of freed addresses.
+	// Zero when no front door is mounted.
+	ShadowHits, ShadowMisses, ShadowEvicts uint64
+	// ShadowVars is the number of addresses the front door currently maps
+	// to variable identifiers.
+	ShadowVars int
+	// FrontDoor reports whether an instrumentation front door is mounted
+	// (see MountFrontDoor) — it distinguishes "no front door" from a
+	// mounted one that has not resolved anything yet, so telemetry can
+	// omit the Shadow* series entirely for plain library use.
+	FrontDoor bool
+}
+
+// FrontDoorStats counts the work of an instrumentation front door mounted
+// ahead of the detector: the address-keyed shadow map that resolves real
+// program addresses to variable identifiers. It mirrors the Shadow*
+// fields of Stats.
+type FrontDoorStats struct {
+	// ShadowHits counts lock-free resolutions of an already-registered
+	// address.
+	ShadowHits uint64
+	// ShadowMisses counts first-sight registrations (a fresh VarID was
+	// allocated for the address).
+	ShadowMisses uint64
+	// ShadowEvicts counts explicit evictions of freed addresses.
+	ShadowEvicts uint64
+	// ShadowVars is the number of live address mappings.
+	ShadowVars int
+}
+
+// FrontDoorAccounted is implemented by instrumentation front doors (e.g.
+// pacergo's runtime shim) that resolve real program state — addresses,
+// goroutines — onto detector identifiers. Mounting one with MountFrontDoor
+// folds its counters into Stats, the same capability-interface discipline
+// backends use (detector.VarAccounted and friends).
+type FrontDoorAccounted interface {
+	FrontDoorStats() FrontDoorStats
 }
 
 // shardLock is a cache-line-padded mutex striping the variable shards.
@@ -313,11 +353,16 @@ type Detector struct {
 	nextVol    VolatileID
 	nextVar    VarID
 
+	// frontDoor, when mounted, contributes shadow-map counters to Stats.
+	// Written once under mu; read under mu.
+	frontDoor FrontDoorAccounted
+
 	// labelMu guards the human-readable label tables (sites.go) on their
 	// own small lock, so SiteLabel/Describe never contend with ingestion.
 	labelMu    sync.RWMutex
 	siteLabels map[SiteID]string
 	varLabels  map[VarID]string
+	siteFrames map[SiteID][]Frame
 
 	// sinkMu serializes TraceSink appends; it is the innermost lock.
 	sinkMu sync.Mutex
@@ -965,6 +1010,15 @@ func (p *Detector) Sampling() bool {
 // serialized.
 func (p *Detector) ShardCount() int { return p.nshards }
 
+// MountFrontDoor registers an instrumentation front door whose counters
+// Stats should fold in (the Shadow* fields). At most one front door is
+// mounted; a second call replaces the first.
+func (p *Detector) MountFrontDoor(f FrontDoorAccounted) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frontDoor = f
+}
+
 // Stats returns a snapshot of the detector's work counters. It takes the
 // epoch lock exclusively, so in-flight slow-path operations complete
 // first; lock-free fast-path dismissals that have not yet happened-before
@@ -1005,6 +1059,14 @@ func (p *Detector) Stats() Stats {
 			s.ArenaMisses = a.Misses
 			s.ArenaTrimmed = a.Trimmed
 		}
+	}
+	if p.frontDoor != nil {
+		fd := p.frontDoor.FrontDoorStats()
+		s.FrontDoor = true
+		s.ShadowHits = fd.ShadowHits
+		s.ShadowMisses = fd.ShadowMisses
+		s.ShadowEvicts = fd.ShadowEvicts
+		s.ShadowVars = fd.ShadowVars
 	}
 	return s
 }

@@ -1,11 +1,87 @@
 package pacer
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // The label tables live behind their own small lock (labelMu), not the
 // epoch lock: labeling and report rendering must never contend with the
 // sharded ingestion hot path, and Describe is safe to call from an OnRace
 // callback (which runs with a shard lock held).
+
+// Frame is one resolved stack frame of a program site. Instrumentation
+// front-ends (pacergo's runtime shim, or any custom integration) register
+// the frames behind each SiteID so race reports carry source locations
+// instead of numeric identifiers; Frame 0 is the access itself and later
+// frames walk outward through its callers.
+type Frame struct {
+	// Function is the fully qualified function name, e.g. "main.worker".
+	Function string
+	// File and Line locate the call site in the original source.
+	File string
+	Line int
+}
+
+// String renders the frame as "file:line (function)"; the function part is
+// omitted when unknown.
+func (f Frame) String() string {
+	loc := fmt.Sprintf("%s:%d", f.File, f.Line)
+	if f.Function == "" {
+		return loc
+	}
+	return loc + " (" + f.Function + ")"
+}
+
+// SiteFrames associates a resolved call stack with a program site. The
+// first frame is the access itself; if no SiteLabel was registered for s,
+// that frame also becomes the site's display label.
+func (p *Detector) SiteFrames(s SiteID, frames []Frame) {
+	p.labelMu.Lock()
+	defer p.labelMu.Unlock()
+	if p.siteFrames == nil {
+		p.siteFrames = make(map[SiteID][]Frame)
+	}
+	cp := make([]Frame, len(frames))
+	copy(cp, frames)
+	p.siteFrames[s] = cp
+}
+
+// FramesOf returns the stack registered for s by SiteFrames, or nil. The
+// returned slice is a copy; callers may keep it.
+func (p *Detector) FramesOf(s SiteID) []Frame {
+	p.labelMu.RLock()
+	defer p.labelMu.RUnlock()
+	frames := p.siteFrames[s]
+	if frames == nil {
+		return nil
+	}
+	cp := make([]Frame, len(frames))
+	copy(cp, frames)
+	return cp
+}
+
+// DescribeStacks renders a race like Describe and appends the registered
+// stack of each access, one frame per line, when SiteFrames registered
+// one. Reports without registered stacks render exactly as Describe.
+func (p *Detector) DescribeStacks(r Race) string {
+	var b strings.Builder
+	b.WriteString(p.Describe(r))
+	p.labelMu.RLock()
+	defer p.labelMu.RUnlock()
+	for i, s := range [2]SiteID{r.FirstSite, r.SecondSite} {
+		frames := p.siteFrames[s]
+		if len(frames) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  access %d at %s:", i+1, p.siteName(s))
+		for _, f := range frames {
+			b.WriteString("\n    ")
+			b.WriteString(f.String())
+		}
+	}
+	return b.String()
+}
 
 // SiteLabel associates a human-readable label with a program site, so race
 // reports can be rendered in terms of source locations or logical
@@ -29,10 +105,14 @@ func (p *Detector) VarLabel(v VarID, label string) {
 	p.varLabels[v] = label
 }
 
-// siteName returns s's label; callers hold labelMu (shared).
+// siteName returns s's label; callers hold labelMu (shared). A site with
+// no explicit label but a registered stack displays as its top frame.
 func (p *Detector) siteName(s SiteID) string {
 	if l, ok := p.siteLabels[s]; ok {
 		return l
+	}
+	if frames := p.siteFrames[s]; len(frames) > 0 {
+		return frames[0].String()
 	}
 	return fmt.Sprintf("site %d", s)
 }

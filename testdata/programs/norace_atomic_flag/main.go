@@ -1,0 +1,29 @@
+// Spin on an atomic flag: the load that observes the store carries the
+// writer's history, so the payload read is ordered.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	x     int
+	ready int32
+)
+
+func main() {
+	go func() {
+		x = 1
+		atomic.StoreInt32(&ready, 1)
+	}()
+	for {
+		r := atomic.LoadInt32(&ready)
+		if r == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println(x)
+}

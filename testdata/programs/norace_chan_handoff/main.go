@@ -1,0 +1,17 @@
+// Ported from the NoRaceChanSync shape: the send/receive pair carries the
+// writer's history to the reader.
+package main
+
+import "fmt"
+
+var x int
+
+func main() {
+	c := make(chan struct{})
+	go func() {
+		x = 1
+		c <- struct{}{}
+	}()
+	<-c
+	fmt.Println(x)
+}

@@ -1,0 +1,29 @@
+// Ported from the NoRaceIntRWGlobalFuncs shape: the same write/read pair
+// as race_plain, but both sides hold the same mutex.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var (
+	x  int
+	mu sync.Mutex
+)
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		x = 1
+		mu.Unlock()
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	fmt.Println(x)
+	mu.Unlock()
+	<-done
+}

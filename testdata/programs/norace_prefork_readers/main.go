@@ -1,0 +1,27 @@
+// Concurrent readers of a value written before the forks: the fork edge
+// orders the parent's write before every child's read, and reads never
+// race with reads.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+var x int
+
+func main() {
+	x = 42
+	done := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_ = x
+			done <- struct{}{}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	<-done
+	<-done
+	<-done
+	fmt.Println(x)
+}

@@ -1,0 +1,39 @@
+// A writer under the write lock and readers under read locks: the
+// RWMutex publication protocol orders every pair that matters.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var (
+	x  int
+	rw sync.RWMutex
+)
+
+func main() {
+	done := make(chan struct{}, 3)
+	go func() {
+		rw.Lock()
+		x = 1
+		rw.Unlock()
+		done <- struct{}{}
+	}()
+	for i := 0; i < 2; i++ {
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			rw.RLock()
+			_ = x
+			rw.RUnlock()
+			done <- struct{}{}
+		}()
+	}
+	<-done
+	<-done
+	<-done
+	rw.RLock()
+	fmt.Println(x)
+	rw.RUnlock()
+}

@@ -1,0 +1,24 @@
+// Package counter is the `pacergo test` front-door target: a
+// mutex-guarded counter whose test hammers it from several goroutines.
+package counter
+
+import "sync"
+
+var (
+	mu sync.Mutex
+	n  int
+)
+
+// Incr bumps the counter under the lock.
+func Incr() {
+	mu.Lock()
+	n++
+	mu.Unlock()
+}
+
+// Value reads the counter under the lock.
+func Value() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return n
+}

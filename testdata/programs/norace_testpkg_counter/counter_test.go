@@ -1,0 +1,23 @@
+package counter
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentIncr(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				Incr()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Value(); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+}

@@ -1,0 +1,23 @@
+// The well-formed version of the WaitGroup shape: every worker write
+// happens before its Done, and the parent reads only after Wait.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var x int
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			x++
+			wg.Done()
+		}()
+		wg.Wait() // join each worker before forking the next
+	}
+	fmt.Println(x)
+}

@@ -1,0 +1,26 @@
+// The writer publishes through an atomic store, but the reader never
+// performs the matching load: the payload read races.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	x     int
+	ready int32
+)
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		x = 1
+		atomic.StoreInt32(&ready, 1)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fmt.Println(x) // skipped atomic.LoadInt32(&ready): races
+	<-done
+}

@@ -1,0 +1,30 @@
+// The writer unlocks before its write, so the write escapes the critical
+// section and races with the reader's properly guarded read.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var (
+	x  int
+	mu sync.Mutex
+)
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		tmp := x
+		mu.Unlock()
+		x = tmp + 1 // outside the critical section
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	fmt.Println(x) // races with the escaped write
+	mu.Unlock()
+	<-done
+}

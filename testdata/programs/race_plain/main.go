@@ -1,0 +1,25 @@
+// Ported from the RaceIntRWGlobalFuncs shape: one goroutine writes a
+// package-level int, the other reads it with no synchronization. The
+// sleep orders the accesses in time without creating a happens-before
+// edge, so the race is exposed deterministically. Exactly one racy pair
+// executes per run, which makes this program the sampling-rate
+// measurement target: at rate r it should be reported in ~r of runs.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+var x int
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		x = 1
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fmt.Println(x) // races with the write above
+	<-done
+}

@@ -1,0 +1,30 @@
+// Ported from the RaceRWMutexMultipleReaders shape: one goroutine takes
+// the read lock but writes. Read locks do not exclude each other, so the
+// write races with the other reader's read.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var (
+	x  int
+	rw sync.RWMutex
+)
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		rw.RLock()
+		x = 1 // a write under the read lock
+		rw.RUnlock()
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	rw.RLock()
+	fmt.Println(x) // concurrent read lock: races with the write
+	rw.RUnlock()
+	<-done
+}

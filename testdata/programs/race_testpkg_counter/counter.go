@@ -1,0 +1,16 @@
+// Package counter is the racy `pacergo test` front-door target: the same
+// counter as its norace_ sibling with the mutex deleted, so the test's
+// goroutines race on the increment.
+package counter
+
+var n int
+
+// Incr bumps the counter with no synchronization.
+func Incr() {
+	n++
+}
+
+// Value reads the counter.
+func Value() int {
+	return n
+}

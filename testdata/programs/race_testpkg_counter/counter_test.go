@@ -1,0 +1,21 @@
+package counter
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentIncr(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				Incr()
+			}
+		}()
+	}
+	wg.Wait()
+	_ = Value() // the count may be torn; the race report is the point
+}

@@ -1,0 +1,28 @@
+// Ported from the RaceWaitGroupAsMutex shape: Done publishes the worker's
+// history, so a write the worker performs after its Done is invisible to
+// the waiter and races with the waiter's read.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var x int
+
+func main() {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		x = 1
+		wg.Done()
+		x = 2 // after Done: not covered by the publication
+		close(done)
+	}()
+	wg.Wait()
+	time.Sleep(20 * time.Millisecond)
+	fmt.Println(x) // races with the post-Done write
+	<-done
+}

@@ -1,0 +1,29 @@
+// Ported from the RaceMutex2 shape: both sides lock — but each its own
+// mutex, so the critical sections do not exclude each other.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var (
+	x        int
+	mu1, mu2 sync.Mutex
+)
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		mu1.Lock()
+		x = 1
+		mu1.Unlock()
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	mu2.Lock()
+	fmt.Println(x) // races: a different lock protects nothing
+	mu2.Unlock()
+	<-done
+}
