@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pacerbench [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|frontend|arena|fasttrack|contention]
+//	pacerbench [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|frontend|arena|fasttrack|contention|ingest]
 //	           [-bench eclipse|hsqldb|xalan|pseudojbb] [-scale 0.2] [-seed 0]
 //
 // The frontend, arena, and fasttrack experiments are different in kind:
@@ -16,7 +16,10 @@
 // sharded against the same backend driven serialized; contention runs
 // FASTTRACK on shared-read and sync-heavy mixes three ways — serialized,
 // sharded without the owned-access path, and the full sharded mount with
-// CAS read-map updates.
+// CAS read-map updates. The ingest experiment load-tests the production
+// ingest tier (internal/ingest): thousands of simulated reporters with
+// fault injection and a graceful mid-run collector restart, asserting
+// bounded state memory, zero triage loss, and the delta-push size win.
 //
 // -scale multiplies the paper's trial counts (1.0 reproduces the full
 // protocol: 50 fully sampled trials per benchmark, up to 500 trials per
@@ -31,12 +34,13 @@ import (
 	"time"
 
 	"pacer/internal/harness"
+	"pacer/internal/ingest/loadtest"
 	"pacer/internal/workload"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: all, table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, ablation, frontend, arena, fasttrack, contention")
+		"experiment to run: all, table1, table2, table3, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, ablation, frontend, arena, fasttrack, contention, ingest")
 	benchName := flag.String("bench", "", "restrict to one benchmark (eclipse, hsqldb, xalan, pseudojbb)")
 	scale := flag.Float64("scale", 0.2, "trial-count scale factor (1.0 = the paper's protocol)")
 	seed := flag.Int64("seed", 0, "base seed for all trials")
@@ -225,11 +229,33 @@ func main() {
 		harness.Contention(harness.ContentionConfig{Ops: ops}).Render(os.Stdout)
 		return nil
 	})
+	section("ingest", func() error {
+		reporters := int(5000 * *scale)
+		if reporters < 100 {
+			reporters = 100
+		}
+		dir, err := os.MkdirTemp("", "pacerd-ingest-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		res, err := loadtest.Run(loadtest.Config{
+			Reporters: reporters,
+			Restart:   true,
+			StateDir:  dir,
+			Seed:      *seed,
+		})
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		return loadtest.Check(res)
+	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "pacerbench: unknown experiment %q (try: %s)\n",
 			*experiment, strings.Join([]string{"all", "table1", "table2", "table3",
-				"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "lineage", "frontend", "arena", "fasttrack", "contention"}, ", "))
+				"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "lineage", "frontend", "arena", "fasttrack", "contention", "ingest"}, ", "))
 		os.Exit(2)
 	}
 	fmt.Printf("pacerbench: done in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)

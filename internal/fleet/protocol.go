@@ -31,10 +31,25 @@ import (
 	"io"
 )
 
-// SchemaVersion is the wire schema version carried by every Push. A
-// collector rejects pushes whose version it does not understand (HTTP
-// 400), so mixed-version fleets fail loudly instead of merging garbage.
+// SchemaVersion is the baseline wire schema version: cumulative
+// snapshots, understood by every collector ever shipped. A collector
+// rejects pushes whose version it does not understand (HTTP 400), so
+// mixed-version fleets fail loudly instead of merging garbage.
 const SchemaVersion = 1
+
+// SchemaVersionDelta is the delta-capable wire schema: a version-2 push
+// whose BaseSeq is nonzero carries only the triage entries that changed
+// since the snapshot with that sequence number, instead of the full
+// cumulative list. Reporters never send version 2 unsolicited — they
+// start cumulative and switch only after a collector advertises the
+// version in the ProtocolHeader of an ack — so old collectors keep
+// receiving version-1 pushes they understand.
+const SchemaVersionDelta = 2
+
+// ProtocolHeader is the response header a delta-capable collector sets
+// on every push ack, carrying the highest schema version it accepts
+// (e.g. "2"). Reporters treat its absence as a version-1 collector.
+const ProtocolHeader = "Pacer-Protocol"
 
 // PushPath is the collector endpoint reporters POST snapshots to.
 const PushPath = "/v1/push"
@@ -59,6 +74,15 @@ type Push struct {
 	// accepted one within the same Epoch, which makes re-sent and
 	// out-of-order snapshots harmless.
 	Seq uint64 `json:"seq"`
+	// BaseSeq, when nonzero on a version-2 push, marks Races as a delta:
+	// only the triage entries that changed since (are new in, or carry
+	// different counts than) this instance's snapshot with sequence
+	// number BaseSeq. A collector that does not hold exactly that base —
+	// restarted from an older snapshot, or the base was evicted — answers
+	// 409 Conflict and the reporter falls back to a full cumulative
+	// snapshot. Zero means Races is the complete cumulative list, on
+	// every schema version.
+	BaseSeq uint64 `json:"base_seq,omitempty"`
 	// Dropped counts snapshots this instance's bounded queue has dropped
 	// so far (observability only — dropped snapshots lose no races,
 	// because every later snapshot is a superset).
@@ -116,8 +140,19 @@ const DefaultMaxDecompressedBytes = 64 << 20
 // (schema version, non-empty instance). maxDecompressed bounds the
 // inflated size — the compressed body alone is not a safe bound, since a
 // kilobyte of gzip can expand to gigabytes and OOM the collector; <= 0
-// means DefaultMaxDecompressedBytes.
+// means DefaultMaxDecompressedBytes. DecodePush speaks only the baseline
+// cumulative schema; the production ingest tier uses DecodePushVersion to
+// additionally accept deltas.
 func DecodePush(r io.Reader, maxDecompressed int64) (*Push, error) {
+	return DecodePushVersion(r, maxDecompressed, SchemaVersion)
+}
+
+// DecodePushVersion is DecodePush accepting every schema version from 1
+// through maxVersion. With maxVersion >= SchemaVersionDelta the push may
+// be a delta (nonzero BaseSeq); the envelope is still validated — a delta
+// on a version-1 push, or a base at or past the push's own sequence
+// number, is rejected before any state is touched.
+func DecodePushVersion(r io.Reader, maxDecompressed int64, maxVersion int) (*Push, error) {
 	if maxDecompressed <= 0 {
 		maxDecompressed = DefaultMaxDecompressedBytes
 	}
@@ -134,15 +169,23 @@ func DecodePush(r io.Reader, maxDecompressed int64) (*Push, error) {
 	if lr.N <= 0 {
 		return nil, fmt.Errorf("fleet: push exceeds %d bytes decompressed", maxDecompressed)
 	}
-	if p.Version != SchemaVersion {
-		return nil, fmt.Errorf("fleet: unsupported schema version %d (this collector speaks %d)",
-			p.Version, SchemaVersion)
+	if p.Version < SchemaVersion || p.Version > maxVersion {
+		return nil, fmt.Errorf("fleet: unsupported schema version %d (this collector speaks 1..%d)",
+			p.Version, maxVersion)
 	}
 	if p.Instance == "" {
 		return nil, errors.New("fleet: push names no instance")
 	}
 	if len(p.Races) == 0 {
 		return nil, errors.New("fleet: push carries no triage list")
+	}
+	if p.BaseSeq != 0 {
+		if p.Version < SchemaVersionDelta {
+			return nil, fmt.Errorf("fleet: version-%d push carries a delta base", p.Version)
+		}
+		if p.BaseSeq >= p.Seq {
+			return nil, fmt.Errorf("fleet: delta base seq %d not before push seq %d", p.BaseSeq, p.Seq)
+		}
 	}
 	return &p, nil
 }

@@ -5,10 +5,12 @@ import (
 	"context"
 	crand "crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,6 +63,15 @@ type ReporterOptions struct {
 	// runs with (pacerd -auth-token). A mismatch surfaces through OnError
 	// as a 401 on every push attempt.
 	AuthToken string
+	// DisableDelta pins the reporter to version-1 cumulative snapshots
+	// even against a delta-capable collector. By default the reporter
+	// starts cumulative and switches to delta pushes — only the triage
+	// entries changed since the last queued snapshot — once a push ack
+	// carries the collector's ProtocolHeader; a collector that loses the
+	// delta base (restart from an older state snapshot, eviction) answers
+	// 409 and the reporter transparently resynchronizes with a full
+	// cumulative snapshot.
+	DisableDelta bool
 	// Stats, when non-nil, is sampled at every snapshot and its arena
 	// occupancy (Stats.ArenaEnabled and friends) rides along on the push,
 	// so the collector's /metrics can export per-instance arena gauges.
@@ -85,6 +96,16 @@ type ReporterStats struct {
 	Snapshots uint64
 	// Pushes is the number of snapshots acknowledged by the collector.
 	Pushes uint64
+	// FullPushes counts the acknowledged pushes that carried a complete
+	// cumulative triage list (every push against a version-1 collector;
+	// the initial and post-resync pushes against a delta-capable one).
+	FullPushes uint64
+	// DeltaPushes counts the acknowledged pushes that carried only the
+	// triage entries changed since the previous snapshot.
+	DeltaPushes uint64
+	// Resyncs counts the times a collector rejected a delta base (409)
+	// and the reporter fell back to a full cumulative snapshot.
+	Resyncs uint64
 	// Failures is the number of failed push attempts.
 	Failures uint64
 	// Dropped is the number of snapshots the bounded queue evicted.
@@ -106,7 +127,11 @@ type Reporter struct {
 	mu        sync.Mutex
 	queue     []*Push // head = oldest
 	seq       uint64
-	lastAcked []byte // races blob of the last acknowledged snapshot
+	lastAcked []byte // races blob of the last acknowledged cumulative snapshot
+	deltaOK   bool   // the collector advertised SchemaVersionDelta on an ack
+	forceFull bool   // next snapshot must be cumulative (post-resync)
+	base      map[TriageKey]TriageEntry // triage state as of the last queued snapshot
+	baseSeq   uint64                    // its sequence number
 	stats     ReporterStats
 	closed    bool
 
@@ -209,6 +234,11 @@ func (r *Reporter) Close(ctx context.Context) error {
 			return nil
 		}
 		if err := r.push(ctx, p); err != nil {
+			if errors.Is(err, errResync) && p.BaseSeq != 0 {
+				r.resync()
+				backoff = r.opts.MinBackoff
+				continue
+			}
 			r.noteFailure(err)
 			if ctx.Err() != nil {
 				r.mu.Lock()
@@ -262,6 +292,15 @@ func (r *Reporter) run() {
 			err := r.push(ctx, p)
 			cancel()
 			if err != nil {
+				if errors.Is(err, errResync) && p.BaseSeq != 0 {
+					// The collector no longer holds this delta's base.
+					// Drop the now-useless delta chain and queue a fresh
+					// cumulative snapshot — no backoff, the collector is
+					// healthy and asking for exactly this.
+					r.resync()
+					backoff = r.opts.MinBackoff
+					continue
+				}
 				r.noteFailure(err)
 				retry = time.After(r.jitter(backoff))
 				backoff = r.nextBackoff(backoff)
@@ -303,15 +342,57 @@ func (r *Reporter) snapshot() {
 			}
 		}
 	}
+	var entries map[TriageKey]TriageEntry
+	if !r.opts.DisableDelta {
+		// Materialize our own export so the next snapshot can diff against
+		// it. A parse failure (impossible for our own MarshalJSON output)
+		// just degrades this snapshot to cumulative framing.
+		entries, _ = ParseTriage(races)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.Snapshots++
-	if bytes.Equal(races, r.lastAcked) && len(r.queue) == 0 {
+	if r.deltaOK && !r.forceFull && entries != nil && r.base != nil {
+		// Delta mode: queue only what changed since the last queued
+		// snapshot. Nothing changed means nothing to say — the queue tail
+		// (or the collector) already reflects this exact state.
+		changed := DiffTriage(entries, r.base)
+		if len(changed) == 0 {
+			return
+		}
+		blob, err := MarshalTriage(changed)
+		if err == nil {
+			r.seq++
+			p := &Push{
+				Version:  SchemaVersionDelta,
+				Instance: r.opts.Instance,
+				Epoch:    r.epoch,
+				Seq:      r.seq,
+				BaseSeq:  r.baseSeq,
+				Dropped:  r.stats.Dropped,
+				Races:    blob,
+				Arena:    arena,
+				Shadow:   shadow,
+			}
+			r.base, r.baseSeq = entries, r.seq
+			r.enqueueLocked(p)
+			return
+		}
+	}
+	// Cumulative framing: every push against a version-1 collector, plus
+	// the initial and post-resync snapshots in delta mode. The unchanged
+	// skip must not fire right after a resync — the collector asked for a
+	// full snapshot precisely because its state no longer matches ours.
+	if bytes.Equal(races, r.lastAcked) && len(r.queue) == 0 && !r.forceFull {
 		return
 	}
 	r.seq++
+	ver := SchemaVersion
+	if r.deltaOK && !r.opts.DisableDelta {
+		ver = SchemaVersionDelta
+	}
 	p := &Push{
-		Version:  SchemaVersion,
+		Version:  ver,
 		Instance: r.opts.Instance,
 		Epoch:    r.epoch,
 		Seq:      r.seq,
@@ -320,11 +401,38 @@ func (r *Reporter) snapshot() {
 		Arena:    arena,
 		Shadow:   shadow,
 	}
+	if entries != nil {
+		r.base, r.baseSeq = entries, r.seq
+	}
+	r.forceFull = false
+	r.enqueueLocked(p)
+}
+
+// enqueueLocked appends p, evicting the oldest queued push when full.
+// Evicting a cumulative push is harmless (every later one is a
+// superset); evicting a delta breaks the chain for the pushes behind it,
+// which the collector will reject with 409 and resync will heal.
+func (r *Reporter) enqueueLocked(p *Push) {
 	if len(r.queue) >= r.opts.QueueLen {
 		r.queue = r.queue[1:]
 		r.stats.Dropped++
 	}
 	r.queue = append(r.queue, p)
+}
+
+// resync abandons the queued delta chain and queues a fresh cumulative
+// snapshot — the recovery the collector asks for with 409 when it no
+// longer holds a delta's base (a restart restored older state, or the
+// instance's entry was evicted). Cumulative pushes are supersets of
+// every dropped delta, so nothing is lost.
+func (r *Reporter) resync() {
+	r.mu.Lock()
+	r.stats.Resyncs++
+	r.queue = nil
+	r.base, r.baseSeq = nil, 0
+	r.forceFull = true
+	r.mu.Unlock()
+	r.snapshot()
 }
 
 // head returns the oldest queued push without removing it (a failed
@@ -344,7 +452,12 @@ func (r *Reporter) ack(p *Push) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.Pushes++
-	r.lastAcked = p.Races
+	if p.BaseSeq != 0 {
+		r.stats.DeltaPushes++
+	} else {
+		r.stats.FullPushes++
+		r.lastAcked = p.Races
+	}
 	if len(r.queue) > 0 && r.queue[0] == p {
 		r.queue = r.queue[1:]
 	}
@@ -359,8 +472,13 @@ func (r *Reporter) noteFailure(err error) {
 	}
 }
 
+// errResync marks a 409 from the collector: it does not hold the delta
+// base this push builds on, and wants a full cumulative snapshot.
+var errResync = errors.New("fleet: collector requests a full resync")
+
 // push POSTs one snapshot. Any non-2xx status is a failure; the body is
-// drained so the connection can be reused.
+// drained so the connection can be reused. A 2xx ack carrying the
+// collector's ProtocolHeader upgrades the reporter to delta pushes.
 func (r *Reporter) push(ctx context.Context, p *Push) error {
 	var body bytes.Buffer
 	if err := EncodePush(&body, p); err != nil {
@@ -381,8 +499,18 @@ func (r *Reporter) push(ctx context.Context, p *Push) error {
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode == http.StatusConflict {
+		return fmt.Errorf("fleet: push seq %d: %w", p.Seq, errResync)
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return fmt.Errorf("fleet: push seq %d: collector said %s", p.Seq, resp.Status)
+	}
+	if v := resp.Header.Get(ProtocolHeader); v != "" && !r.opts.DisableDelta {
+		if n, err := strconv.Atoi(v); err == nil && n >= SchemaVersionDelta {
+			r.mu.Lock()
+			r.deltaOK = true
+			r.mu.Unlock()
+		}
 	}
 	return nil
 }

@@ -1,0 +1,54 @@
+package loadtest
+
+import (
+	"testing"
+)
+
+// TestIngestLoadSmoke is the CI-sized run: ~50 reporters through the
+// full pipeline with fault injection and a graceful mid-run restart,
+// checked against the same acceptance bar as the full 1000-reporter run
+// (bounded memory, zero triage loss, >= 5x delta shrink).
+func TestIngestLoadSmoke(t *testing.T) {
+	res, err := Run(Config{
+		Reporters: 50,
+		Rounds:    6,
+		Restart:   true,
+		StateDir:  t.TempDir(),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Restarted {
+		t.Fatal("the mid-run restart never triggered")
+	}
+	if res.Replays == 0 || res.Malformed == 0 {
+		t.Fatalf("fault injection never fired: %d replays, %d malformed", res.Replays, res.Malformed)
+	}
+	if res.Pushes < uint64(res.Reporters) {
+		t.Fatalf("only %d pushes acked for %d reporters", res.Pushes, res.Reporters)
+	}
+}
+
+// TestIngestLoadNoRestart covers the plain path (no persistence, no
+// restart) so the harness itself is debuggable when the restart logic
+// changes.
+func TestIngestLoadNoRestart(t *testing.T) {
+	res, err := Run(Config{
+		Reporters: 20,
+		Rounds:    4,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarted {
+		t.Fatal("restart fired without being configured")
+	}
+}

@@ -1,0 +1,378 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pacer/internal/fleet"
+)
+
+// fakeClock is a concurrency-safe manual clock for breaker, limiter,
+// and TTL tests.
+type fakeClock struct{ ns atomic.Int64 }
+
+func newFakeClock() *fakeClock {
+	c := &fakeClock{}
+	c.ns.Store(1_700_000_000_000_000_000)
+	return c
+}
+
+func (c *fakeClock) Now() time.Time            { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) Advance(d time.Duration)   { c.ns.Add(int64(d)) }
+
+// entryFor builds one valid triage row.
+func entryFor(v, site uint32, count int, instance string) fleet.TriageEntry {
+	return fleet.TriageEntry{
+		Var: v, Kind: "write-write",
+		FirstSite: site, SecondSite: site + 1,
+		FirstThread: 1, SecondThread: 2,
+		Count: count, Instances: 1, FirstInstance: instance,
+	}
+}
+
+// pushFor assembles a decoded Push plus its materialized entries, as the
+// Decode stage would produce them.
+func pushFor(instance string, epoch, seq, baseSeq uint64, rows ...fleet.TriageEntry) (*fleet.Push, map[fleet.TriageKey]fleet.TriageEntry) {
+	blob, err := json.Marshal(rows)
+	if err != nil {
+		panic(err)
+	}
+	ver := fleet.SchemaVersion
+	if baseSeq != 0 {
+		ver = fleet.SchemaVersionDelta
+	}
+	p := &fleet.Push{Version: ver, Instance: instance, Epoch: epoch, Seq: seq, BaseSeq: baseSeq, Races: blob}
+	entries, err := fleet.ParseTriage(blob)
+	if err != nil {
+		panic(err)
+	}
+	return p, entries
+}
+
+// flakyStage fails its first failN calls, transiently or not.
+type flakyStage struct {
+	mu        sync.Mutex
+	failLeft  int
+	transient bool
+	calls     int
+}
+
+func (f *flakyStage) Name() string { return "flaky" }
+
+func (f *flakyStage) Process(context.Context, *Request) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.failLeft > 0 {
+		f.failLeft--
+		return &StatusError{Status: http.StatusInternalServerError, Transient: f.transient,
+			Err: errors.New("injected stage failure")}
+	}
+	return nil
+}
+
+func TestIngestRetryRecoversTransientFailures(t *testing.T) {
+	inner := &flakyStage{failLeft: 2, transient: true}
+	r := NewRetry(inner, 3, time.Millisecond)
+	if err := r.Process(context.Background(), &Request{}); err != nil {
+		t.Fatalf("retry should have absorbed 2 transient failures: %v", err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner stage ran %d times, want 3", inner.calls)
+	}
+	if r.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", r.Retries())
+	}
+}
+
+func TestIngestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	inner := &flakyStage{failLeft: 1, transient: false}
+	r := NewRetry(inner, 3, time.Millisecond)
+	if err := r.Process(context.Background(), &Request{}); err == nil {
+		t.Fatal("permanent error should surface")
+	}
+	if inner.calls != 1 {
+		t.Fatalf("permanent error retried: inner ran %d times", inner.calls)
+	}
+}
+
+// TestIngestBreakerOpensAndCloses is the acceptance test for the
+// circuit breaker: consecutive merge failures open it, open means
+// fast-fail without touching the inner stage, the cooldown admits a
+// single probe, and the probe's success closes it again.
+func TestIngestBreakerOpensAndCloses(t *testing.T) {
+	clock := newFakeClock()
+	inner := &flakyStage{failLeft: 3, transient: false}
+	b := NewBreaker(inner, 3, 10*time.Second, clock.Now)
+	ctx := context.Background()
+
+	// Three consecutive failures: all reach the inner stage, the third
+	// opens the circuit.
+	for i := 0; i < 3; i++ {
+		if err := b.Process(ctx, &Request{}); err == nil {
+			t.Fatalf("failure %d should surface", i)
+		}
+	}
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("after %d failures breaker state = %d, want open", 3, got)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens() = %d, want 1", b.Opens())
+	}
+
+	// While open: fast-fail with 503, inner never called.
+	callsBefore := inner.calls
+	for i := 0; i < 5; i++ {
+		err := b.Process(ctx, &Request{})
+		if StatusOf(err) != http.StatusServiceUnavailable {
+			t.Fatalf("open breaker answered %d, want 503", StatusOf(err))
+		}
+	}
+	if inner.calls != callsBefore {
+		t.Fatalf("open breaker still called the inner stage (%d -> %d)", callsBefore, inner.calls)
+	}
+	if b.FastFails() != 5 {
+		t.Fatalf("FastFails() = %d, want 5", b.FastFails())
+	}
+
+	// After the cooldown the next request probes the inner stage (now
+	// healthy) and the circuit closes.
+	clock.Advance(11 * time.Second)
+	if got := b.State(); got != breakerHalfOpen {
+		t.Fatalf("post-cooldown state = %d, want half-open", got)
+	}
+	if err := b.Process(ctx, &Request{}); err != nil {
+		t.Fatalf("probe should succeed: %v", err)
+	}
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("after successful probe state = %d, want closed", got)
+	}
+	if err := b.Process(ctx, &Request{}); err != nil {
+		t.Fatalf("closed breaker should pass requests: %v", err)
+	}
+}
+
+// TestIngestBreakerReopensOnFailedProbe pins the half-open -> open
+// transition: a failing probe re-opens immediately, without needing
+// Threshold fresh failures.
+func TestIngestBreakerReopensOnFailedProbe(t *testing.T) {
+	clock := newFakeClock()
+	inner := &flakyStage{failLeft: 4, transient: false}
+	b := NewBreaker(inner, 3, 10*time.Second, clock.Now)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		b.Process(ctx, &Request{})
+	}
+	clock.Advance(11 * time.Second)
+	if err := b.Process(ctx, &Request{}); err == nil {
+		t.Fatal("probe should have failed")
+	}
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("after failed probe state = %d, want open", got)
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens() = %d, want 2", b.Opens())
+	}
+}
+
+// TestIngestBreakerIgnoresClientErrors: 4xx outcomes (bad pushes, stale
+// deltas) are the state layer working, not failing — they must never
+// trip the breaker.
+func TestIngestBreakerIgnoresClientErrors(t *testing.T) {
+	bad := StageFunc{StageName: "reject", Fn: func(context.Context, *Request) error {
+		return Errf(http.StatusBadRequest, "client error")
+	}}
+	b := NewBreaker(bad, 2, time.Second, nil)
+	for i := 0; i < 10; i++ {
+		b.Process(context.Background(), &Request{})
+	}
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("client errors tripped the breaker (state %d)", got)
+	}
+}
+
+// TestIngestQueueSheds drives the load-shed connector to its bound:
+// with every worker blocked and the queue full, the next push is shed
+// immediately (503, counted); unblocking drains everything.
+func TestIngestQueueSheds(t *testing.T) {
+	gate := make(chan struct{})
+	var entered, processed atomic.Int64
+	slow := StageFunc{StageName: "gated", Fn: func(ctx context.Context, _ *Request) error {
+		entered.Add(1)
+		<-gate
+		processed.Add(1)
+		return nil
+	}}
+	const depth, workers = 4, 2
+	q := NewQueue(slow, depth, workers)
+	defer q.Close()
+
+	ctx := context.Background()
+	results := make(chan error, depth+workers)
+	deadline := time.Now().Add(5 * time.Second)
+	// First occupy every worker, then fill the queue behind them — staged,
+	// so none of these six can race each other into a shed.
+	for i := 0; i < workers; i++ {
+		go func() { results <- q.Process(ctx, &Request{}) }()
+	}
+	for entered.Load() < workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never picked up: %d entered", entered.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < depth; i++ {
+		go func() { results <- q.Process(ctx, &Request{}) }()
+	}
+	for q.Depth() < depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: depth %d", q.Depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	err := q.Process(ctx, &Request{})
+	if StatusOf(err) != http.StatusServiceUnavailable {
+		t.Fatalf("full queue answered %v, want 503 shed", err)
+	}
+	if q.Shed() != 1 {
+		t.Fatalf("Shed() = %d, want 1", q.Shed())
+	}
+
+	close(gate)
+	for i := 0; i < depth+workers; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued push failed after unblock: %v", err)
+		}
+	}
+	if got := processed.Load(); got != depth+workers {
+		t.Fatalf("processed %d pushes, want %d", got, depth+workers)
+	}
+}
+
+// TestIngestRateLimitPerInstance: one instance exhausting its burst is
+// limited without touching another instance's budget, and the bucket
+// refills with time.
+func TestIngestRateLimitPerInstance(t *testing.T) {
+	clock := newFakeClock()
+	l := &RateLimit{Rate: 1, Burst: 3, Clock: clock.Now}
+	ctx := context.Background()
+	push := func(instance string) error {
+		p, entries := pushFor(instance, 1, 1, 0, entryFor(1, 10, 1, instance))
+		return l.Process(ctx, &Request{Push: p, Entries: entries})
+	}
+	for i := 0; i < 3; i++ {
+		if err := push("hot"); err != nil {
+			t.Fatalf("push %d within burst limited: %v", i, err)
+		}
+	}
+	if err := push("hot"); StatusOf(err) != http.StatusTooManyRequests {
+		t.Fatalf("burst exceeded but got %v, want 429", err)
+	}
+	if l.Limited() != 1 {
+		t.Fatalf("Limited() = %d, want 1", l.Limited())
+	}
+	if err := push("cool"); err != nil {
+		t.Fatalf("other instance was limited by hot's bucket: %v", err)
+	}
+	clock.Advance(2 * time.Second) // refills 2 tokens at rate 1/s
+	if err := push("hot"); err != nil {
+		t.Fatalf("bucket did not refill: %v", err)
+	}
+}
+
+// TestIngestRateLimitBucketBound: the limiter map cannot outgrow its
+// bound under instance churn; refilled buckets are pruned first.
+func TestIngestRateLimitBucketBound(t *testing.T) {
+	clock := newFakeClock()
+	l := &RateLimit{Rate: 100, Burst: 5, MaxBuckets: 64, Clock: clock.Now}
+	ctx := context.Background()
+	for i := 0; i < 1000; i++ {
+		name := "churn-" + string(rune('a'+i%26)) + "-" + itoa(i)
+		p, entries := pushFor(name, 1, 1, 0, entryFor(1, 10, 1, name))
+		if err := l.Process(ctx, &Request{Push: p, Entries: entries}); err != nil {
+			t.Fatalf("churning push %d limited: %v", i, err)
+		}
+		clock.Advance(100 * time.Millisecond)
+	}
+	if got := l.Buckets(); got > 64 {
+		t.Fatalf("bucket map grew to %d entries, bound is 64", got)
+	}
+	if l.Pruned() == 0 {
+		t.Fatal("churn never pruned a bucket")
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0'+n/100%10)) + string(rune('0'+n/10%10)) + string(rune('0'+n%10))
+}
+
+// TestIngestDecodeRejects pins the decode stage's validation: garbage,
+// unknown versions, deltas misframed as v1, and bases at or past the
+// push's own seq are all 400s, and counted.
+func TestIngestDecodeRejects(t *testing.T) {
+	d := &Decode{MaxDecompressed: 1 << 20}
+	ctx := context.Background()
+
+	run := func(p *fleet.Push) error {
+		var buf bytes.Buffer
+		if err := fleet.EncodePush(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		return d.Process(ctx, &Request{Body: &buf})
+	}
+	ok, _ := pushFor("i", 1, 1, 0, entryFor(1, 10, 1, "i"))
+	if err := run(ok); err != nil {
+		t.Fatalf("valid push rejected: %v", err)
+	}
+	if d.Decoded() != 1 {
+		t.Fatalf("Decoded() = %d, want 1", d.Decoded())
+	}
+
+	cases := []*fleet.Push{
+		{Version: 3, Instance: "i", Seq: 1, Races: ok.Races},                             // unknown version
+		{Version: 1, Instance: "i", Seq: 2, BaseSeq: 1, Races: ok.Races},                 // delta framed as v1
+		{Version: 2, Instance: "i", Seq: 2, BaseSeq: 2, Races: ok.Races},                 // base not before seq
+		{Version: 1, Instance: "", Seq: 1, Races: ok.Races},                              // no instance
+		{Version: 1, Instance: "i", Seq: 1, Races: json.RawMessage(`[{"kind":"nope"}]`)}, // bad payload
+	}
+	for i, p := range cases {
+		if err := run(p); StatusOf(err) != http.StatusBadRequest {
+			t.Errorf("case %d: got %v, want 400", i, err)
+		}
+	}
+	if err := d.Process(ctx, &Request{Body: bytes.NewReader([]byte("not gzip"))}); StatusOf(err) != http.StatusBadRequest {
+		t.Error("raw garbage should 400")
+	}
+	if d.Rejected() != uint64(len(cases)+1) {
+		t.Fatalf("Rejected() = %d, want %d", d.Rejected(), len(cases)+1)
+	}
+}
+
+// TestIngestPipelineOrder: a pipeline stops at the first failing stage.
+func TestIngestPipelineOrder(t *testing.T) {
+	var ran []string
+	mk := func(name string, fail bool) Stage {
+		return StageFunc{StageName: name, Fn: func(context.Context, *Request) error {
+			ran = append(ran, name)
+			if fail {
+				return Errf(http.StatusBadRequest, "%s failed", name)
+			}
+			return nil
+		}}
+	}
+	p := NewPipeline(mk("a", false), mk("b", true), mk("c", false))
+	if err := p.Process(context.Background(), &Request{}); err == nil {
+		t.Fatal("pipeline should surface stage b's failure")
+	}
+	if len(ran) != 2 || ran[0] != "a" || ran[1] != "b" {
+		t.Fatalf("stages ran %v, want [a b]", ran)
+	}
+}

@@ -1,0 +1,245 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pacer/internal/fleet"
+)
+
+// apply is a test shorthand: build the push and run it through Apply.
+func apply(s *State, instance string, epoch, seq, baseSeq uint64, rows ...fleet.TriageEntry) ApplyResult {
+	p, entries := pushFor(instance, epoch, seq, baseSeq, rows...)
+	return s.Apply(p, entries)
+}
+
+func racesJSON(t *testing.T, s *State) string {
+	t.Helper()
+	agg, err := s.Merged()
+	if err != nil {
+		t.Fatalf("Merged: %v", err)
+	}
+	blob, err := agg.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	return string(blob)
+}
+
+func TestIngestStateDeltaApply(t *testing.T) {
+	s := NewState(StateOptions{})
+
+	// A delta with no prior state has no base to stand on.
+	if got := apply(s, "a", 7, 2, 1, entryFor(1, 10, 3, "a")); got != ApplyResync {
+		t.Fatalf("delta onto empty state = %v, want resync", got)
+	}
+
+	// Full snapshot, then a delta on exactly that base.
+	if got := apply(s, "a", 7, 1, 0, entryFor(1, 10, 3, "a")); got != ApplyMerged {
+		t.Fatalf("full snapshot = %v, want merged", got)
+	}
+	if got := apply(s, "a", 7, 2, 1, entryFor(1, 10, 5, "a"), entryFor(2, 20, 1, "a")); got != ApplyMerged {
+		t.Fatalf("delta on held base = %v, want merged", got)
+	}
+
+	// The delta upserted: var 1's count rose to 5, var 2 appeared.
+	want := NewState(StateOptions{})
+	apply(want, "a", 7, 2, 0, entryFor(1, 10, 5, "a"), entryFor(2, 20, 1, "a"))
+	if got, exp := racesJSON(t, s), racesJSON(t, want); got != exp {
+		t.Fatalf("delta-merged view diverged:\n got %s\nwant %s", got, exp)
+	}
+
+	// A retried (already-absorbed) delta is stale, not an error.
+	if got := apply(s, "a", 7, 2, 1, entryFor(1, 10, 5, "a")); got != ApplyStale {
+		t.Fatalf("replayed delta = %v, want stale", got)
+	}
+	// A delta skipping a base we do not hold forces a resync.
+	if got := apply(s, "a", 7, 9, 5, entryFor(1, 10, 9, "a")); got != ApplyResync {
+		t.Fatalf("delta on unknown base = %v, want resync", got)
+	}
+	// A delta from a restarted process (new epoch) forces a resync.
+	if got := apply(s, "a", 8, 2, 1, entryFor(1, 10, 9, "a")); got != ApplyResync {
+		t.Fatalf("delta across epochs = %v, want resync", got)
+	}
+	// A full snapshot from the new epoch replaces the state outright.
+	if got := apply(s, "a", 8, 1, 0, entryFor(3, 30, 2, "a")); got != ApplyMerged {
+		t.Fatalf("new-epoch full snapshot = %v, want merged", got)
+	}
+	want2 := NewState(StateOptions{})
+	apply(want2, "a", 8, 1, 0, entryFor(3, 30, 2, "a"))
+	if got, exp := racesJSON(t, s), racesJSON(t, want2); got != exp {
+		t.Fatalf("epoch restart kept old state:\n got %s\nwant %s", got, exp)
+	}
+}
+
+// TestIngestStateEvictsWholeEntry is the regression for the churn bug:
+// eviction must drop the instance's seq/epoch tracking in the same pass
+// as its triage state — verified by a post-eviction delta answering
+// resync (no remembered base), not stale (remembered seq).
+func TestIngestStateEvictsWholeEntry(t *testing.T) {
+	s := NewState(StateOptions{Shards: 1, MaxBytes: 2500})
+	apply(s, "old", 1, 5, 0, entryFor(1, 10, 3, "old"))
+	// Enough fresh instances to push "old" out of the shard budget.
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("new-%d", i)
+		if got := apply(s, name, 1, 1, 0, entryFor(uint32(i+100), uint32(1000+10*i), 1, name)); got != ApplyMerged {
+			t.Fatalf("push %d = %v, want merged", i, got)
+		}
+	}
+	if s.Evicted() == 0 {
+		t.Fatalf("budget %d never evicted (bytes %d)", 2500, s.Bytes())
+	}
+	// "old" was least-recently-seen, so its whole entry — including the
+	// seq tracking a delta would match against — must be gone.
+	if got := apply(s, "old", 1, 6, 5, entryFor(1, 10, 4, "old")); got != ApplyResync {
+		t.Fatalf("delta after eviction = %v, want resync (seq tracking must die with the entry)", got)
+	}
+	// And a stale-looking full push from the evicted instance merges
+	// fresh rather than being dropped against remembered seq 5.
+	if got := apply(s, "old", 1, 3, 0, entryFor(1, 10, 2, "old")); got != ApplyMerged {
+		t.Fatalf("full push after eviction = %v, want merged", got)
+	}
+}
+
+// TestIngestStateChurnBounded: a fleet whose pods get fresh instance
+// names forever cannot grow the state past its configured bound.
+func TestIngestStateChurnBounded(t *testing.T) {
+	const maxBytes = 64 << 10
+	s := NewState(StateOptions{Shards: 4, MaxBytes: maxBytes})
+	for i := 0; i < 5000; i++ {
+		name := fmt.Sprintf("pod-%d", i)
+		apply(s, name, uint64(i+1), 1, 0,
+			entryFor(uint32(i), uint32(2*i), 1, name),
+			entryFor(uint32(i+1), uint32(2*i+64), 2, name))
+	}
+	if got := s.Bytes(); got > maxBytes {
+		t.Fatalf("state grew to %d accounted bytes, bound is %d", got, maxBytes)
+	}
+	if s.Evicted() == 0 {
+		t.Fatal("churn never evicted")
+	}
+	if got := s.Instances(); got == 0 || got > 5000 {
+		t.Fatalf("implausible instance count %d", got)
+	}
+}
+
+func TestIngestStateTTLExpiry(t *testing.T) {
+	clock := newFakeClock()
+	s := NewState(StateOptions{InstanceTTL: time.Minute, Clock: clock.Now})
+	apply(s, "short", 1, 1, 0, entryFor(1, 10, 1, "short"))
+	clock.Advance(45 * time.Second)
+	apply(s, "fresh", 1, 1, 0, entryFor(2, 20, 1, "fresh"))
+	clock.Advance(30 * time.Second) // "short" is now 75s old, "fresh" 30s
+
+	// Reads sweep fully: only "fresh" survives.
+	agg, err := s.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := agg.Races()
+	if len(races) != 1 || races[0].Example.Var != 2 {
+		t.Fatalf("after TTL sweep races = %+v, want just var 2", races)
+	}
+	if s.Expired() != 1 {
+		t.Fatalf("Expired() = %d, want 1", s.Expired())
+	}
+	// Expiry removed the whole entry: a stale-seq full push from the
+	// expired instance merges as new state.
+	if got := apply(s, "short", 1, 1, 0, entryFor(1, 10, 1, "short")); got != ApplyMerged {
+		t.Fatalf("post-expiry push = %v, want merged", got)
+	}
+}
+
+// TestIngestStateStress exercises the sharded state's locking under
+// -race: concurrent pushes (full + delta + stale replays), TTL expiry
+// driven by a fake clock advancing concurrently, snapshot captures, and
+// merged reads, all at once.
+func TestIngestStateStress(t *testing.T) {
+	clock := newFakeClock()
+	s := NewState(StateOptions{
+		Shards:      8,
+		MaxBytes:    256 << 10,
+		InstanceTTL: 500 * time.Millisecond,
+		Clock:       clock.Now,
+	})
+	const (
+		pushers   = 8
+		perPusher = 200
+	)
+	var pushWG, loopWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < pushers; g++ {
+		pushWG.Add(1)
+		go func(g int) {
+			defer pushWG.Done()
+			inst := fmt.Sprintf("stress-%d", g)
+			for i := 1; i <= perPusher; i++ {
+				seq := uint64(i)
+				if i > 1 && i%3 == 0 {
+					// Delta on the previous seq; under concurrent TTL
+					// expiry any outcome (merged/stale/resync) is legal,
+					// the race detector is the assertion here.
+					apply(s, inst, 1, seq, seq-1, entryFor(uint32(i), uint32(g*1000+i), i, inst))
+				} else {
+					apply(s, inst, 1, seq, 0, entryFor(uint32(i), uint32(g*1000+i), i, inst))
+				}
+				if i%7 == 0 {
+					apply(s, inst, 1, seq, 0, entryFor(uint32(i), uint32(g*1000+i), i, inst)) // replay
+				}
+			}
+		}(g)
+	}
+	// Clock mover: drives TTL expiry while pushes land.
+	loopWG.Add(1)
+	go func() {
+		defer loopWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clock.Advance(40 * time.Millisecond)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	// Snapshot + merged-read loops.
+	for r := 0; r < 2; r++ {
+		loopWG.Add(1)
+		go func() {
+			defer loopWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					snap := s.Snapshot()
+					if snap.Version != SnapshotVersion {
+						panic("bad snapshot version")
+					}
+					if _, err := s.Merged(); err != nil {
+						panic(err)
+					}
+					s.Bytes()
+					s.Rows()
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	pushWG.Wait()
+	close(stop)
+	loopWG.Wait()
+
+	// Sanity after the storm: the state still serves a coherent view.
+	if _, err := s.Merged(); err != nil {
+		t.Fatalf("post-stress merge: %v", err)
+	}
+	if got := s.Bytes(); got > 256<<10 {
+		t.Fatalf("state over its bound after stress: %d bytes", got)
+	}
+}
