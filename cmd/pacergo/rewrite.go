@@ -834,10 +834,23 @@ func (in *instrumenter) rewriteSelect(st *ast.SelectStmt) []ast.Stmt {
 // deferred call is not a recognized sync operation.
 func (in *instrumenter) rewriteDeferSync(st *ast.DeferStmt) ast.Stmt {
 	sel, ok := st.Call.Fun.(*ast.SelectorExpr)
-	if !ok || len(st.Call.Args) != 0 {
+	if !ok {
 		return nil
 	}
 	kind, method := in.syncMethod(sel)
+	// defer once.Do(f): rt.OnceDo performs the real Do, and defer-time
+	// evaluation of &once and f matches the original statement's.
+	if kind == "Once" && method == "Do" && len(st.Call.Args) == 1 {
+		in.funcLits(st.Call)
+		in.needRT = true
+		return &ast.DeferStmt{Call: &ast.CallExpr{
+			Fun:  rtSel("OnceDo"),
+			Args: []ast.Expr{in.recvPtr(sel.X), st.Call.Args[0]},
+		}}
+	}
+	if len(st.Call.Args) != 0 {
+		return nil
+	}
 	var helper string
 	switch {
 	case kind == "Mutex" && method == "Unlock":
@@ -984,6 +997,19 @@ func (in *instrumenter) syncCall(call *ast.CallExpr) (pre, post []ast.Stmt, hand
 		case "Wait":
 			in.needRT = true
 			return nil, []ast.Stmt{h("WGWait")}, true
+		}
+	case "Once":
+		// once.Do(f) cannot be hooked around: the release must land
+		// inside the Once's critical section (before any other caller
+		// observes completion), so the call is replaced wholesale with
+		// rt.OnceDo, which performs the real Do with the edges in place.
+		if method == "Do" && len(call.Args) == 1 {
+			in.needRT = true
+			arg := call.Args[0]
+			in.readHooks(arg, &pre)
+			call.Fun = rtSel("OnceDo")
+			call.Args = []ast.Expr{in.recvPtr(sel.X), arg}
+			return pre, nil, true
 		}
 	default:
 		if hasPrefix(kind, "atomic.") {

@@ -156,6 +156,136 @@ func TestFastTrackShardedMatchesSerializedRaces(t *testing.T) {
 	}
 }
 
+// TestFastTrackTrimEpochRepublication pins the SmartTrack-style
+// republication trim against its failure mode. The trim stops publishing
+// the thread's epoch per access (a seed-once check) on the argument that
+// every operation advancing the thread's own component republishes; if a
+// release ever skipped that, the same-epoch probe would dismiss a
+// new-epoch write against the old epoch's mirror, leave the stale write
+// epoch in place, and silently lose the cross-thread race below. Exactly
+// one write/write race must surface in every cell.
+func TestFastTrackTrimEpochRepublication(t *testing.T) {
+	for _, clock := range []string{"", "tree"} {
+		for _, serialized := range []bool{true, false} {
+			var races []pacer.Race
+			d := pacer.New(pacer.Options{
+				Algorithm:  "fasttrack",
+				Serialized: serialized,
+				Clock:      clock,
+				Seed:       11,
+				OnRace:     func(r pacer.Race) { races = append(races, r) },
+			})
+			t0 := d.NewThread()
+			t1 := d.Fork(t0)
+			x := d.NewVarID()
+			m := d.NewMutex()
+			d.Write(t0, x, 1) // epoch e0: seeds the publication
+			d.Write(t0, x, 1) // same-epoch: the mirror must serve this one
+			m.Lock(t0)
+			m.Unlock(t0)      // release advances t0's epoch to e1 and must republish
+			d.Write(t0, x, 2) // e1 write: a stale mirror would dismiss this
+			m.Lock(t1)        // t1 learns e0 (the clock before the release's inc)
+			m.Unlock(t1)
+			d.Write(t1, x, 3) // races with the e1 write, not the e0 one
+			if len(races) != 1 {
+				t.Errorf("clock=%q serialized=%v: got %d races, want exactly 1 (stale published epoch hides the e1 write)",
+					clock, serialized, len(races))
+			}
+		}
+	}
+}
+
+// TestFastTrackTrimStressStatsConservation is the trim's stress companion:
+// an acquire-heavy mix (most lock operations teach the thread nothing new)
+// where per-access republication used to be the thing keeping the
+// published epochs current. With the trim, epochs are republished only at
+// the operations that advance them — so the same-epoch fast path must keep
+// firing between sync operations, every issued operation must still be
+// accounted for exactly once across the three ingestion paths, and the
+// race-free construction must stay silent. Runs under both clock
+// representations; `go test -race` audits the sharded ingestion itself.
+func TestFastTrackTrimStressStatsConservation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		clock string
+		arena bool
+	}{
+		{"flat/heap", "", false},
+		{"tree/heap", "tree", false},
+		{"tree/arena", "tree", true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const goroutines = 8
+			const opsPer = 3000
+			d := pacer.New(pacer.Options{
+				Algorithm: "fasttrack",
+				Seed:      13,
+				Shards:    8,
+				Clock:     tc.clock,
+				Arena:     tc.arena,
+				OnRace:    func(r pacer.Race) { t.Errorf("false race on race-free workload: %+v", r) },
+			})
+			main := d.NewThread()
+			shared := d.NewVarID()
+			handoff := d.NewMutex()
+			var issuedReads, issuedWrites, issuedSyncs atomic.Uint64
+			d.Write(main, shared, 1) // ordered before every fork
+			issuedWrites.Add(1)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				tid := d.Fork(main)
+				wg.Add(1)
+				go func(tid pacer.ThreadID, g int) {
+					defer wg.Done()
+					mine := d.NewMutex() // uncontended: acquires learn nothing
+					private := d.NewVarID()
+					for i := 0; i < opsPer; i++ {
+						switch i % 8 {
+						case 0: // redundant acquire/release churn
+							mine.Lock(tid)
+							mine.Unlock(tid)
+							issuedSyncs.Add(2)
+						case 1: // cross-thread ordered read of the pre-fork write
+							handoff.Lock(tid)
+							d.Read(tid, shared, pacer.SiteID(g+100))
+							handoff.Unlock(tid)
+							issuedReads.Add(1)
+							issuedSyncs.Add(2)
+						case 2, 3: // private writes: same-epoch after the first
+							d.Write(tid, private, pacer.SiteID(g+200))
+							issuedWrites.Add(1)
+						default: // private reads: same-epoch fodder
+							d.Read(tid, private, pacer.SiteID(g+300))
+							issuedReads.Add(1)
+						}
+					}
+				}(tid, g)
+			}
+			wg.Wait()
+			s := d.Stats()
+			if s.Reads != issuedReads.Load() {
+				t.Errorf("Stats.Reads = %d, issued %d", s.Reads, issuedReads.Load())
+			}
+			if s.Writes != issuedWrites.Load() {
+				t.Errorf("Stats.Writes = %d, issued %d", s.Writes, issuedWrites.Load())
+			}
+			// Fork/join bookkeeping adds sync ops beyond the mutex traffic;
+			// conservation here is "at least what we issued, never lost".
+			if s.SyncOps < issuedSyncs.Load() {
+				t.Errorf("Stats.SyncOps = %d, issued %d mutex ops", s.SyncOps, issuedSyncs.Load())
+			}
+			if s.FastPathReads == 0 || s.FastPathWrites == 0 {
+				t.Errorf("same-epoch fast path stopped firing under the trim: %d reads, %d writes dismissed",
+					s.FastPathReads, s.FastPathWrites)
+			}
+			if s.Races != 0 {
+				t.Errorf("Stats.Races = %d on a race-free workload", s.Races)
+			}
+		})
+	}
+}
+
 // TestOwnedStressStatsConservation hammers the owned-access CAS path: the
 // workload is almost entirely reads of variables shared by every
 // goroutine, whose multi-entry read maps publish no epoch mirror — the

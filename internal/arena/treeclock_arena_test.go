@@ -1,0 +1,219 @@
+package arena
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pacer/internal/vclock"
+)
+
+// The tree-clock engine has its own differential suite against the flat
+// reference on the heap allocator (internal/vclock). These tests pin the
+// arena mounting specifically: the last-update index's aux vectors draw
+// from the same slabs as the entry arrays, recycling scrubs the index, and
+// the monotone-copy fast path stays allocation-free on slab storage.
+
+// treeSim drives one operation stream through arena-backed tree clocks and
+// a heap-backed flat shadow, comparing element-for-element.
+type treeSim struct {
+	t          *testing.T
+	threads    int
+	tree, flat []*vclock.VC
+}
+
+func newTreeSim(t *testing.T, alloc func(int) vclock.Allocator, threads, syncs int) *treeSim {
+	s := &treeSim{t: t, threads: threads}
+	n := threads + syncs
+	s.tree = make([]*vclock.VC, n)
+	s.flat = make([]*vclock.VC, n)
+	for i := 0; i < n; i++ {
+		c := alloc(i).NewVC(0)
+		f := vclock.New(0)
+		if i < threads {
+			c.SetOwner(vclock.Thread(i))
+			c.Set(vclock.Thread(i), 1)
+			f.Set(vclock.Thread(i), 1)
+		}
+		s.tree[i] = c
+		s.flat[i] = f
+	}
+	return s
+}
+
+// own clones a shared snapshot before mutation (PACER's copy-on-write
+// rule); the thread-side continuation reclaims its label stream.
+func (s *treeSim) own(i int) {
+	if s.tree[i].Shared() {
+		s.tree[i] = s.tree[i].Clone()
+		if i < s.threads {
+			s.tree[i].SetOwner(vclock.Thread(i))
+		}
+	}
+	if s.flat[i].Shared() {
+		s.flat[i] = s.flat[i].Clone()
+	}
+}
+
+func (s *treeSim) step(op, x, y int) {
+	T := s.threads
+	S := len(s.tree) - T
+	t0 := x % T
+	sy := T + y%S
+	switch op % 6 {
+	case 0: // acquire
+		s.own(t0)
+		ct := s.tree[t0].JoinFrom(s.tree[sy])
+		cf := s.flat[t0].JoinFrom(s.flat[sy])
+		if ct != cf {
+			s.t.Fatalf("JoinFrom(%d←%d) changed=%v, flat says %v", t0, sy, ct, cf)
+		}
+	case 1: // release (+ inc)
+		s.own(sy)
+		s.tree[sy].CopyFrom(s.tree[t0])
+		s.flat[sy].CopyFrom(s.flat[t0])
+		if y%3 != 0 { // PACER elides the inc outside sampling periods
+			s.own(t0)
+			s.tree[t0].Inc(vclock.Thread(t0))
+			s.flat[t0].Inc(vclock.Thread(t0))
+		}
+	case 2: // volatile write: C_vx ⊔= C_t
+		s.own(sy)
+		s.tree[sy].JoinFrom(s.tree[t0])
+		s.flat[sy].JoinFrom(s.flat[t0])
+	case 3: // thread-to-thread (fork/join shapes)
+		if u := y % T; u != t0 {
+			s.own(t0)
+			s.tree[t0].JoinFrom(s.tree[u])
+			s.flat[t0].JoinFrom(s.flat[u])
+		}
+	case 4: // inc
+		s.own(t0)
+		s.tree[t0].Inc(vclock.Thread(t0))
+		s.flat[t0].Inc(vclock.Thread(t0))
+	case 5: // shallow snapshot share (non-sampling copyToSync)
+		s.tree[t0].SetShared()
+		s.tree[t0].Retain() // the sync object becomes a second holder
+		s.tree[sy] = s.tree[t0]
+		s.flat[sy] = s.flat[t0].Clone()
+	}
+}
+
+func (s *treeSim) verify(where string) {
+	s.t.Helper()
+	for i := range s.tree {
+		tc, fc := s.tree[i], s.flat[i]
+		w := max(tc.Len(), fc.Len())
+		for j := 0; j < w; j++ {
+			if tc.Get(vclock.Thread(j)) != fc.Get(vclock.Thread(j)) {
+				s.t.Fatalf("%s: clock %d entry %d: tree %d, flat %d",
+					where, i, j, tc.Get(vclock.Thread(j)), fc.Get(vclock.Thread(j)))
+			}
+		}
+	}
+	for a := 0; a < s.threads; a++ {
+		for b := 0; b < s.threads; b++ {
+			if got, want := s.tree[a].Leq(s.tree[b]), s.flat[a].Leq(s.flat[b]); got != want {
+				s.t.Fatalf("%s: Leq(%d,%d): tree %v, flat %v", where, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestTreeClockOnArenaDifferential runs the detector-shaped operation
+// stream over slab-backed tree clocks, exactly as the backends mount them
+// (vclock.TreeStriped over Arena.Shard).
+func TestTreeClockOnArenaDifferential(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			a := New(Options{Shards: 4})
+			alloc := vclock.TreeStriped(a.Shard)
+			rng := rand.New(rand.NewSource(seed))
+			s := newTreeSim(t, alloc, 2+int(seed%7), 5)
+			for i := 0; i < 800; i++ {
+				s.step(rng.Intn(6), rng.Intn(1<<16), rng.Intn(1<<16))
+				if i%9 == 0 {
+					s.verify(fmt.Sprintf("op %d", i))
+				}
+			}
+			s.verify("final")
+		})
+	}
+}
+
+// TestTreeClockArenaRecycleScrubs pins that recycling a tree-backed clock
+// through the arena scrubs the last-update index with the entries: the
+// slab that comes back is a plain zero clock (no stale index, no stale
+// aux-vector content), or the next tree mount would prune against labels
+// from the previous life.
+func TestTreeClockArenaRecycleScrubs(t *testing.T) {
+	a := New(Options{Shards: 1})
+	alloc := vclock.TreeStriped(a.Shard)(0)
+
+	v := alloc.NewVC(0)
+	v.SetOwner(0)
+	v.Set(0, 1)
+	other := alloc.NewVC(0)
+	other.SetOwner(3)
+	other.Set(3, 1)
+	other.Inc(3)
+	v.JoinFrom(other)
+	if !v.TreeBacked() {
+		t.Fatal("arena tree clock carries no index")
+	}
+	v.Release()
+
+	w := alloc.NewVC(4)
+	if w.TreeBacked() {
+		t.Fatal("recycled slab resurrected the previous life's index")
+	}
+	for i := 0; i < 4; i++ {
+		if got := w.Get(vclock.Thread(i)); got != 0 {
+			t.Fatalf("recycled slab not scrubbed: C(%d)=%d", i, got)
+		}
+	}
+	// The recycled clock is still tree-capable: ownership mounts a fresh
+	// index.
+	w.SetOwner(1)
+	w.Set(1, 1)
+	w.Inc(1)
+	if !w.TreeBacked() {
+		t.Fatal("recycled slab lost tree capability")
+	}
+}
+
+// TestTreeClockArenaMonotoneCopyAllocs is the accelerator guard the issue
+// asks for: once widths are stable, the release-pattern monotone copy and
+// the subsumed join must run at 0 allocs/op on slab storage.
+func TestTreeClockArenaMonotoneCopyAllocs(t *testing.T) {
+	a := New(Options{Shards: 1})
+	alloc := vclock.TreeStriped(a.Shard)(0)
+
+	th := alloc.NewVC(0)
+	th.SetOwner(0)
+	th.Set(0, 1)
+	other := alloc.NewVC(0)
+	other.SetOwner(1)
+	other.Set(1, 1)
+	th.JoinFrom(other)
+	lock := alloc.NewVC(0)
+	lock.CopyFrom(th) // warm: adopt index, size scratch
+	th.Inc(0)
+	lock.CopyFrom(th)
+
+	if n := testing.AllocsPerRun(200, func() {
+		th.Inc(0)
+		lock.CopyFrom(th) // one changed entry
+	}); n != 0 {
+		t.Fatalf("arena monotone copy allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		th.JoinFrom(lock) // fully subsumed: O(1) certificate
+	}); n != 0 {
+		t.Fatalf("arena subsumed join allocates %v/op, want 0", n)
+	}
+	if !lock.Equal(th) || !lock.TreeBacked() {
+		t.Fatal("arena fast-path copies diverged")
+	}
+}

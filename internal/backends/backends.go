@@ -21,6 +21,7 @@ import (
 	"pacer/internal/goldilocks"
 	"pacer/internal/literace"
 	"pacer/internal/lockset"
+	"pacer/internal/o1samples"
 )
 
 // Config carries the cross-backend construction knobs. Backends ignore the
@@ -106,6 +107,7 @@ func init() {
 			Arena:                cfg.Core.Arena,
 			IndexCap:             cfg.EpochFastIndexCap,
 			DisableOwnedFastPath: cfg.DisableOwnedFastPath,
+			Clock:                cfg.Core.Clock,
 		})
 	})
 	Register("generic", func(report detector.Reporter, _ Config) detector.Detector {
@@ -131,6 +133,14 @@ func init() {
 		o.Arena = cfg.Core.Arena
 		o.IndexCap = cfg.EpochFastIndexCap
 		return literace.New(report, o)
+	})
+	Register("o1samples", func(report detector.Reporter, cfg Config) detector.Detector {
+		return o1samples.NewWithOptions(report, o1samples.Options{
+			Shards:   cfg.Core.Shards,
+			Arena:    cfg.Core.Arena,
+			IndexCap: cfg.EpochFastIndexCap,
+			Clock:    cfg.Core.Clock,
+		})
 	})
 	Register("goldilocks", func(report detector.Reporter, _ Config) detector.Detector {
 		return goldilocks.New(report)

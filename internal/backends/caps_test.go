@@ -94,7 +94,7 @@ func parseMatrix(t *testing.T, doc string) map[string]matrixRow {
 func TestShardedMatrixComplete(t *testing.T) {
 	wantSharded := map[string]bool{
 		"pacer": true, "fasttrack": true, "literace": true,
-		"djit": true, "djit+": true,
+		"djit": true, "djit+": true, "o1samples": true,
 	}
 	for _, c := range backends.All() {
 		if wantSharded[c.Name] {

@@ -251,3 +251,31 @@ func TestArenaRecycleReuse(t *testing.T) {
 		t.Fatalf("recycle rate too low under steady-state churn: %+v", st)
 	}
 }
+
+// TestUnshareReclaimsSnapshots pins the holder-count reclamation of shared
+// snapshots (vclock.Unshare): on the arena mount, a shared clock whose
+// aliases have all been released is mutated in place, so a strict subset
+// of the copy-on-write clones the heap mount must make (sticky shared
+// mark, untracked holders) actually happen. The differential suites above
+// pin that the reports stay identical; this pins that the optimization
+// fires at all.
+func TestUnshareReclaimsSnapshots(t *testing.T) {
+	for _, clock := range []string{"", "tree"} {
+		var heapClones, arenaClones uint64
+		for seed := int64(1); seed <= 10; seed++ {
+			tr := genTrace(seed, 4000)
+			heap := NewWithOptions(nil, Options{Clock: clock})
+			detector.Replay(heap, tr)
+			ar := NewWithOptions(nil, Options{Arena: true, Clock: clock})
+			detector.Replay(ar, tr)
+			hs, as := heap.Stats(), ar.Stats()
+			heapClones += hs.Clones[0] + hs.Clones[1]
+			arenaClones += as.Clones[0] + as.Clones[1]
+		}
+		if arenaClones >= heapClones {
+			t.Errorf("clock %q: arena clones %d >= heap clones %d — reclamation never fired",
+				clock, arenaClones, heapClones)
+		}
+		t.Logf("clock %q: heap clones %d, arena clones %d", clock, heapClones, arenaClones)
+	}
+}

@@ -62,6 +62,15 @@ type Options struct {
 	// exactly once. Implies Arena semantics; test-only (the ledger
 	// serializes every acquire and release).
 	ArenaDebug bool
+	// Clock selects the timestamp representation for thread and
+	// synchronization clocks: "" or "flat" is the plain vector clock;
+	// "tree" mounts the last-update tree index (vclock.Tree), making
+	// sampling-period joins and deep copies cost proportional to the
+	// entries that changed instead of the thread count. Version vectors
+	// stay flat either way (they take arbitrary component assignments the
+	// index cannot track). Race reports are identical either way (the
+	// conformance matrix enforces this).
+	Clock string
 }
 
 // varShard is one slice of the variable-metadata table together with the
@@ -148,6 +157,10 @@ type Detector struct {
 	// behind Options.Arena; both nil on the default heap path.
 	arena   *arena.Arena
 	varPool *arena.Records[varMeta]
+	// calloc, when set (Options.Clock "tree"), supplies the tree-capable
+	// allocators thread and synchronization clocks draw from; version
+	// vectors keep drawing from the plain stripe allocators.
+	calloc func(int) vclock.Allocator
 }
 
 var (
@@ -193,6 +206,16 @@ func NewWithOptions(report detector.Reporter, opts Options) *Detector {
 			m.wSite = 0
 			m.r.Clear() // keeps the read map's spilled-map spare
 		})
+	}
+	if opts.Clock == "tree" {
+		// Tree clocks wrap whatever the options selected underneath: on
+		// the arena path the index's aux vectors draw from the same slabs
+		// as the entry arrays, so nothing falls back to the heap.
+		if d.arena != nil {
+			d.calloc = vclock.TreeStriped(d.arena.Shard)
+		} else {
+			d.calloc = vclock.TreeHeap(geo.Shards())
+		}
 	}
 	return d
 }
@@ -273,7 +296,7 @@ func (d *Detector) SampleBegin() {
 			// clock need not advance (a real VM has no thread to touch).
 			continue
 		}
-		d.ownThreadClock(tm)
+		d.ownThreadClock(vclock.Thread(t), tm)
 		tm.clock.Inc(vclock.Thread(t))
 		tm.ver.Inc(vclock.Thread(t))
 		d.stats.Increments[detector.Sampling]++
@@ -314,6 +337,16 @@ func (d *Detector) vcAlloc(i int) vclock.Allocator {
 	return d.arena.Shard(i)
 }
 
+// clockAlloc returns the allocator for stripe i's thread and
+// synchronization clocks: the tree-capable wrapper when tree clocks are
+// mounted, the plain stripe allocator (or nil for heap) otherwise.
+func (d *Detector) clockAlloc(i int) vclock.Allocator {
+	if d.calloc != nil {
+		return d.calloc(i)
+	}
+	return d.vcAlloc(i)
+}
+
 // allocVC draws a fresh clock from a, falling back to the heap when the
 // arena is disabled.
 func allocVC(a vclock.Allocator, n int) *vclock.VC {
@@ -330,10 +363,13 @@ func (d *Detector) thread(t vclock.Thread) *threadMeta {
 		d.threads = append(d.threads, nil)
 	}
 	if d.threads[t] == nil {
-		a := d.vcAlloc(int(t))
-		clock := allocVC(a, int(t)+1)
+		clock := allocVC(d.clockAlloc(int(t)), int(t)+1)
+		// Declare ownership before the first tick so a tree-capable
+		// allocator can root the last-update index at t; a no-op on plain
+		// allocators.
+		clock.SetOwner(t)
 		clock.Set(t, 1)
-		ver := allocVC(a, int(t)+1)
+		ver := allocVC(d.vcAlloc(int(t)), int(t)+1)
 		ver.Set(t, 1)
 		d.threads[t] = &threadMeta{clock: clock, ver: ver}
 	}
@@ -343,7 +379,7 @@ func (d *Detector) thread(t vclock.Thread) *threadMeta {
 func (d *Detector) lock(m event.Lock) *syncMeta {
 	s, ok := d.locks[m]
 	if !ok {
-		a := d.vcAlloc(int(m))
+		a := d.clockAlloc(int(m))
 		s = &syncMeta{clock: allocVC(a, 0), vepoch: vclock.VEBottom, alloc: a}
 		d.locks[m] = s
 	}
@@ -353,7 +389,7 @@ func (d *Detector) lock(m event.Lock) *syncMeta {
 func (d *Detector) vol(vx event.Volatile) *syncMeta {
 	s, ok := d.vols[vx]
 	if !ok {
-		a := d.vcAlloc(int(vx))
+		a := d.clockAlloc(int(vx))
 		s = &syncMeta{clock: allocVC(a, 0), vepoch: vclock.VEBottom, alloc: a}
 		d.vols[vx] = s
 	}
@@ -368,14 +404,25 @@ func (d *Detector) vepochOf(t vclock.Thread, tm *threadMeta) vclock.VersionEpoch
 // ownThreadClock clones tm's clock if it is shared, so it can be mutated
 // (the copy-on-write step of Algorithms 10 and 11). The thread's hold on
 // the shared clock moves to the clone; synchronization objects sharing the
-// old clock keep it alive until their own next release.
-func (d *Detector) ownThreadClock(tm *threadMeta) {
-	if tm.clock.Shared() {
-		old := tm.clock
-		tm.clock = old.Clone()
-		old.Release()
-		d.stats.Clones[d.period()]++
+// old clock keep it alive until their own next release. Clones are born
+// disowned (vclock.Clone), so the thread reclaims its label stream — it is
+// the unique continuation of the frozen snapshot, which is exactly the
+// case SetOwner's re-own is sound for; sync-side clones of the same
+// snapshot stay ownerless.
+//
+// When the holder count proves every past alias has since been released
+// (vclock.Unshare), the mark is cleared instead: the clock is the thread's
+// exclusive clock again — owner, index, and label stream intact — and the
+// full-width clone would copy a snapshot nothing else reads.
+func (d *Detector) ownThreadClock(t vclock.Thread, tm *threadMeta) {
+	if tm.clock.Unshare() {
+		return
 	}
+	old := tm.clock
+	tm.clock = old.Clone()
+	tm.clock.SetOwner(t)
+	old.Release()
+	d.stats.Clones[d.period()]++
 }
 
 // inc is PACER's redefined vector clock increment (Algorithm 10): a no-op
@@ -386,7 +433,7 @@ func (d *Detector) inc(t vclock.Thread) {
 		return
 	}
 	tm := d.thread(t)
-	d.ownThreadClock(tm)
+	d.ownThreadClock(t, tm)
 	tm.clock.Inc(t)
 	tm.ver.Inc(t)
 	d.stats.Increments[detector.Sampling]++
@@ -408,7 +455,14 @@ func (d *Detector) copyToSync(s *syncMeta, t vclock.Thread) {
 		old.Release()
 		d.stats.ShallowCopies[p]++
 	} else {
-		if s.clock.Shared() {
+		// A shared sync clock whose other holders are all gone is reclaimed
+		// in place (vclock.Unshare): CopyFrom then rides the monotone join
+		// fast path instead of replicating the thread clock full-width into
+		// a fresh allocation. The reclaimed snapshot must stop minting its
+		// original thread's labels first (Disown — no-op when ownerless).
+		if s.clock.Unshare() {
+			s.clock.Disown()
+		} else {
 			old := s.clock
 			s.clock = allocVC(s.alloc, 0)
 			old.Release()
@@ -442,7 +496,7 @@ func (d *Detector) joinIntoThread(t vclock.Thread, srcClock *vclock.VC, srcVE vc
 	}
 	// Rule 6 (concurrent): a real join; the clock changes, so t's version
 	// advances and the source version is recorded.
-	d.ownThreadClock(tm)
+	d.ownThreadClock(t, tm)
 	tm.clock.JoinFrom(srcClock)
 	tm.ver.Inc(t)
 	d.recordVersion(tm, srcVE)
@@ -485,7 +539,9 @@ func (d *Detector) joinIntoVolatile(s *syncMeta, t vclock.Thread) {
 	}
 	d.stats.SlowJoins[p]++
 	d.stats.JoinWork += uint64(tm.clock.Len())
-	if s.clock.Shared() {
+	if s.clock.Unshare() {
+		s.clock.Disown() // reclaimed snapshot must not mint its sharer's labels
+	} else {
 		old := s.clock
 		s.clock = allocVC(s.alloc, 0)
 		s.clock.CopyFrom(old)

@@ -84,7 +84,7 @@ func (d *Detector) ReusableThread() (vclock.Thread, bool) {
 		// so the new thread's first epoch is distinct from the old
 		// thread's final state even before any synchronization.
 		tm := d.thread(u)
-		d.ownThreadClock(tm)
+		d.ownThreadClock(u, tm)
 		tm.clock.Inc(u)
 		tm.ver.Inc(u)
 		return u, true

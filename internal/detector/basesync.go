@@ -63,6 +63,10 @@ func (s *BaseSync) ThreadClock(t vclock.Thread) *vclock.VC {
 	}
 	if s.threads[t] == nil {
 		c := s.newVC(int(t), int(t)+1)
+		// Declare ownership before the first tick so a tree-capable
+		// allocator (vclock.Tree) can root the last-update index at t; a
+		// no-op for plain allocators.
+		c.SetOwner(t)
 		c.Set(t, 1)
 		s.threads[t] = c
 	}
@@ -90,12 +94,18 @@ func (s *BaseSync) volClock(vx event.Volatile) *vclock.VC {
 	return c
 }
 
-func (s *BaseSync) slowJoin(dst, src *vclock.VC) {
-	dst.JoinFrom(src)
+func (s *BaseSync) slowJoin(dst, src *vclock.VC) bool {
+	changed := dst.JoinFrom(src)
 	s.c.SlowJoins[Sampling]++
 	s.c.JoinWork += uint64(src.Len())
+	return changed
 }
 
+// deepCopy is the release-edge copy C_dst ← C_src. The copy is full-width
+// on flat clocks; tree-backed clocks run it as a monotone in-place join of
+// just the entries that changed since the destination last saw the source
+// (vclock.CopyFrom's fast path), which is what makes release cost
+// proportional to what changed rather than to thread count.
 func (s *BaseSync) deepCopy(dst, src *vclock.VC) {
 	dst.CopyFrom(src)
 	s.c.DeepCopies[Sampling]++
@@ -107,10 +117,13 @@ func (s *BaseSync) inc(t vclock.Thread) {
 	s.c.Increments[Sampling]++
 }
 
-// Acquire implements Algorithm 1: C_t ← C_t ⊔ C_m.
-func (s *BaseSync) Acquire(t vclock.Thread, m event.Lock) {
+// Acquire implements Algorithm 1: C_t ← C_t ⊔ C_m. It reports whether the
+// thread's clock changed, which lets callers skip work that is redundant
+// when the acquire learned nothing new (the SmartTrack-style epoch
+// republication trim).
+func (s *BaseSync) Acquire(t vclock.Thread, m event.Lock) bool {
 	s.c.SyncOps[Sampling]++
-	s.slowJoin(s.ThreadClock(t), s.lockClock(m))
+	return s.slowJoin(s.ThreadClock(t), s.lockClock(m))
 }
 
 // Release implements Algorithm 2: C_m ← C_t; C_t(t)++.
@@ -135,10 +148,11 @@ func (s *BaseSync) Join(t, u vclock.Thread) {
 	s.inc(u)
 }
 
-// VolRead implements Algorithm 14: C_t ← C_t ⊔ C_vx.
-func (s *BaseSync) VolRead(t vclock.Thread, vx event.Volatile) {
+// VolRead implements Algorithm 14: C_t ← C_t ⊔ C_vx. Like Acquire, it
+// reports whether the thread's clock changed.
+func (s *BaseSync) VolRead(t vclock.Thread, vx event.Volatile) bool {
 	s.c.SyncOps[Sampling]++
-	s.slowJoin(s.ThreadClock(t), s.volClock(vx))
+	return s.slowJoin(s.ThreadClock(t), s.volClock(vx))
 }
 
 // VolWrite implements Algorithm 15: C_vx ← C_vx ⊔ C_t; C_t(t)++.

@@ -79,6 +79,13 @@ type Options struct {
 	// entirely. Lowering the cap bounds the fast-path table's worst-case
 	// memory for workloads with huge sparse identifier spaces.
 	IndexCap int
+	// Clock selects the timestamp representation: "" or "flat" is the
+	// plain vector clock; "tree" mounts the last-update tree index
+	// (vclock.Tree), making synchronization joins and release copies cost
+	// proportional to the entries that changed instead of the thread
+	// count. Race reports are identical either way (the conformance
+	// matrix enforces this).
+	Clock string
 }
 
 // varShard is one slice of the variable-metadata table together with the
@@ -236,6 +243,16 @@ func NewWithOptions(report detector.Reporter, opts Options) *Detector {
 		})
 		d.sync.SetAllocator(d.arena.Shard)
 	}
+	if opts.Clock == "tree" {
+		// Tree clocks wrap whatever allocator the options selected: the
+		// index's aux vectors draw from the same slabs as the entry
+		// arrays, so the arena path stays heap-free.
+		if d.arena != nil {
+			d.sync.SetAllocator(vclock.TreeStriped(d.arena.Shard))
+		} else {
+			d.sync.SetAllocator(vclock.TreeHeap(geo.Shards()))
+		}
+	}
 	// Always-on: the sampling flag is set for the detector's whole life.
 	d.state.SetAlwaysOn()
 	return d
@@ -295,6 +312,20 @@ func (d *Detector) EnsureThreadSlots(n int) {
 // which the caller serializes.
 func (d *Detector) publishEpoch(t vclock.Thread) {
 	d.tpub.Publish(t, d.sync.ThreadClock(t))
+}
+
+// seedEpoch publishes thread t's epoch only if it has never been
+// published — the SmartTrack-style trim of the access slow path. A
+// thread's own epoch advances only at the synchronization operations that
+// increment its clock (release, the forking side of fork, the joined side
+// of join, volatile write), and every one of those republishes; between
+// them the published epoch stays current by itself, so per-access
+// republication reduces to one atomic load and a never-taken branch after
+// the first access.
+func (d *Detector) seedEpoch(t vclock.Thread) {
+	if d.tpub.Epoch(t) == 0 {
+		d.publishEpoch(t)
+	}
 }
 
 // TrySameEpoch implements detector.EpochFast: a lock-free proof that the
@@ -443,7 +474,7 @@ func (d *Detector) Read(t vclock.Thread, x event.Var, site event.Site, _ uint32)
 	sh := &d.shards[si]
 	sh.stats.ReadSlow[detector.Sampling]++
 	ct := d.sync.ThreadClock(t)
-	d.publishEpoch(t)
+	d.seedEpoch(t)
 	m := d.varMetaFor(si, x)
 	m.own.Lock()
 	defer m.own.Unlock()
@@ -485,7 +516,7 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	sh := &d.shards[si]
 	sh.stats.WriteSlow[detector.Sampling]++
 	ct := d.sync.ThreadClock(t)
-	d.publishEpoch(t)
+	d.seedEpoch(t)
 	m := d.varMetaFor(si, x)
 	m.own.Lock()
 	defer m.own.Unlock()
@@ -525,14 +556,21 @@ func (d *Detector) Write(t vclock.Thread, x event.Var, site event.Site, _ uint32
 	m.publishMirrors()
 }
 
-// The synchronization wrappers republish the issuing threads' epochs after
-// the clock updates: a release (or fork, join, volatile write) advances
-// the issuing thread's epoch, and a stale published epoch could let
-// TrySameEpoch dismiss an access from the new epoch against metadata
-// recorded in the old one. Acquire and VolRead only join other clocks
-// *into* C_t — the thread's own component never advances — so they skip
-// republication entirely; together with the store-elision inside Publish,
-// sync-heavy mixes stop hammering the publication cachelines.
+// The synchronization wrappers republish a thread's epoch exactly where
+// its own clock component advances: a release, the forking side of a
+// fork, the joined side of a join, a volatile write. A stale published
+// epoch could let TrySameEpoch dismiss an access from the new epoch
+// against metadata recorded in the old one, so those points must
+// republish. Everything else is a join *into* C_t — acquire, volatile
+// read, the receiving sides of fork and join — where the thread's own
+// component cannot advance (a component originates only from its own
+// thread's increments, so no other clock ever carries a larger one):
+// those republish nothing, no matter how much content the join absorbed.
+// BaseSync reports whether each such join changed the clock at all — with
+// tree clocks, computed from the pruned changed-entry walk rather than a
+// full-width comparison — which the sampling backends use to skip their
+// own post-acquire work; for FASTTRACK the publication skip is
+// unconditional.
 
 // Acquire implements Algorithm 1.
 func (d *Detector) Acquire(t vclock.Thread, m event.Lock) {
@@ -545,17 +583,17 @@ func (d *Detector) Release(t vclock.Thread, m event.Lock) {
 	d.publishEpoch(t)
 }
 
-// Fork implements Algorithm 3.
+// Fork implements Algorithm 3. Only the parent's component advances; the
+// child seeds its publication at its first analyzed access.
 func (d *Detector) Fork(t, u vclock.Thread) {
 	d.sync.Fork(t, u)
 	d.publishEpoch(t)
-	d.publishEpoch(u)
 }
 
-// Join implements Algorithm 4.
+// Join implements Algorithm 4. Only the joined thread's component
+// advances; the receiving thread's published epoch is already current.
 func (d *Detector) Join(t, u vclock.Thread) {
 	d.sync.Join(t, u)
-	d.publishEpoch(t)
 	d.publishEpoch(u)
 }
 

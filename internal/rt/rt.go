@@ -34,6 +34,7 @@ const (
 	kindWaitGroup
 	kindChan
 	kindAtomic
+	kindOnce
 )
 
 // syncObj is one shadow-mapped synchronization object. Depending on kind:
@@ -215,7 +216,7 @@ func resolveSync(addr uintptr, kind syncKind) *syncObj {
 			o.lock = d.NewLockID()
 			o.v1 = d.NewVolatileID()
 			o.v2 = d.NewVolatileID()
-		case kindWaitGroup, kindAtomic:
+		case kindWaitGroup, kindAtomic, kindOnce:
 			o.v1 = d.NewVolatileID()
 		case kindChan:
 			o.v1 = d.NewVolatileID()
@@ -407,6 +408,30 @@ func ChanRange(ch any) {
 		state.det.VolRead(g.t, o.v1)
 		state.det.VolWrite(g.t, o.v2)
 	}
+}
+
+// --- sync.Once hook ---
+
+// OnceDo performs o.Do(f) with the Once modelled as synchronization:
+// the goroutine that wins the Once publishes its history when f returns
+// (a release on first execution), and every caller — the executor
+// included — acquires that publication when Do returns. That is exactly
+// the guarantee sync.Once documents: f's completion happens before any
+// Do return, so latecomers that find the Once already done are still
+// ordered after everything f wrote.
+//
+// pacergo rewrites `once.Do(f)` to `rt.OnceDo(&once, f)`; the hook runs
+// the real Do itself so the release lands inside the Once's critical
+// section, before any other caller can observe completion.
+func OnceDo(o *sync.Once, f func()) {
+	Init()
+	g := current()
+	so := resolveSync(uintptr(unsafe.Pointer(o)), kindOnce)
+	o.Do(func() {
+		f()
+		state.det.VolWrite(g.t, so.v1)
+	})
+	state.det.VolRead(g.t, so.v1)
 }
 
 // --- sync/atomic hooks ---

@@ -1,0 +1,392 @@
+package vclock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// checkTree verifies the structural invariants of a tree-backed clock:
+// the index covers every nonzero entry, membership matches reachability,
+// links are mutually consistent, child lists are in non-increasing attach
+// order, the running sum matches the entries, and owned clocks are rooted
+// at their owner with the label counter current.
+func checkTree(t *testing.T, v *VC, where string) {
+	t.Helper()
+	tr := v.tr
+	if tr == nil {
+		return
+	}
+	// The aux vectors move in lockstep and never trail the entry array
+	// (they may stay wider after a shrinking copy, with a zeroed tail).
+	W := len(tr.lbl.c)
+	for _, a := range []*VC{tr.ack, tr.pn, tr.hp} {
+		if len(a.c) != W {
+			t.Fatalf("%s: aux widths diverge: %d vs %d", where, len(a.c), W)
+		}
+	}
+	if W < len(v.c) {
+		t.Fatalf("%s: aux width %d trails clock width %d", where, W, len(v.c))
+	}
+	var sum uint64
+	for i, c := range v.c {
+		sum += c
+		if c > 0 && tr.lbl.c[i] == 0 {
+			t.Fatalf("%s: entry %d=%d has no node (COVER)", where, i, c)
+		}
+	}
+	if sum != tr.sum {
+		t.Fatalf("%s: sum %d != Σc %d", where, tr.sum, sum)
+	}
+	if tr.owner >= 0 {
+		if tr.root != tr.owner {
+			t.Fatalf("%s: owned clock rooted at %d, owner %d", where, tr.root, tr.owner)
+		}
+		if tr.lbl.c[tr.owner] != tr.lclk {
+			t.Fatalf("%s: owner label %d != lclk %d", where, tr.lbl.c[tr.owner], tr.lclk)
+		}
+	}
+	seen := map[int32]bool{}
+	var walk func(u int32)
+	walk = func(u int32) {
+		if seen[u] {
+			t.Fatalf("%s: node %d reached twice", where, u)
+		}
+		seen[u] = true
+		if tr.lbl.c[u] == 0 {
+			t.Fatalf("%s: reachable node %d has label 0", where, u)
+		}
+		prevAck := ^uint64(0)
+		prevChild := int32(-1)
+		for w := tr.head(u); w >= 0; w = tr.next(w) {
+			if tr.parent(w) != u {
+				t.Fatalf("%s: child %d of %d has parent %d", where, w, u, tr.parent(w))
+			}
+			if tr.prev(w) != prevChild {
+				t.Fatalf("%s: child %d of %d has prev %d, want %d", where, w, u, tr.prev(w), prevChild)
+			}
+			prevChild = w
+			if tr.ack.c[w] == ackUnordered {
+				// Unordered foreign edges live on the root side list only;
+				// a child list must stay pure finite-ack or the early break
+				// would be unsound.
+				t.Fatalf("%s: unordered edge in a child list (%d under %d)", where, w, u)
+			}
+			if tr.ack.c[w] > prevAck {
+				t.Fatalf("%s: children of %d out of attach order: %d after %d", where, u, tr.ack.c[w], prevAck)
+			}
+			prevAck = tr.ack.c[w]
+			walk(w)
+		}
+	}
+	if tr.root >= 0 {
+		if tr.parent(tr.root) != treeNone {
+			t.Fatalf("%s: root %d has a parent", where, tr.root)
+		}
+		walk(tr.root)
+		prevInf := int32(-1)
+		for w := tr.infHead; w >= 0; w = tr.next(w) {
+			if tr.ack.c[w] != ackUnordered {
+				t.Fatalf("%s: finite-ack node %d on the unordered side list", where, w)
+			}
+			if tr.parent(w) != tr.root {
+				t.Fatalf("%s: side-list node %d has parent %d, want root %d", where, w, tr.parent(w), tr.root)
+			}
+			if tr.prev(w) != prevInf {
+				t.Fatalf("%s: side-list node %d has prev %d, want %d", where, w, tr.prev(w), prevInf)
+			}
+			prevInf = w
+			walk(w)
+		}
+	} else if tr.infHead >= 0 {
+		t.Fatalf("%s: empty tree with a non-empty side list (head %d)", where, tr.infHead)
+	}
+	for i := range v.c {
+		if (tr.lbl.c[i] != 0) != seen[int32(i)] {
+			t.Fatalf("%s: node %d: label %d but reachable=%v", where, i, tr.lbl.c[i], seen[int32(i)])
+		}
+	}
+}
+
+// clockSim drives an identical operation stream through a tree-backed
+// clock set and a flat shadow set, comparing element-for-element after
+// every operation. It models the detectors' usage: owned thread clocks,
+// lock clocks written by release-copies, volatile clocks accumulating
+// joins from several writers, PACER's copy-on-write snapshots, and
+// PACER's inc elision outside sampling periods.
+type clockSim struct {
+	t              *testing.T
+	threads, locks int
+	vols           int
+	tree, flat     []*VC
+	ta             Allocator
+	ops            int
+}
+
+func newClockSim(t *testing.T, ta Allocator, threads, locks, vols int) *clockSim {
+	s := &clockSim{t: t, threads: threads, locks: locks, vols: vols, ta: ta}
+	n := threads + locks + vols
+	s.tree = make([]*VC, n)
+	s.flat = make([]*VC, n)
+	for i := 0; i < threads; i++ {
+		c := ta.NewVC(i + 1)
+		c.SetOwner(Thread(i))
+		c.Set(Thread(i), 1)
+		s.tree[i] = c
+		f := New(i + 1)
+		f.Set(Thread(i), 1)
+		s.flat[i] = f
+	}
+	for i := threads; i < n; i++ {
+		s.tree[i] = ta.NewVC(0)
+		s.flat[i] = New(0)
+	}
+	return s
+}
+
+// own prepares clock i for mutation, cloning a shared snapshot first
+// (PACER's copy-on-write rule).
+func (s *clockSim) own(i int) {
+	if s.tree[i].Shared() {
+		s.tree[i] = s.tree[i].Clone()
+		if i < s.threads {
+			// The thread's copy-on-write continuation reclaims its label
+			// stream; sync-side clones stay ownerless.
+			s.tree[i].SetOwner(Thread(i))
+		}
+	}
+	if s.flat[i].Shared() {
+		s.flat[i] = s.flat[i].Clone()
+	}
+}
+
+func (s *clockSim) join(dst, src int) {
+	s.own(dst)
+	ct := s.tree[dst].JoinFrom(s.tree[src])
+	cf := s.flat[dst].JoinFrom(s.flat[src])
+	if ct != cf {
+		s.t.Fatalf("op %d: JoinFrom(%d←%d) changed=%v, flat says %v", s.ops, dst, src, ct, cf)
+	}
+}
+
+func (s *clockSim) copy(dst, src int) {
+	s.own(dst)
+	s.tree[dst].CopyFrom(s.tree[src])
+	s.flat[dst].CopyFrom(s.flat[src])
+}
+
+func (s *clockSim) inc(t int) {
+	s.own(t)
+	s.tree[t].Inc(Thread(t))
+	s.flat[t].Inc(Thread(t))
+}
+
+// share marks clock src shared and stores a shallow alias in dst (PACER's
+// non-sampling release). The flat shadow stores a deep copy, which has the
+// same contents by definition.
+func (s *clockSim) share(dst, src int) {
+	s.tree[src].SetShared()
+	s.tree[dst] = s.tree[src]
+	s.flat[dst] = s.flat[src].Clone()
+}
+
+func (s *clockSim) verify() {
+	s.t.Helper()
+	for i := range s.tree {
+		tc, fc := s.tree[i], s.flat[i]
+		w := max(tc.Len(), fc.Len())
+		for j := 0; j < w; j++ {
+			if tc.Get(Thread(j)) != fc.Get(Thread(j)) {
+				s.t.Fatalf("op %d: clock %d entry %d: tree %d, flat %d\n tree %v\n flat %v",
+					s.ops, i, j, tc.Get(Thread(j)), fc.Get(Thread(j)), tc, fc)
+			}
+		}
+		checkTree(s.t, tc, fmt.Sprintf("op %d clock %d", s.ops, i))
+	}
+	// Order queries must agree too (they exercise the O(1) certificate).
+	for a := 0; a < s.threads; a++ {
+		for b := 0; b < s.threads; b++ {
+			if got, want := s.tree[a].Leq(s.tree[b]), s.flat[a].Leq(s.flat[b]); got != want {
+				s.t.Fatalf("op %d: Leq(%d,%d): tree %v, flat %v", s.ops, a, b, got, want)
+			}
+		}
+	}
+}
+
+// step interprets one operation from three driver values.
+func (s *clockSim) step(op, x, y int) {
+	T, L := s.threads, s.locks
+	t0 := x % T
+	switch op % 8 {
+	case 0: // acquire: C_t ⊔= C_m
+		s.join(t0, T+y%L)
+	case 1: // release: C_m ← C_t, inc
+		s.copy(T+y%L, t0)
+		s.inc(t0)
+	case 2: // release with elided inc (PACER outside sampling)
+		s.copy(T+y%L, t0)
+	case 3: // volatile read: C_t ⊔= C_vx
+		s.join(t0, T+L+y%s.vols)
+	case 4: // volatile write: C_vx ⊔= C_t, maybe elided inc
+		s.join(T+L+y%s.vols, t0)
+		if y%3 != 0 {
+			s.inc(t0)
+		}
+	case 5: // thread-to-thread (fork/join shapes)
+		u := y % T
+		if u != t0 {
+			s.join(t0, u)
+			if y%2 == 0 {
+				s.inc(u)
+			}
+		}
+	case 6: // inc
+		s.inc(t0)
+	case 7: // shallow snapshot share (non-sampling copyToSync)
+		s.share(T+y%L, t0)
+	}
+	s.ops++
+}
+
+// TestTreeClockDifferential pins the tree representation element-for-
+// element against the flat vector clock across randomized detector-shaped
+// operation streams, including PACER's elided increments and copy-on-write
+// snapshots — the regime where value-based pruning would be unsound.
+func TestTreeClockDifferential(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := newClockSim(t, Tree(Heap), 2+int(seed%7), 3, 2)
+			for i := 0; i < 1200; i++ {
+				s.step(rng.Intn(8), rng.Intn(1<<16), rng.Intn(1<<16))
+				if i%7 == 0 || testing.Short() == false && i < 50 {
+					s.verify()
+				}
+			}
+			s.verify()
+		})
+	}
+}
+
+// TestTreeClockDegradation pins the safety valve: mutations the index
+// cannot track (arbitrary Set, joins from untracked clocks) degrade the
+// clock to flat — with identical contents — instead of lying.
+func TestTreeClockDegradation(t *testing.T) {
+	ta := Tree(Heap)
+	a := ta.NewVC(0)
+	a.SetOwner(0)
+	a.Set(0, 1)
+	a.Inc(0)
+	if !a.TreeBacked() {
+		t.Fatal("owned clock lost its index on Inc")
+	}
+	a.Set(3, 7) // arbitrary assignment: untrackable
+	if a.TreeBacked() {
+		t.Fatal("arbitrary Set must degrade the index")
+	}
+	if a.Get(0) != 2 || a.Get(3) != 7 {
+		t.Fatalf("degradation changed contents: %v", a)
+	}
+
+	b := ta.NewVC(0)
+	b.SetOwner(1)
+	b.Set(1, 1)
+	if changed := b.JoinFrom(a); !changed {
+		t.Fatal("join from flat clock lost content")
+	}
+	if b.TreeBacked() {
+		t.Fatal("join from an untracked clock must degrade the destination")
+	}
+	if b.Get(0) != 2 || b.Get(1) != 1 || b.Get(3) != 7 {
+		t.Fatalf("flat fallback join wrong: %v", b)
+	}
+
+	// A subsumed untracked source does not cost the index.
+	c := ta.NewVC(0)
+	c.SetOwner(2)
+	c.Set(2, 1)
+	empty := New(4)
+	if c.JoinFrom(empty) {
+		t.Fatal("empty join reported a change")
+	}
+	if !c.TreeBacked() {
+		t.Fatal("subsumed flat source dropped the index needlessly")
+	}
+
+	// CopyFrom from a tracked clock restores an index on a capable clock.
+	a.CopyFrom(b)
+	if a.TreeBacked() {
+		t.Fatal("copying an untracked clock must not resurrect an index")
+	}
+}
+
+// TestTreeClockVersionVectorsStayFlat pins that clocks used as version
+// vectors (arbitrary Set, never SetOwner) never materialize an index.
+func TestTreeClockVersionVectorsStayFlat(t *testing.T) {
+	ta := Tree(Heap)
+	v := ta.NewVC(0)
+	v.Set(3, 1)
+	v.Set(0, 2)
+	v.Inc(3)
+	if v.TreeBacked() {
+		t.Fatal("version-vector usage materialized an index")
+	}
+	if v.Get(3) != 2 || v.Get(0) != 2 {
+		t.Fatalf("flat semantics broken: %v", v)
+	}
+}
+
+// TestTreeClockMonotoneCopyAllocs pins the monotone-copy fast path at zero
+// allocations per operation once widths are stable: the release-pattern
+// copy (destination subsumed by source) and the subsumed join must both
+// run allocation-free on the heap-backed tree allocator.
+func TestTreeClockMonotoneCopyAllocs(t *testing.T) {
+	ta := Tree(Heap)
+	th := ta.NewVC(0)
+	th.SetOwner(0)
+	th.Set(0, 1)
+	other := ta.NewVC(0)
+	other.SetOwner(1)
+	other.Set(1, 1)
+	th.JoinFrom(other)
+	lock := ta.NewVC(0)
+	lock.CopyFrom(th) // warm: adopt index, size scratch
+	th.Inc(0)
+	lock.CopyFrom(th)
+
+	if n := testing.AllocsPerRun(200, func() {
+		th.Inc(0)
+		lock.CopyFrom(th) // one changed entry
+	}); n != 0 {
+		t.Fatalf("monotone copy allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		th.JoinFrom(lock) // fully subsumed: O(1) certificate
+	}); n != 0 {
+		t.Fatalf("subsumed join allocates %v/op, want 0", n)
+	}
+	if !lock.Equal(th) || !lock.TreeBacked() {
+		t.Fatalf("fast-path copies diverged: %v vs %v", lock, th)
+	}
+}
+
+// FuzzTreeClock feeds arbitrary operation streams through the
+// differential simulator: any element-level divergence between the tree
+// representation and the flat reference, any changed-bit disagreement,
+// or any structural invariant violation fails.
+func FuzzTreeClock(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{1, 0, 0, 0, 7, 9, 1, 1, 1, 0, 2, 2})
+	f.Add([]byte{7, 3, 1, 0, 5, 5, 2, 4, 4, 4, 6, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*400 {
+			data = data[:3*400]
+		}
+		s := newClockSim(t, Tree(Heap), 5, 3, 2)
+		for i := 0; i+2 < len(data); i += 3 {
+			s.step(int(data[i]), int(data[i+1]), int(data[i+2]))
+		}
+		s.verify()
+	})
+}

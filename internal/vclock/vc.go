@@ -13,9 +13,13 @@ import (
 // synchronization clocks during non-sampling periods (Algorithm 9). Once a
 // clock is marked shared it may be referenced by several synchronization
 // objects; any owner that needs to mutate it must Clone first (Algorithms
-// 10, 11, 16). The flag is never cleared on a shared instance — only a
-// fresh Clone starts out unshared — mirroring the paper's "once an object
-// is marked shared it remains that way for the rest of its lifetime".
+// 10, 11, 16). On heap clocks the flag is never cleared — only a fresh
+// Clone starts out unshared — mirroring the paper's "once an object is
+// marked shared it remains that way for the rest of its lifetime". Managed
+// clocks count their holders exactly, which supports the one sound
+// exception: Unshare clears the mark when the count proves the last alias
+// is gone, so the sole remaining holder mutates in place instead of paying
+// a full-width copy nothing else would ever read.
 // A VC may additionally be owned by an Allocator (see alloc.go): managed
 // clocks carry a holder count and are recycled through Retain/Release;
 // heap clocks (alloc nil) behave exactly as before.
@@ -24,6 +28,12 @@ type VC struct {
 	shared bool
 	alloc  Allocator // nil = heap-backed (the garbage collector reclaims)
 	ref    int32     // holder count; meaningful only when alloc != nil
+
+	// Last-update index (see treeclock.go). tr is nil for plain flat
+	// clocks; talloc marks a clock drawn from a Tree allocator (capable of
+	// carrying an index even while tr is nil).
+	tr     *tree
+	talloc *treeAlloc
 }
 
 // New returns a vector clock with capacity for n threads, all zero.
@@ -55,6 +65,10 @@ func (v *VC) Get(t Thread) uint64 {
 func (v *VC) Set(t Thread, c uint64) {
 	v.mustOwn()
 	v.grow(int(t) + 1)
+	if v.tr != nil {
+		v.treeSet(t, c)
+		return
+	}
 	v.c[t] = c
 }
 
@@ -64,26 +78,33 @@ func (v *VC) Set(t Thread, c uint64) {
 func (v *VC) Inc(t Thread) {
 	v.mustOwn()
 	v.grow(int(t) + 1)
+	if v.tr != nil {
+		v.treeInc(t)
+		return
+	}
 	v.c[t]++
 }
 
 // JoinFrom computes v ← v ⊔ o, the pointwise maximum (Equation 3), and
-// reports whether v changed. The receiver must not be shared.
+// reports whether v changed. The receiver must not be shared. Tree-backed
+// clocks (treeclock.go) join in time proportional to the entries that
+// actually changed since the destination last absorbed the source's
+// publisher; the result is element-for-element the same.
 func (v *VC) JoinFrom(o *VC) bool {
 	v.mustOwn()
-	v.grow(len(o.c))
-	changed := false
-	for i, oc := range o.c {
-		if oc > v.c[i] {
-			v.c[i] = oc
-			changed = true
-		}
+	if v.tr != nil || o.tr != nil || v.talloc != nil {
+		return v.joinFrom(o)
 	}
-	return changed
+	return v.flatJoinFrom(o)
 }
 
-// Leq reports v ⊑ o, the pointwise partial order (Appendix A.1).
+// Leq reports v ⊑ o, the pointwise partial order (Appendix A.1). When both
+// sides are tree-backed a certified-publisher check can answer true in
+// O(1); the flat scan is the general path.
 func (v *VC) Leq(o *VC) bool {
+	if v.leqFast(o) {
+		return true
+	}
 	for i, vc := range v.c {
 		if vc == 0 {
 			continue
@@ -97,48 +118,81 @@ func (v *VC) Leq(o *VC) bool {
 
 // CopyFrom performs a deep, element-by-element copy of o into v. The
 // receiver must not be shared. A shrinking copy zeroes the vacated tail,
-// so a later grow() re-exposes zeros, never stale clock values.
+// so a later grow() re-exposes zeros, never stale clock values. Between
+// tree-backed clocks the copy runs as a monotone in-place join whenever
+// the destination's content is subsumed by the source (the common release
+// pattern), costing only the entries that changed; an O(1) totals check
+// certifies the result and an exact full-width copy is the fallback.
 func (v *VC) CopyFrom(o *VC) {
 	v.mustOwn()
-	prev := len(v.c)
-	if cap(v.c) < len(o.c) {
-		v.c = make([]uint64, len(o.c))
-	} else {
-		v.c = v.c[:len(o.c)]
-		if len(o.c) < prev {
-			clear(v.c[len(o.c):prev])
-		}
+	if v.tr != nil || o.tr != nil || v.talloc != nil {
+		v.copyFrom(o)
+		return
 	}
-	copy(v.c, o.c)
+	v.flatCopyFrom(o)
 }
 
 // Clone returns a deep, unshared copy of v, drawn from v's allocator when
 // it is managed (so arena-backed detectors never fall back to the heap on
-// the copy-on-write path).
+// the copy-on-write path). A tree-backed clock's clone carries a deep copy
+// of the index, so snapshot-and-continue (PACER's copy-on-write) keeps
+// proportional joins on both halves.
 func (v *VC) Clone() *VC {
-	if v.alloc != nil {
-		n := v.alloc.NewVC(len(v.c))
-		copy(n.c, v.c)
-		return n
+	var n *VC
+	switch {
+	case v.talloc != nil:
+		n = v.talloc.NewVC(len(v.c))
+	case v.alloc != nil:
+		n = v.alloc.NewVC(len(v.c))
+	default:
+		n = &VC{c: make([]uint64, len(v.c))}
 	}
-	n := &VC{c: make([]uint64, len(v.c))}
 	copy(n.c, v.c)
+	if v.tr != nil {
+		n.cloneTree(v)
+	}
 	return n
 }
 
 // Shared reports whether the clock is marked as shared.
 func (v *VC) Shared() bool { return v.shared }
 
-// SetShared marks the clock shared. There is no way to unmark a clock;
-// Clone returns a fresh unshared copy instead.
+// SetShared marks the clock shared. A heap clock stays marked for life
+// (Clone returns a fresh unshared copy instead); a managed clock can be
+// reclaimed via Unshare once its holder count proves exclusivity.
 func (v *VC) SetShared() { v.shared = true }
+
+// Unshare clears the shared mark when v is provably exclusive again, and
+// reports whether v is unshared on return. Managed clocks count one holder
+// per stored reference, maintained under the same serialization as every
+// other mutation, so a count of one means no synchronization object still
+// aliases this clock: the copy-on-write clone its callers were about to
+// make would duplicate a clock nothing else can observe. Heap clocks do
+// not track holders, so their mark is sticky and mutators keep cloning.
+func (v *VC) Unshare() bool {
+	if !v.shared {
+		return true
+	}
+	if v.alloc != nil && v.ref == 1 {
+		v.shared = false
+		return true
+	}
+	return false
+}
 
 // Equal reports pointwise equality (treating missing entries as 0).
 func (v *VC) Equal(o *VC) bool { return v.Leq(o) && o.Leq(v) }
 
 // MemoryWords approximates the clock's footprint in 8-byte words, used by
-// the space accountant reproducing Figure 10.
-func (v *VC) MemoryWords() int { return len(v.c) + 2 }
+// the space accountant reproducing Figure 10. Tree-backed clocks account
+// for their last-update index honestly.
+func (v *VC) MemoryWords() int {
+	w := len(v.c) + 2
+	if v.tr != nil {
+		w += v.treeMemoryWords()
+	}
+	return w
+}
 
 func (v *VC) grow(n int) {
 	if n <= len(v.c) {

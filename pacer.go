@@ -175,6 +175,15 @@ type Options struct {
 	// Recommended for long-running processes with nonzero sampling rates;
 	// see docs/arena.md. Ignored by backends that do not support arenas.
 	Arena bool
+	// Clock selects the timestamp representation of backends that support
+	// one ("pacer", "fasttrack", "o1samples"): "" or "flat" is the plain
+	// vector clock; "tree" mounts the last-update tree index, making
+	// synchronization joins and release copies cost proportional to the
+	// entries that actually changed instead of the thread count — see
+	// docs/clocks.md. Race reports are identical either way (the
+	// conformance matrix enforces this); only the cost model changes.
+	// Overrides Core.Clock when set. Ignored by other backends.
+	Clock string
 	// EpochFastVarCap bounds the direct-indexed variable table behind the
 	// lock-free same-epoch fast path of backends that expose one
 	// (FASTTRACK): variables with identifiers at or above the cap are
@@ -400,6 +409,9 @@ func New(opts Options) *Detector {
 	}
 	if opts.Arena {
 		copts.Arena = true
+	}
+	if opts.Clock != "" {
+		copts.Clock = opts.Clock
 	}
 	back, err := backends.New(opts.Algorithm, func(r detector.Race) {
 		if opts.OnRace != nil {

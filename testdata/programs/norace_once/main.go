@@ -1,0 +1,28 @@
+// Once-guarded initialization: whichever goroutine wins once.Do runs
+// setup's write, and every Do return — winner and latecomer alike —
+// happens after it, so both reads are ordered.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	x    int
+	once sync.Once
+)
+
+func setup() { x = 42 }
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		once.Do(setup)
+		fmt.Println(x)
+		done <- struct{}{}
+	}()
+	once.Do(setup)
+	fmt.Println(x)
+	<-done
+}

@@ -1,0 +1,26 @@
+// The reader skips once.Do: nothing orders its read after the
+// initialization the other goroutine performs inside the Once, so the
+// read races with setup's write no matter how the run interleaves.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	x    int
+	once sync.Once
+)
+
+func setup() { x = 42 }
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		once.Do(setup)
+		done <- struct{}{}
+	}()
+	fmt.Println(x) // no once.Do first
+	<-done
+}
